@@ -1,0 +1,30 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Artifacts are
+printed to stdout *and* written to ``benchmarks/results/<name>.txt`` so the
+reproduction record survives pytest's output capture; EXPERIMENTS.md points
+at these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    """Print and persist a regenerated table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)
+    return path
+
+
+def series_table(rows: list[tuple[float, float, float]]) -> str:
+    """Render (core MHz, speedup, normalized energy) rows."""
+    lines = [f"{'core_mhz':>9} {'speedup':>8} {'norm_energy':>12}"]
+    for core, speedup, energy in rows:
+        lines.append(f"{core:9.0f} {speedup:8.3f} {energy:12.3f}")
+    return "\n".join(lines)

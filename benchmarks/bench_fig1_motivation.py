@@ -1,0 +1,67 @@
+"""Fig. 1 — motivation: k-NN vs MT under frequency scaling.
+
+Regenerates the six panels of the paper's Fig. 1: speedup vs core frequency
+(a, d), normalized energy vs core frequency (b, e) and the bi-objective
+scatter (c, f) for k-NN (compute-dominated) and MT (memory-dominated), one
+series per memory domain.
+
+Shape targets (paper §1.1):
+* k-NN speedup rises strongly with the core clock; MT's is flat;
+* normalized energy is parabolic in core frequency with an interior
+  minimum (paper: within [885, 987] MHz for k-NN at high memory clocks);
+* the default configuration is not always Pareto-optimal.
+"""
+
+from _common import series_table, write_artifact
+
+from repro.harness.characterize import characterize_kernel
+from repro.harness.context import paper_context
+from repro.harness.report import ascii_scatter, format_heading
+from repro.suite import FIG1_BENCHMARKS, get_benchmark
+
+
+def regenerate_fig1() -> str:
+    ctx = paper_context()
+    sections: list[str] = []
+    for name in FIG1_BENCHMARKS:
+        ch = characterize_kernel(ctx.sim, get_benchmark(name), ctx.settings)
+        sections.append(format_heading(f"Fig. 1 — {name} ({ch.classify()}-dominated)"))
+        for label in ("H", "h", "l", "L"):
+            series = ch.series[label]
+            sections.append(f"\nmem-{label} ({series.mem_mhz:.0f} MHz)")
+            sections.append(series_table(series.rows()))
+            sections.append(
+                f"energy minimum at core {series.energy_minimum_core_mhz:.0f} MHz"
+            )
+        scatter = {
+            f"{label}": [(s, e) for _, s, e in ch.series[label].rows()]
+            for label in ch.series
+        }
+        scatter["*default"] = [(1.0, 1.0)]
+        sections.append("\nbi-objective view (speedup vs normalized energy):")
+        sections.append(ascii_scatter(scatter, width=56, height=16))
+    return "\n".join(sections)
+
+
+def test_fig1_motivation(benchmark):
+    text = benchmark.pedantic(regenerate_fig1, rounds=1, iterations=1)
+    write_artifact("fig1_motivation", text)
+    assert "k-NN" in text and "MT" in text
+
+
+def test_fig1_shapes_hold():
+    """The qualitative claims of §1.1 hold on the regenerated data."""
+    ctx = paper_context()
+    knn = characterize_kernel(ctx.sim, get_benchmark("k-NN"), ctx.settings)
+    mt = characterize_kernel(ctx.sim, get_benchmark("MT"), ctx.settings)
+
+    # k-NN: large speedup span at high memory clock.
+    lo, hi = knn.series["H"].speedup_range
+    assert hi - lo > 0.4
+    # MT: flat in core, sensitive to memory.
+    lo, hi = mt.series["H"].speedup_range
+    assert hi - lo < 0.15
+    assert mt.mem_sensitivity() > 0.5
+    # Interior energy minimum for k-NN.
+    series = knn.series["H"]
+    assert min(series.core_mhz) < series.energy_minimum_core_mhz < max(series.core_mhz)

@@ -1,0 +1,76 @@
+"""Fig. 4 — supported memory/core frequency combinations.
+
+Regenerates the frequency-domain maps for the Titan X (4a) and Tesla P100
+(4b), distinguishing real configurations from the NVML-reported-but-clamped
+ones (the gray points above 1202 MHz), and marking the default config.
+
+Shape targets (paper §1 / §4.1): 219 reported configurations on Titan X;
+6 / 71 / 50 / 50 real core clocks for mem-L/l/h/H; a single tunable memory
+clock on the P100.
+"""
+
+from _common import write_artifact
+
+from repro.gpusim.device import make_tesla_p100, make_titan_x
+from repro.harness.report import format_heading, format_table
+from repro.nvml.api import NVML
+
+
+def regenerate_fig4() -> str:
+    sections: list[str] = []
+    for dev in (make_titan_x(), make_tesla_p100()):
+        sections.append(format_heading(f"Fig. 4 — {dev.name}"))
+        rows = []
+        for domain in dev.domains:
+            real = domain.real_core_mhz
+            fakes = [
+                c for c in domain.reported_core_mhz if c > domain.core_clamp_mhz
+            ]
+            rows.append(
+                (
+                    f"mem-{domain.label}",
+                    f"{domain.mem_mhz:.0f}",
+                    len(domain.reported_core_mhz),
+                    len(real),
+                    len(fakes),
+                    f"{min(real):.0f}-{max(real):.0f}",
+                )
+            )
+        sections.append(
+            format_table(
+                ["domain", "mem MHz", "reported", "real", "clamped", "core range"],
+                rows,
+            )
+        )
+        sections.append(
+            f"total reported: {len(dev.reported_configurations())}, "
+            f"real: {len(dev.real_configurations())}, "
+            f"default: core {dev.default_core_mhz:.0f} MHz / "
+            f"mem {dev.default_mem_mhz:.0f} MHz"
+        )
+    return "\n".join(sections)
+
+
+def test_fig4_freq_domain(benchmark):
+    text = benchmark(regenerate_fig4)
+    write_artifact("fig4_freq_domain", text)
+    assert "total reported: 219" in text
+
+
+def test_fig4_via_nvml_facade():
+    """The same numbers must be visible through the NVML call surface."""
+    lib = NVML()
+    lib.nvmlInit([make_titan_x()])
+    try:
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        mem_clocks = lib.nvmlDeviceGetSupportedMemoryClocks(handle)
+        total_reported = sum(
+            len(lib.nvmlDeviceGetSupportedGraphicsClocks(handle, m)) for m in mem_clocks
+        )
+        assert total_reported == 219
+        # The clamp is discoverable through GetClockInfo, as in §4.1.
+        fake = max(lib.nvmlDeviceGetSupportedGraphicsClocks(handle, 3505.0))
+        lib.nvmlDeviceSetApplicationsClocks(handle, 3505.0, fake)
+        assert lib.nvmlDeviceGetClockInfo(handle, 0) == 1202.0
+    finally:
+        lib.nvmlShutdown()

@@ -1,0 +1,62 @@
+"""Table 1 — comparison against the state of the art.
+
+A static capability matrix (the paper's Table 1): which related approaches
+are static, Pareto-aware, frequency-scaling-aware and ML-based.  Included
+for completeness of the per-table reproduction index; also doubles as a
+check that our system actually exhibits all four capabilities.
+"""
+
+from _common import write_artifact
+
+from repro.harness.report import format_heading, format_table
+
+TABLE1 = [
+    ("Grewe et al. [10]", True, False, False, True),
+    ("Steen et al. [7]", False, True, False, False),
+    ("Abe et al. [1]", False, False, True, False),
+    ("Guerreiro et al. [11]", False, False, True, True),
+    ("Wu et al. [29]", False, False, True, True),
+    ("Our work", True, True, True, True),
+]
+
+
+def regenerate_table1() -> str:
+    rows = [
+        (name, *("Y" if v else "-" for v in caps))
+        for name, *caps in TABLE1
+    ]
+    table = format_table(
+        ["Paper", "Static", "Pareto-optimal", "Frequency Scaling", "Machine Learning"],
+        rows,
+    )
+    return format_heading("Table 1 — comparison against the state-of-the-art") + "\n" + table
+
+
+def test_table1(benchmark):
+    text = benchmark(regenerate_table1)
+    write_artifact("table1_related_work", text)
+    assert "Our work" in text
+
+
+def test_our_system_is_actually_static_pareto_dvfs_ml():
+    """The four claimed capabilities are real properties of this repo."""
+    from repro.core.predictor import ParetoPredictor
+    from repro.features.extractor import FeatureExtractor
+    from repro.harness.context import quick_context
+    from repro.ml.svr import SVR
+
+    ctx = quick_context()
+    # Static: prediction consumes source text only — no execution involved.
+    assert isinstance(ctx.predictor, ParetoPredictor)
+    assert isinstance(FeatureExtractor().extract(
+        "__kernel void f(__global float* x) { x[0] = 1.0f; }"
+    ).values, tuple)
+    # ML: the two models are SVR instances (paper §3.4).
+    assert isinstance(ctx.models.speedup_model, SVR)
+    assert isinstance(ctx.models.energy_model, SVR)
+    # Frequency scaling + Pareto: the output is a Pareto set of clocks.
+    result = ctx.predictor.predict_from_source(
+        "__kernel void f(__global float* x) { x[0] = x[1] * 2.0f; }"
+    )
+    assert result.size >= 1
+    assert all(p.mem_mhz > 0 and p.core_mhz > 0 for p in result.front)

@@ -1,0 +1,88 @@
+"""§3.3 — measurement-campaign cost: sampled vs exhaustive sweeps.
+
+The paper motivates its 40-setting sample with wall-clock cost: "for a
+given micro-benchmark, it takes 20 minutes to test 40 frequency settings,
+70 minutes to test all the 174 frequency settings".  This bench regenerates
+that comparison from the measurement-protocol cost model and benchmarks the
+simulated equivalents.
+"""
+
+import pytest
+from _common import write_artifact
+
+from repro.core.config import exhaustive_settings, sample_training_settings
+from repro.gpusim.device import make_titan_x
+from repro.gpusim.executor import GPUSimulator
+from repro.harness.report import format_heading, format_table
+from repro.nvml.measurement import MeasurementCampaign
+from repro.synthetic import generate_micro_benchmarks
+
+
+def regenerate_training_cost() -> str:
+    device = make_titan_x()
+    campaign = MeasurementCampaign()
+    sampled = sample_training_settings(device)
+    exhaustive = exhaustive_settings(device)
+    rows = [
+        (
+            "sampled (paper: 40 → ~20 min)",
+            len(sampled),
+            f"{campaign.cost(len(sampled)).total_minutes:.0f} min",
+        ),
+        (
+            "exhaustive (paper: 174 → ~70 min)",
+            len(exhaustive),
+            f"{campaign.cost(len(exhaustive)).total_minutes:.0f} min",
+        ),
+        (
+            "full training campaign (106 codes x 40 settings)",
+            106 * len(sampled),
+            f"{campaign.cost(106 * len(sampled)).total_minutes / 60.0:.0f} h",
+        ),
+    ]
+    table = format_table(["campaign", "settings", "wall-clock"], rows)
+    return format_heading("§3.3 — measurement campaign cost") + "\n" + table
+
+
+def test_training_cost(benchmark):
+    text = benchmark(regenerate_training_cost)
+    write_artifact("training_cost", text)
+    assert "20 min" in text
+
+
+def test_sampled_sweep_simulated(benchmark):
+    """Benchmark the simulated 40-setting sweep of one micro-benchmark."""
+    device = make_titan_x()
+    sim = GPUSimulator(device)
+    spec = generate_micro_benchmarks()[0]
+    profile = spec.profile()
+    settings = sample_training_settings(device)
+
+    def sweep():
+        return [sim.run_at(profile, c, m) for c, m in settings]
+
+    records = benchmark(sweep)
+    assert len(records) == 40
+
+
+def test_exhaustive_sweep_simulated(benchmark):
+    device = make_titan_x()
+    sim = GPUSimulator(device)
+    spec = generate_micro_benchmarks()[0]
+    profile = spec.profile()
+    settings = exhaustive_settings(device)
+
+    def sweep():
+        return [sim.run_at(profile, c, m) for c, m in settings]
+
+    records = benchmark(sweep)
+    assert len(records) == len(settings)
+
+
+def test_exhaustive_costs_more_than_sampled():
+    device = make_titan_x()
+    campaign = MeasurementCampaign()
+    sampled_cost = campaign.cost(len(sample_training_settings(device)))
+    exhaustive_cost = campaign.cost(len(exhaustive_settings(device)))
+    assert exhaustive_cost.total_minutes > 2.0 * sampled_cost.total_minutes
+    assert sampled_cost.total_minutes == pytest.approx(20.0)

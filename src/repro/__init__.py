@@ -1,0 +1,50 @@
+"""repro — reproduction of *Predictable GPUs Frequency Scaling for Energy
+and Performance* (Fan, Cosenza, Juurlink — ICPP 2019).
+
+The package predicts Pareto-optimal (core, memory) frequency settings for
+an OpenCL kernel **without running it**, from static code features alone.
+Since no GPU is attached, measurements come from a DVFS-aware analytical
+simulator (:mod:`repro.gpusim`) behind an NVML-compatible facade
+(:mod:`repro.nvml`); see DESIGN.md for the substitution argument.
+
+Quick start::
+
+    from repro import ParetoPredictor, paper_context
+
+    ctx = paper_context()                   # trains the paper's models
+    result = ctx.predictor.predict_from_source(MY_KERNEL_SOURCE)
+    for p in result.front:
+        print(p.core_mhz, p.mem_mhz, p.speedup, p.norm_energy)
+"""
+
+from .core.pipeline import TrainedModels, train_from_specs, train_models
+from .core.predictor import ParetoPredictor, PredictedParetoSet, PredictedPoint
+from .features.extractor import extract_features
+from .gpusim.device import make_tesla_p100, make_titan_x
+from .gpusim.executor import GPUSimulator
+from .harness.context import paper_context, quick_context
+from .suite.registry import get_benchmark, test_benchmarks
+from .synthetic.generator import generate_micro_benchmarks
+from .workloads import KernelSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUSimulator",
+    "KernelSpec",
+    "ParetoPredictor",
+    "PredictedParetoSet",
+    "PredictedPoint",
+    "TrainedModels",
+    "__version__",
+    "extract_features",
+    "generate_micro_benchmarks",
+    "get_benchmark",
+    "make_tesla_p100",
+    "make_titan_x",
+    "paper_context",
+    "quick_context",
+    "test_benchmarks",
+    "train_from_specs",
+    "train_models",
+]

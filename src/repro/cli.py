@@ -1,0 +1,166 @@
+"""Command-line interface: ``repro-dvfs``.
+
+Subcommands:
+
+* ``features <kernel.cl>`` — extract and print the ten static features;
+* ``predict <kernel.cl>`` — train (cached per process) and print the
+  predicted Pareto set of frequency settings;
+* ``devices`` — list the simulated devices and their frequency menus;
+* ``characterize <benchmark>`` — sweep one of the twelve suite benchmarks
+  and print its per-domain speedup/energy series;
+* ``table2`` — regenerate the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    from .features import extract_features
+
+    source = pathlib.Path(args.kernel).read_text()
+    features = extract_features(source, kernel_name=args.name)
+    print(f"kernel: {features.kernel_name}")
+    print(f"total weighted instructions: {features.total_instructions:.1f}")
+    for name, value in features.as_dict().items():
+        print(f"  {name:<12} {value:7.4f}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .harness.context import paper_context, quick_context
+    from .harness.report import format_table
+
+    source = pathlib.Path(args.kernel).read_text()
+    ctx = quick_context() if args.quick else paper_context()
+    result = ctx.predictor.predict_from_source(source, kernel_name=args.name)
+    print(f"predicted Pareto set for {result.kernel!r}:")
+    rows = []
+    for p in result.front:
+        rows.append(
+            (
+                f"{p.core_mhz:.0f}",
+                f"{p.mem_mhz:.0f}",
+                f"{p.speedup:.3f}" if p.modeled else "-",
+                f"{p.norm_energy:.3f}" if p.modeled else "-",
+                "model" if p.modeled else "mem-L heuristic",
+            )
+        )
+    print(
+        format_table(
+            ["core MHz", "mem MHz", "pred speedup", "pred norm energy", "origin"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    from .gpusim.device import DEVICE_REGISTRY
+
+    for name, dev in sorted(DEVICE_REGISTRY.items()):
+        print(f"{name} (CC {dev.compute_capability})")
+        for domain in dev.domains:
+            real = domain.real_core_mhz
+            print(
+                f"  mem-{domain.label} {domain.mem_mhz:6.0f} MHz: "
+                f"{len(real)} real core clocks ({min(real):.0f}-{max(real):.0f})"
+            )
+        print(
+            f"  default: core {dev.default_core_mhz:.0f} / "
+            f"mem {dev.default_mem_mhz:.0f} MHz"
+        )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .harness.characterize import characterize_kernel
+    from .harness.context import paper_context, quick_context
+    from .suite import get_benchmark
+
+    ctx = quick_context() if args.quick else paper_context()
+    try:
+        spec = get_benchmark(args.benchmark)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    ch = characterize_kernel(ctx.sim, spec, ctx.settings)
+    print(f"{spec.name}: {ch.classify()}-dominated "
+          f"(memory sensitivity {ch.mem_sensitivity():.2f})")
+    for label in sorted(ch.series, key=lambda l: -ch.series[l].mem_mhz):
+        series = ch.series[label]
+        print(f"\nmem-{label} ({series.mem_mhz:.0f} MHz):")
+        for core, speedup, energy in series.rows():
+            print(f"  core {core:6.0f} MHz  speedup {speedup:6.3f}  "
+                  f"norm energy {energy:6.3f}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .harness.context import paper_context, quick_context
+    from .harness.evaluation import evaluate_suite
+    from .harness.report import format_table
+    from .suite import test_benchmarks
+
+    ctx = quick_context() if args.quick else paper_context()
+    evals = evaluate_suite(ctx.sim, ctx.predictor, test_benchmarks(), ctx.settings)
+    rows = [ev.table_row() for ev in evals]
+    print(
+        format_table(
+            ["Benchmark", "D(P*,P')", "|P'|", "|P*|", "max speedup Δ", "min energy Δ"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dvfs",
+        description=(
+            "Predictable GPU frequency scaling (ICPP'19 reproduction): "
+            "predict Pareto-optimal (core, memory) clocks for OpenCL kernels."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_feat = sub.add_parser("features", help="extract static code features")
+    p_feat.add_argument("kernel", help="path to an OpenCL .cl source file")
+    p_feat.add_argument("--name", help="kernel function name (if several)")
+    p_feat.set_defaults(func=_cmd_features)
+
+    p_pred = sub.add_parser("predict", help="predict Pareto-optimal clocks")
+    p_pred.add_argument("kernel", help="path to an OpenCL .cl source file")
+    p_pred.add_argument("--name", help="kernel function name (if several)")
+    p_pred.add_argument(
+        "--quick", action="store_true",
+        help="use the reduced training setup (faster, less accurate)",
+    )
+    p_pred.set_defaults(func=_cmd_predict)
+
+    p_dev = sub.add_parser("devices", help="list simulated devices")
+    p_dev.set_defaults(func=_cmd_devices)
+
+    p_char = sub.add_parser("characterize", help="sweep a suite benchmark")
+    p_char.add_argument("benchmark", help="benchmark name, e.g. k-NN or MT")
+    p_char.add_argument("--quick", action="store_true")
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    p_t2.add_argument("--quick", action="store_true")
+    p_t2.set_defaults(func=_cmd_table2)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

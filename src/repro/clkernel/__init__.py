@@ -1,0 +1,68 @@
+"""OpenCL C subset frontend: lexer, parser, AST and counted IR.
+
+This package is the reproduction's substitute for Clang+LLVM in the paper's
+tool-chain: kernel source text goes in, a counted intermediate representation
+comes out, and :mod:`repro.features` runs the paper's ten-feature counting
+pass over it.
+
+Typical use::
+
+    from repro.clkernel import lower_source
+
+    ir = lower_source(KNN_SOURCE)
+    counts = ir.feature_counts()
+"""
+
+from .ast_nodes import (
+    AddressSpace,
+    CLType,
+    FunctionDef,
+    ScalarKind,
+    TranslationUnit,
+)
+from .errors import (
+    CLFrontendError,
+    CLLexError,
+    CLLoweringError,
+    CLParseError,
+    CLTypeError,
+)
+from .ir import ALL_OPS, AUX_OPS, FEATURE_OPS, IROp, IRRegion, KernelIR
+from .lexer import Lexer, Token, TokKind, tokenize
+from .lowering import (
+    DEFAULT_BRANCH_PROBABILITY,
+    DEFAULT_UNKNOWN_TRIP_COUNT,
+    Lowerer,
+    lower_source,
+)
+from .parser import Parser, parse, parse_kernel
+
+__all__ = [
+    "ALL_OPS",
+    "AUX_OPS",
+    "AddressSpace",
+    "CLFrontendError",
+    "CLLexError",
+    "CLLoweringError",
+    "CLParseError",
+    "CLType",
+    "CLTypeError",
+    "DEFAULT_BRANCH_PROBABILITY",
+    "DEFAULT_UNKNOWN_TRIP_COUNT",
+    "FEATURE_OPS",
+    "FunctionDef",
+    "IROp",
+    "IRRegion",
+    "KernelIR",
+    "Lexer",
+    "Lowerer",
+    "Parser",
+    "ScalarKind",
+    "TokKind",
+    "Token",
+    "TranslationUnit",
+    "lower_source",
+    "parse",
+    "parse_kernel",
+    "tokenize",
+]

@@ -1,0 +1,301 @@
+"""Tokenizer for the OpenCL C subset used by the reproduction.
+
+The paper extracts static features with an LLVM pass over the kernel's
+intermediate representation.  We reproduce the same pipeline in pure Python:
+this module turns OpenCL C source text into a token stream that the
+recursive-descent parser (:mod:`repro.clkernel.parser`) consumes.
+
+The subset covers everything the 12 test benchmarks and the 106 synthetic
+micro-benchmarks need: address-space qualifiers, scalar and small vector
+types, control flow, the usual C operator zoo, integer/float literals with
+suffixes, line and block comments, and preprocessor-style `#define`-free
+sources (the suite kernels are self-contained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from .errors import CLLexError
+
+
+class TokKind(Enum):
+    """Token categories produced by :class:`Lexer`."""
+
+    IDENT = auto()
+    KEYWORD = auto()
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: Reserved words of the subset.  Address-space and access qualifiers are
+#: keywords so the parser can treat them as declaration specifiers.
+KEYWORDS = frozenset(
+    {
+        "__kernel",
+        "kernel",
+        "__global",
+        "global",
+        "__local",
+        "local",
+        "__constant",
+        "constant",
+        "__private",
+        "private",
+        "__read_only",
+        "__write_only",
+        "const",
+        "restrict",
+        "volatile",
+        "void",
+        "bool",
+        "char",
+        "uchar",
+        "short",
+        "ushort",
+        "int",
+        "uint",
+        "long",
+        "ulong",
+        "float",
+        "double",
+        "half",
+        "size_t",
+        "ptrdiff_t",
+        "float2",
+        "float3",
+        "float4",
+        "float8",
+        "float16",
+        "int2",
+        "int3",
+        "int4",
+        "int8",
+        "int16",
+        "uint2",
+        "uint4",
+        "uchar4",
+        "double2",
+        "double4",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "barrier",
+        "struct",
+        "typedef",
+        "unsigned",
+        "signed",
+        "inline",
+        "static",
+    }
+)
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_PUNCT3 = ("<<=", ">>=", "...")
+_PUNCT2 = (
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "->",
+)
+_PUNCT1 = "+-*/%<>=!&|^~?:;,.()[]{}#"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based line/col)."""
+
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    """Hand-written maximal-munch tokenizer.
+
+    Usage::
+
+        tokens = Lexer(source).tokenize()
+
+    The returned list always ends with a single ``EOF`` token, which keeps
+    the parser free of bounds checks.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor helpers ------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.src[idx] if idx < len(self.src) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.src):
+                return
+            if self.src[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _error(self, message: str) -> CLLexError:
+        return CLLexError(message, self.line, self.col)
+
+    # -- skipping ----------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; raise on unterminated block comment."""
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.src):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise CLLexError("unterminated block comment", start_line, start_col)
+            else:
+                return
+
+    # -- literal scanning ----------------------------------------------------
+
+    def _scan_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        is_float = False
+
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            if not self._peek().isalnum():
+                raise self._error("malformed hex literal")
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1) != ".":
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            exp_head = self._peek()
+            exp_next = self._peek(1)
+            if exp_head in ("e", "E") and (
+                exp_next.isdigit()
+                or (exp_next in ("+", "-") and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in ("+", "-"):
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+
+        # Suffixes: f/F marks float; u/U, l/L are integer suffixes.
+        if self._peek() in ("f", "F"):
+            is_float = True
+            self._advance()
+        else:
+            while self._peek() in ("u", "U", "l", "L"):
+                self._advance()
+
+        text = self.src[start : self.pos]
+        kind = TokKind.FLOAT_LIT if is_float else TokKind.INT_LIT
+        return Token(kind, text, line, col)
+
+    def _scan_word(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _scan_punct(self) -> Token:
+        line, col = self.line, self.col
+        rest = self.src[self.pos : self.pos + 3]
+        for group in (_PUNCT3, _PUNCT2):
+            for p in group:
+                if rest.startswith(p):
+                    self._advance(len(p))
+                    return Token(TokKind.PUNCT, p, line, col)
+        ch = self._peek()
+        if ch in _PUNCT1:
+            self._advance()
+            return Token(TokKind.PUNCT, ch, line, col)
+        raise self._error(f"unexpected character {ch!r}")
+
+    # -- public API ----------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens one at a time, ending with EOF."""
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.src):
+                yield Token(TokKind.EOF, "", self.line, self.col)
+                return
+            ch = self._peek()
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._scan_number()
+            elif ch.isalpha() or ch == "_":
+                yield self._scan_word()
+            else:
+                yield self._scan_punct()
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole source into a list (always EOF-terminated)."""
+        return list(self.tokens())
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` with a fresh :class:`Lexer`."""
+    return Lexer(source).tokenize()

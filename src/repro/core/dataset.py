@@ -1,0 +1,149 @@
+"""Training/evaluation dataset assembly (Fig. 2 steps 1–4).
+
+For every kernel spec × frequency setting we record the measured speedup
+and normalized energy over that kernel's *default-configuration* baseline,
+together with the combined feature vector ``w = (k, f)``.  The resulting
+matrix is what the two regressors train on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..features.vector import StaticFeatures, build_design_matrix
+from ..gpusim.executor import ExecutionRecord, GPUSimulator
+from ..workloads import KernelSpec
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One kernel execution: configuration + measured objectives."""
+
+    kernel: str
+    core_mhz: float
+    mem_mhz: float
+    speedup: float
+    norm_energy: float
+    time_ms: float
+    energy_j: float
+
+    @property
+    def config(self) -> tuple[float, float]:
+        return (self.core_mhz, self.mem_mhz)
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        return (self.speedup, self.norm_energy)
+
+
+@dataclass
+class KernelMeasurements:
+    """All measurements of one kernel, with its baseline."""
+
+    spec: KernelSpec
+    baseline: ExecutionRecord
+    points: list[MeasuredPoint] = field(default_factory=list)
+
+    def by_mem(self, mem_mhz: float) -> list[MeasuredPoint]:
+        return [p for p in self.points if p.mem_mhz == mem_mhz]
+
+    def objective_points(self) -> list[tuple[float, float]]:
+        return [p.objectives for p in self.points]
+
+
+def measure_kernel(
+    sim: GPUSimulator,
+    spec: KernelSpec,
+    settings: list[tuple[float, float]],
+) -> KernelMeasurements:
+    """Run ``spec`` at the default config (baseline) and every setting."""
+    profile = spec.profile()
+    baseline = sim.run_default(profile)
+    out = KernelMeasurements(spec=spec, baseline=baseline)
+    for core, mem in settings:
+        record = sim.run_at(profile, core, mem)
+        out.points.append(
+            MeasuredPoint(
+                kernel=spec.name,
+                core_mhz=core,
+                mem_mhz=mem,
+                speedup=baseline.time_ms / record.time_ms,
+                norm_energy=record.energy_j / baseline.energy_j,
+                time_ms=record.time_ms,
+                energy_j=record.energy_j,
+            )
+        )
+    return out
+
+
+@dataclass
+class TrainingDataset:
+    """Design matrix + targets + group labels for the two regressors."""
+
+    x: np.ndarray
+    y_speedup: np.ndarray
+    y_energy: np.ndarray
+    groups: list[str]
+    static_features: dict[str, StaticFeatures]
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.static_features)
+
+    def subset(self, mask: np.ndarray) -> "TrainingDataset":
+        idx = np.flatnonzero(mask)
+        return TrainingDataset(
+            x=self.x[idx],
+            y_speedup=self.y_speedup[idx],
+            y_energy=self.y_energy[idx],
+            groups=[self.groups[i] for i in idx],
+            static_features=self.static_features,
+        )
+
+
+def build_training_dataset(
+    sim: GPUSimulator,
+    specs: list[KernelSpec],
+    settings: list[tuple[float, float]],
+    interactions: bool = True,
+) -> TrainingDataset:
+    """Measure every spec at every setting and assemble the matrices.
+
+    Mirrors Fig. 2: features extracted once per code (step 2), each code
+    executed under the sampled settings (step 3), measurements normalized
+    against the code's default-configuration baseline (step 4).
+    """
+    if not specs:
+        raise ValueError("need at least one training spec")
+    if not settings:
+        raise ValueError("need at least one frequency setting")
+
+    blocks: list[np.ndarray] = []
+    speedups: list[float] = []
+    energies: list[float] = []
+    groups: list[str] = []
+    feats: dict[str, StaticFeatures] = {}
+
+    for spec in specs:
+        static = spec.static_features()
+        feats[spec.name] = static
+        measurements = measure_kernel(sim, spec, settings)
+        blocks.append(build_design_matrix(static, settings, interactions=interactions))
+        for point in measurements.points:
+            speedups.append(point.speedup)
+            energies.append(point.norm_energy)
+            groups.append(spec.name)
+
+    return TrainingDataset(
+        x=np.vstack(blocks),
+        y_speedup=np.asarray(speedups),
+        y_energy=np.asarray(energies),
+        groups=groups,
+        static_features=feats,
+    )

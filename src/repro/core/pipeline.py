@@ -1,0 +1,109 @@
+"""The two-phase modeling pipeline (paper Fig. 2 / Fig. 3).
+
+Training phase: extract features from the micro-benchmarks, execute them at
+the sampled frequency settings, normalize features, fit the speedup model
+(linear SVR) and the normalized-energy model (RBF SVR).
+
+Prediction phase: extract features from a *new* code, combine with every
+candidate frequency configuration, run both models, and hand the point
+cloud to the Pareto stage (:mod:`repro.core.predictor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..features.vector import StaticFeatures, build_design_matrix
+from ..gpusim.executor import GPUSimulator
+from ..ml.model_select import Regressor
+from ..ml.scaling import StandardScaler
+from ..ml.svr import make_energy_svr, make_speedup_svr
+from ..workloads import KernelSpec
+from .config import sample_training_settings
+from .dataset import TrainingDataset, build_training_dataset
+
+
+@dataclass
+class TrainedModels:
+    """The fitted pair of single-objective models plus the shared scaler."""
+
+    scaler: StandardScaler
+    speedup_model: Regressor
+    energy_model: Regressor
+    settings: list[tuple[float, float]]
+    n_training_samples: int
+    #: Whether the design matrix includes the multiplicative combination
+    #: columns (see :mod:`repro.features.vector`); must match training.
+    interactions: bool = True
+
+    def predict_speedup(self, x: np.ndarray) -> np.ndarray:
+        return self.speedup_model.predict(self.scaler.transform(x))
+
+    def predict_energy(self, x: np.ndarray) -> np.ndarray:
+        return self.energy_model.predict(self.scaler.transform(x))
+
+    def predict_objectives(
+        self,
+        static: StaticFeatures,
+        configs: list[tuple[float, float]],
+    ) -> list[tuple[float, float]]:
+        """Predicted (speedup, norm. energy) for one kernel at many configs."""
+        x = build_design_matrix(static, configs, interactions=self.interactions)
+        speedups = self.predict_speedup(x)
+        energies = self.predict_energy(x)
+        return list(zip(speedups.tolist(), energies.tolist()))
+
+
+def train_models(
+    dataset: TrainingDataset,
+    make_speedup: Callable[[], Regressor] | None = None,
+    make_energy: Callable[[], Regressor] | None = None,
+    settings: list[tuple[float, float]] | None = None,
+    interactions: bool = True,
+) -> TrainedModels:
+    """Fit both models on an assembled dataset (Fig. 2 steps 5–6)."""
+    scaler = StandardScaler().fit(dataset.x)
+    x_scaled = scaler.transform(dataset.x)
+
+    speedup_model = (make_speedup or make_speedup_svr)()
+    energy_model = (make_energy or make_energy_svr)()
+    speedup_model.fit(x_scaled, dataset.y_speedup)
+    energy_model.fit(x_scaled, dataset.y_energy)
+
+    return TrainedModels(
+        scaler=scaler,
+        speedup_model=speedup_model,
+        energy_model=energy_model,
+        settings=settings or [],
+        n_training_samples=dataset.n_samples,
+        interactions=interactions,
+    )
+
+
+def train_from_specs(
+    sim: GPUSimulator,
+    specs: list[KernelSpec],
+    settings: list[tuple[float, float]] | None = None,
+    make_speedup: Callable[[], Regressor] | None = None,
+    make_energy: Callable[[], Regressor] | None = None,
+    interactions: bool = True,
+) -> tuple[TrainedModels, TrainingDataset]:
+    """End-to-end training phase: measure, assemble, fit.
+
+    With paper-default arguments this is: 106 micro-benchmarks × 40 sampled
+    settings = 4240 training samples, linear-SVR speedup model and RBF-SVR
+    energy model.
+    """
+    chosen = settings if settings is not None else sample_training_settings(sim.device)
+    dataset = build_training_dataset(sim, specs, chosen, interactions=interactions)
+    models = train_models(
+        dataset,
+        make_speedup=make_speedup,
+        make_energy=make_energy,
+        settings=chosen,
+        interactions=interactions,
+    )
+    return models, dataset

@@ -1,0 +1,138 @@
+"""The multi-objective Pareto predictor (paper Fig. 3 steps 5–9 and §4.5).
+
+Given trained single-objective models and a *new* kernel, the predictor:
+
+1. extracts the kernel's static features,
+2. forms feature vectors for every candidate frequency configuration
+   (real settings of mem-l/h/H — mem-L is excluded from modeling),
+3. predicts speedup and normalized energy for each,
+4. runs Algorithm 1 over the predicted point cloud to get the predicted
+   Pareto set of configurations, and
+5. applies the paper's **mem-L heuristic**: always append the last
+   (highest-core) mem-L configuration to the predicted set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..features.extractor import FeatureExtractor
+from ..features.vector import StaticFeatures
+from ..gpusim.device import DeviceSpec
+from ..pareto.algorithms import pareto_set_simple
+from ..workloads import KernelSpec
+from .config import mem_l_heuristic_config, prediction_candidates
+from .pipeline import TrainedModels
+
+
+@dataclass(frozen=True)
+class PredictedPoint:
+    """One candidate configuration with its predicted objectives.
+
+    ``modeled`` is False for the mem-L heuristic point, which is selected
+    by rule rather than by the regressors (its predicted objectives are
+    unavailable; evaluation uses its measured objectives instead).
+    """
+
+    core_mhz: float
+    mem_mhz: float
+    speedup: float
+    norm_energy: float
+    modeled: bool = True
+
+    @property
+    def config(self) -> tuple[float, float]:
+        return (self.core_mhz, self.mem_mhz)
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        return (self.speedup, self.norm_energy)
+
+
+@dataclass
+class PredictedParetoSet:
+    """The predictor's output: the predicted front plus all predictions."""
+
+    kernel: str
+    front: list[PredictedPoint]
+    all_points: list[PredictedPoint] = field(default_factory=list)
+
+    @property
+    def configs(self) -> list[tuple[float, float]]:
+        return [p.config for p in self.front]
+
+    @property
+    def size(self) -> int:
+        return len(self.front)
+
+    def modeled_front(self) -> list[PredictedPoint]:
+        return [p for p in self.front if p.modeled]
+
+    def heuristic_points(self) -> list[PredictedPoint]:
+        return [p for p in self.front if not p.modeled]
+
+
+class ParetoPredictor:
+    """Predicts Pareto-optimal frequency settings for unseen kernels."""
+
+    def __init__(
+        self,
+        models: TrainedModels,
+        device: DeviceSpec,
+        use_mem_l_heuristic: bool = True,
+        candidates: list[tuple[float, float]] | None = None,
+    ) -> None:
+        self.models = models
+        self.device = device
+        self.use_mem_l_heuristic = use_mem_l_heuristic
+        self.candidates = candidates or prediction_candidates(device)
+        self._extractor = FeatureExtractor()
+
+    # -- feature entry points ------------------------------------------------
+
+    def predict_from_source(
+        self, source: str, kernel_name: str | None = None
+    ) -> PredictedParetoSet:
+        static = self._extractor.extract(source, kernel_name)
+        return self.predict_from_features(static)
+
+    def predict_for_spec(self, spec: KernelSpec) -> PredictedParetoSet:
+        return self.predict_from_features(spec.static_features())
+
+    # -- the prediction phase ---------------------------------------------------
+
+    def predict_from_features(self, static: StaticFeatures) -> PredictedParetoSet:
+        objectives = self.models.predict_objectives(static, self.candidates)
+        all_points = [
+            PredictedPoint(
+                core_mhz=core,
+                mem_mhz=mem,
+                speedup=s,
+                norm_energy=e,
+            )
+            for (core, mem), (s, e) in zip(self.candidates, objectives)
+        ]
+
+        front_idx = pareto_set_simple([p.objectives for p in all_points])
+        front = [all_points[i] for i in front_idx]
+
+        if self.use_mem_l_heuristic:
+            heuristic = mem_l_heuristic_config(self.device)
+            if heuristic is not None and heuristic not in {p.config for p in front}:
+                # The heuristic point is appended with NaN-free placeholder
+                # objectives at the front's conservative corner; it is a
+                # *configuration* recommendation, not a model output.
+                front.append(
+                    PredictedPoint(
+                        core_mhz=heuristic[0],
+                        mem_mhz=heuristic[1],
+                        speedup=min(p.speedup for p in front),
+                        norm_energy=min(p.norm_energy for p in front),
+                        modeled=False,
+                    )
+                )
+
+        front.sort(key=lambda p: (p.speedup, p.norm_energy))
+        return PredictedParetoSet(
+            kernel=static.kernel_name, front=front, all_points=all_points
+        )

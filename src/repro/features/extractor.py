@@ -1,0 +1,80 @@
+"""Static feature extraction: source text → :class:`StaticFeatures`.
+
+This is the user-facing wrapper around the clkernel frontend.  It mirrors
+step (2) of the paper's training and prediction phases (Fig. 2 / Fig. 3):
+"Extract code features".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clkernel.ir import KernelIR
+from ..clkernel.lowering import (
+    DEFAULT_BRANCH_PROBABILITY,
+    DEFAULT_UNKNOWN_TRIP_COUNT,
+    lower_source,
+)
+from .vector import StaticFeatures
+
+
+@dataclass(frozen=True)
+class ExtractorConfig:
+    """Tunable knobs of the extraction pass (each is ablated in DESIGN.md).
+
+    Attributes
+    ----------
+    default_trip_count:
+        Iteration weight for loops whose bounds are not statically known.
+    branch_probability:
+        Static probability assigned to conditionally executed regions.
+    normalize:
+        If False, raw weighted counts are used instead of shares (ablation
+        of the paper's §3.2 normalization step).
+    """
+
+    default_trip_count: int = DEFAULT_UNKNOWN_TRIP_COUNT
+    branch_probability: float = DEFAULT_BRANCH_PROBABILITY
+    normalize: bool = True
+
+
+class FeatureExtractor:
+    """Extracts the paper's ten static features from kernel source text."""
+
+    def __init__(self, config: ExtractorConfig | None = None) -> None:
+        self.config = config or ExtractorConfig()
+
+    def extract_from_ir(self, ir: KernelIR) -> StaticFeatures:
+        counts = ir.feature_counts(self.config.default_trip_count)
+        feats = StaticFeatures.from_counts(counts, kernel_name=ir.name)
+        if self.config.normalize:
+            return feats
+        # Raw-count ablation: keep absolute counts as the vector values.
+        return StaticFeatures(
+            values=feats.raw_counts,
+            kernel_name=ir.name,
+            total_instructions=feats.total_instructions,
+            raw_counts=feats.raw_counts,
+        )
+
+    def extract(self, source: str, kernel_name: str | None = None) -> StaticFeatures:
+        """Parse + lower ``source`` and count features of its kernel."""
+        ir = lower_source(
+            source,
+            kernel_name=kernel_name,
+            branch_probability=self.config.branch_probability,
+        )
+        return self.extract_from_ir(ir)
+
+    def lower(self, source: str, kernel_name: str | None = None) -> KernelIR:
+        """Expose the lowered IR (used by the GPU simulator's profiler)."""
+        return lower_source(
+            source,
+            kernel_name=kernel_name,
+            branch_probability=self.config.branch_probability,
+        )
+
+
+def extract_features(source: str, kernel_name: str | None = None) -> StaticFeatures:
+    """One-shot convenience: extract features with the default config."""
+    return FeatureExtractor().extract(source, kernel_name)

@@ -1,0 +1,196 @@
+"""Feature vector representation (paper §3.2).
+
+A kernel is represented by the static feature vector::
+
+    k = (k_int_add, k_int_mul, k_int_div, k_int_bw,
+         k_float_add, k_float_mul, k_float_div, k_sf,
+         k_gl_access, k_loc_access)
+
+with each component *normalized over the total number of instructions*, so
+codes with the same arithmetic intensity but different total sizes share a
+representation.  A kernel execution is ``w = (k, f)`` where the frequency
+pair ``f = (f_core, f_mem)`` is linearly mapped to [0, 1] over the device's
+frequency intervals ([135, 1189] core and [405, 3505] memory on Titan X —
+the paper's mapping bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clkernel.ir import FEATURE_OPS
+
+#: Human-readable names of the ten static components, in vector order.
+STATIC_FEATURE_NAMES: tuple[str, ...] = FEATURE_OPS
+
+#: Names of the two frequency components appended for a kernel *execution*.
+FREQUENCY_FEATURE_NAMES: tuple[str, ...] = ("f_core", "f_mem")
+
+#: Interaction columns: every static share multiplied by each frequency.
+#: Fig. 3 step (3) says the static features and the frequency configuration
+#: are "combined together to form a set of feature vectors"; following the
+#: modular component decomposition the features are designed around
+#: (Guerreiro et al. [11]: per-component utilization × frequency response),
+#: the combination is multiplicative.  These products are what allow the
+#: *linear*-kernel speedup SVR to express kernel-dependent frequency
+#: slopes — without them a linear model can only fit one global slope.
+INTERACTION_FEATURE_NAMES: tuple[str, ...] = tuple(
+    f"{k}*{f}" for f in FREQUENCY_FEATURE_NAMES for k in STATIC_FEATURE_NAMES
+)
+
+#: Full 32-component layout used by the models.
+FULL_FEATURE_NAMES: tuple[str, ...] = (
+    STATIC_FEATURE_NAMES + FREQUENCY_FEATURE_NAMES + INTERACTION_FEATURE_NAMES
+)
+
+#: 12-component layout for the no-interactions ablation (plain concatenation).
+CONCAT_FEATURE_NAMES: tuple[str, ...] = STATIC_FEATURE_NAMES + FREQUENCY_FEATURE_NAMES
+
+#: Paper's normalization intervals for the frequency features (Titan X, MHz).
+CORE_FREQ_INTERVAL: tuple[float, float] = (135.0, 1189.0)
+MEM_FREQ_INTERVAL: tuple[float, float] = (405.0, 3505.0)
+
+
+@dataclass(frozen=True)
+class StaticFeatures:
+    """The ten normalized static code features of one kernel."""
+
+    values: tuple[float, ...]
+    kernel_name: str = ""
+    total_instructions: float = 0.0
+    raw_counts: tuple[float, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(STATIC_FEATURE_NAMES):
+            raise ValueError(
+                f"expected {len(STATIC_FEATURE_NAMES)} features, got {len(self.values)}"
+            )
+
+    @classmethod
+    def from_counts(
+        cls, counts: dict[str, float], kernel_name: str = ""
+    ) -> "StaticFeatures":
+        """Build normalized features from weighted instruction counts.
+
+        Normalization divides each class count by the total count (paper
+        §3.2).  An all-zero kernel maps to the zero vector.
+        """
+        raw = tuple(float(counts.get(op, 0.0)) for op in STATIC_FEATURE_NAMES)
+        total = sum(raw)
+        if total > 0:
+            values = tuple(c / total for c in raw)
+        else:
+            values = tuple(0.0 for _ in raw)
+        return cls(
+            values=values,
+            kernel_name=kernel_name,
+            total_instructions=total,
+            raw_counts=raw,
+        )
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=np.float64)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(STATIC_FEATURE_NAMES, self.values))
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            idx = STATIC_FEATURE_NAMES.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        return self.values[idx]
+
+    @property
+    def memory_share(self) -> float:
+        """Fraction of instructions that touch memory (global + local)."""
+        return self["gl_access"] + self["loc_access"]
+
+    @property
+    def compute_share(self) -> float:
+        """Fraction of instructions that are arithmetic (incl. SF)."""
+        return 1.0 - self.memory_share if self.total_instructions else 0.0
+
+    def describe(self) -> str:
+        parts = [f"{n}={v:.3f}" for n, v in zip(STATIC_FEATURE_NAMES, self.values)]
+        name = self.kernel_name or "<kernel>"
+        return f"{name}: " + ", ".join(parts)
+
+
+def normalize_frequency(
+    f_core: float,
+    f_mem: float,
+    core_interval: tuple[float, float] = CORE_FREQ_INTERVAL,
+    mem_interval: tuple[float, float] = MEM_FREQ_INTERVAL,
+) -> tuple[float, float]:
+    """Linearly map a frequency pair (MHz) into [0, 1]² (paper §3.2)."""
+    core_lo, core_hi = core_interval
+    mem_lo, mem_hi = mem_interval
+    if core_hi <= core_lo or mem_hi <= mem_lo:
+        raise ValueError("frequency intervals must be non-degenerate")
+    fc = (f_core - core_lo) / (core_hi - core_lo)
+    fm = (f_mem - mem_lo) / (mem_hi - mem_lo)
+    return (fc, fm)
+
+
+@dataclass(frozen=True)
+class ExecutionFeatures:
+    """``w = (k, f)`` — a kernel paired with one frequency setting."""
+
+    static: StaticFeatures
+    f_core_mhz: float
+    f_mem_mhz: float
+    core_interval: tuple[float, float] = CORE_FREQ_INTERVAL
+    mem_interval: tuple[float, float] = MEM_FREQ_INTERVAL
+    interactions: bool = True
+
+    def as_array(self) -> np.ndarray:
+        return build_design_matrix(
+            self.static,
+            [(self.f_core_mhz, self.f_mem_mhz)],
+            self.core_interval,
+            self.mem_interval,
+            interactions=self.interactions,
+        )[0]
+
+
+def build_design_matrix(
+    static: StaticFeatures,
+    settings: list[tuple[float, float]],
+    core_interval: tuple[float, float] = CORE_FREQ_INTERVAL,
+    mem_interval: tuple[float, float] = MEM_FREQ_INTERVAL,
+    interactions: bool = True,
+) -> np.ndarray:
+    """Stack combined feature rows for one kernel across frequency settings.
+
+    Parameters
+    ----------
+    static:
+        The kernel's static features.
+    settings:
+        Sequence of ``(f_core_mhz, f_mem_mhz)`` pairs.
+    interactions:
+        When True (default), append the multiplicative combination columns
+        ``k_i·f_core`` and ``k_i·f_mem`` (see INTERACTION_FEATURE_NAMES);
+        False gives the 12-column plain concatenation (ablation).
+
+    Returns
+    -------
+    ndarray of shape ``(len(settings), 32)`` — or ``(len(settings), 12)``
+    when ``interactions=False``.
+    """
+    base = static.as_array()
+    d_static = len(STATIC_FEATURE_NAMES)
+    width = len(FULL_FEATURE_NAMES) if interactions else len(CONCAT_FEATURE_NAMES)
+    rows = np.empty((len(settings), width), dtype=np.float64)
+    for i, (fc_mhz, fm_mhz) in enumerate(settings):
+        fc, fm = normalize_frequency(fc_mhz, fm_mhz, core_interval, mem_interval)
+        rows[i, :d_static] = base
+        rows[i, d_static] = fc
+        rows[i, d_static + 1] = fm
+        if interactions:
+            rows[i, d_static + 2 : 2 * d_static + 2] = base * fc
+            rows[i, 2 * d_static + 2 :] = base * fm
+    return rows

@@ -1,0 +1,169 @@
+"""The GPU simulator facade: set clocks, run kernels, read measurements.
+
+:class:`GPUSimulator` glues the device tables, performance model, power
+model, noise source and the 62.5 Hz sampling pipeline into one object with
+the semantics of a real DVFS-managed GPU:
+
+* application clocks are *requested*; the effective core clock obeys the
+  device's clamping rule (Fig. 4a's gray points);
+* timing/power readings include deterministic per-configuration noise;
+* energy is produced by the paper's measurement protocol — repeat the kernel
+  until the window holds enough 62.5 Hz samples, then mean-power × time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec, make_titan_x
+from .noise import MeasurementNoise, NoiseConfig
+from .perf_model import PerformanceModel, PhaseBreakdown
+from .power_model import PowerBreakdown, PowerModel
+from .profile import WorkloadProfile
+from .sampler import PowerSampler
+
+#: Minimum sample count the measurement protocol insists on (paper §4.1
+#: repeats applications "multiple times" for statistical consistency).
+MIN_POWER_SAMPLES = 24
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One measured kernel execution at one frequency configuration."""
+
+    kernel: str
+    requested_core_mhz: float
+    effective_core_mhz: float
+    mem_mhz: float
+    time_ms: float
+    power_w: float
+    energy_j: float
+    repeats: int
+    n_power_samples: int
+    phases: PhaseBreakdown
+    power_parts: PowerBreakdown
+
+    @property
+    def config(self) -> tuple[float, float]:
+        """The *requested* configuration (what a tuner would record)."""
+        return (self.requested_core_mhz, self.mem_mhz)
+
+
+class ClockError(ValueError):
+    """Raised when a requested clock pair is not reported as supported."""
+
+
+class GPUSimulator:
+    """A DVFS-capable GPU you can set clocks on and run kernels against."""
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        noise: NoiseConfig | None = None,
+        idle_power_w: float = 15.0,
+    ) -> None:
+        self.device = device or make_titan_x()
+        self.perf = PerformanceModel(self.device)
+        self.power = PowerModel(self.device)
+        self.noise = MeasurementNoise(noise)
+        self.sampler = PowerSampler()
+        self.idle_power_w = idle_power_w
+        self._core_mhz, self._mem_mhz = self.device.default_config
+
+    # -- clock management -------------------------------------------------------
+
+    @property
+    def clocks(self) -> tuple[float, float]:
+        """Currently requested (core, mem) clocks in MHz."""
+        return (self._core_mhz, self._mem_mhz)
+
+    @property
+    def effective_core_mhz(self) -> float:
+        """The core clock actually applied (clamping rule)."""
+        domain = self.device.domain(self._mem_mhz)
+        return domain.effective_core(self._core_mhz)
+
+    def set_clocks(self, core_mhz: float, mem_mhz: float) -> None:
+        """Request application clocks; validates against the reported menus."""
+        domain = self.device.domain(mem_mhz)  # KeyError on bad mem clock
+        if not domain.supports_reported(core_mhz):
+            raise ClockError(
+                f"core clock {core_mhz} MHz not in the reported menu for "
+                f"mem {mem_mhz} MHz on {self.device.name}"
+            )
+        self._core_mhz = core_mhz
+        self._mem_mhz = mem_mhz
+
+    def reset_clocks(self) -> None:
+        self._core_mhz, self._mem_mhz = self.device.default_config
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, profile: WorkloadProfile) -> ExecutionRecord:
+        """Run a kernel at the current clocks with the measurement protocol."""
+        return self.run_at(profile, self._core_mhz, self._mem_mhz)
+
+    def run_at(
+        self, profile: WorkloadProfile, core_mhz: float, mem_mhz: float
+    ) -> ExecutionRecord:
+        """Run a kernel at an explicit configuration (must be reported)."""
+        domain = self.device.domain(mem_mhz)
+        if not domain.supports_reported(core_mhz):
+            raise ClockError(
+                f"core clock {core_mhz} MHz not in the reported menu for "
+                f"mem {mem_mhz} MHz on {self.device.name}"
+            )
+        effective = domain.effective_core(core_mhz)
+
+        phases = self.perf.execute(profile, effective, mem_mhz)
+        parts = self.power.power(profile, effective, mem_mhz, phases)
+
+        mem_rel = mem_mhz / self.device.max_mem_mhz
+        t_factor, p_factor = self.noise.factors(
+            self.device.name, profile.name, effective, mem_mhz, mem_rel
+        )
+        true_time_s = phases.t_total_s * t_factor
+        true_power_w = parts.total_w * p_factor
+
+        # Measurement protocol: repeat until the window has enough samples.
+        repeats = self.sampler.repeats_for_min_samples(true_time_s, MIN_POWER_SAMPLES)
+        window_s = true_time_s * repeats
+        jitter = self.noise.sample_jitter(
+            self.device.name, profile.name, effective, mem_mhz,
+            self.sampler.sample_count(window_s),
+        )
+        trace = self.sampler.trace(
+            true_power_w, window_s, jitter=jitter, idle_power_w=self.idle_power_w
+        )
+        energy_per_run_j = trace.energy_j / repeats
+
+        return ExecutionRecord(
+            kernel=profile.name,
+            requested_core_mhz=core_mhz,
+            effective_core_mhz=effective,
+            mem_mhz=mem_mhz,
+            time_ms=true_time_s * 1e3,
+            power_w=trace.mean_power_w,
+            energy_j=energy_per_run_j,
+            repeats=repeats,
+            n_power_samples=trace.n_samples,
+            phases=phases,
+            power_parts=parts,
+        )
+
+    # -- sweeps ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        profile: WorkloadProfile,
+        configs: list[tuple[float, float]] | None = None,
+    ) -> list[ExecutionRecord]:
+        """Run ``profile`` at every configuration (default: all reported)."""
+        if configs is None:
+            configs = self.device.reported_configurations()
+        return [self.run_at(profile, core, mem) for core, mem in configs]
+
+    def run_default(self, profile: WorkloadProfile) -> ExecutionRecord:
+        """Run at the device's default configuration (the paper's baseline)."""
+        core, mem = self.device.default_config
+        return self.run_at(profile, core, mem)

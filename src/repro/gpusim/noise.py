@@ -1,0 +1,96 @@
+"""Deterministic measurement noise.
+
+Real DVFS measurements are noisy: run-to-run timing jitter, power-sensor
+error, and — on the Titan X — distinctly *erratic* behaviour at the lowest
+memory clock (§4.2: "The mem-L is even more erratic").  We reproduce this
+with a seeded, fully deterministic noise source keyed by (device, kernel,
+core clock, memory clock), so every experiment is reproducible bit-for-bit
+while different configurations still get independent perturbations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _stable_seed(*parts: object) -> int:
+    """64-bit seed from a stable hash of the key parts (not PYTHONHASHSEED)."""
+    payload = "\x1f".join(str(p) for p in parts).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Relative noise magnitudes.
+
+    ``time_sigma`` / ``power_sigma`` are lognormal sigmas for run-to-run
+    jitter.  The two low memory P-states get scaled-up jitter — strongly for
+    mem-L (relative clock < 0.18) and mildly for mem-l (< 0.30) — modelling
+    the erratic behaviour the paper reports for the low memory frequencies
+    (§4.2: "The mem-L is even more erratic").
+    """
+
+    time_sigma: float = 0.010
+    power_sigma: float = 0.018
+    mem_l_extra: float = 4.5
+    mem_low_extra: float = 1.8
+    enabled: bool = True
+
+
+class MeasurementNoise:
+    """Deterministic multiplicative noise for time and power readings."""
+
+    def __init__(self, config: NoiseConfig | None = None, salt: str = "") -> None:
+        self.config = config or NoiseConfig()
+        self.salt = salt
+
+    def _rng(self, device: str, kernel: str, core_mhz: float, mem_mhz: float) -> np.random.Generator:
+        seed = _stable_seed(self.salt, device, kernel, round(core_mhz, 3), round(mem_mhz, 3))
+        return np.random.default_rng(seed)
+
+    def factors(
+        self,
+        device: str,
+        kernel: str,
+        core_mhz: float,
+        mem_mhz: float,
+        mem_relative: float,
+    ) -> tuple[float, float]:
+        """Return (time factor, power factor) for one configuration.
+
+        Both factors are lognormal with mean ≈ 1.  Configurations in the
+        low-memory regime get ``mem_l_extra`` times the sigma.
+        """
+        if not self.config.enabled:
+            return (1.0, 1.0)
+        rng = self._rng(device, kernel, core_mhz, mem_mhz)
+        if mem_relative < 0.18:
+            scale = self.config.mem_l_extra
+        elif mem_relative < 0.30:
+            scale = self.config.mem_low_extra
+        else:
+            scale = 1.0
+        t_sigma = self.config.time_sigma * scale
+        p_sigma = self.config.power_sigma * scale
+        time_factor = float(np.exp(rng.normal(0.0, t_sigma)))
+        power_factor = float(np.exp(rng.normal(0.0, p_sigma)))
+        return (time_factor, power_factor)
+
+    def sample_jitter(
+        self,
+        device: str,
+        kernel: str,
+        core_mhz: float,
+        mem_mhz: float,
+        n_samples: int,
+    ) -> np.ndarray:
+        """Per-sample power-sensor jitter for the 62.5 Hz sampling stream."""
+        if not self.config.enabled or n_samples <= 0:
+            return np.ones(max(n_samples, 0))
+        rng = self._rng(device, kernel + "#samples", core_mhz, mem_mhz)
+        return np.exp(rng.normal(0.0, 0.004, size=n_samples))

@@ -1,0 +1,156 @@
+"""Analytical GPU performance model.
+
+The model follows the mechanistic structure used throughout the GPU-DVFS
+literature the paper builds on (Guerreiro et al. HPCA'18, Wang & Chu
+ICPADS'18): a kernel's runtime is the *overlapped* combination of
+
+* a compute phase whose rate scales with the core clock,
+* a DRAM phase whose rate scales with the memory clock, and
+* an L2/on-chip phase in the core-clock domain.
+
+Overlap is modelled with a p-norm blend: ``t = (t_c^p + t_m^p)^(1/p)``.
+``p → ∞`` is perfect overlap (``max``), ``p = 1`` is full serialization;
+achieved occupancy interpolates between them, which is exactly the
+latency-hiding story of real GPUs.
+
+This module is deliberately free of randomness — noise is injected by the
+measurement layer (:mod:`repro.gpusim.sampler`), matching where noise lives
+in the physical system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .profile import WorkloadProfile
+
+#: Ops handled by the compute pipes (everything except global memory).
+_COMPUTE_OPS = (
+    "int_add",
+    "int_mul",
+    "int_div",
+    "int_bw",
+    "float_add",
+    "float_mul",
+    "float_div",
+    "sf",
+    "loc_access",
+    "branch",
+)
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Per-phase timing of one simulated kernel execution (seconds)."""
+
+    t_compute_s: float
+    t_dram_s: float
+    t_l2_s: float
+    t_total_s: float
+    compute_utilization: float
+    memory_utilization: float
+
+    @property
+    def bound(self) -> str:
+        """Which resource dominates: 'compute' or 'memory'."""
+        return "compute" if self.t_compute_s >= self.t_dram_s else "memory"
+
+
+class PerformanceModel:
+    """Maps (profile, core MHz, mem MHz) → runtime breakdown."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # -- phase models -----------------------------------------------------------
+
+    def compute_time_s(self, profile: WorkloadProfile, core_mhz: float) -> float:
+        """Time for the compute phase at ``core_mhz``."""
+        arch = self.device.arch
+        cycles_per_item = 0.0
+        for op in _COMPUTE_OPS:
+            count = profile.op(op)
+            if count:
+                cycles_per_item += count / arch.throughput[op]
+        # Barriers cost a pipeline drain each: fixed cycles per occurrence.
+        cycles_per_item += profile.op("sync") * 32.0
+
+        # ILP shortens the critical path; divergence serializes lanes.
+        ilp_speedup = 1.0 + 0.35 * (profile.traits.ilp - 1.0)
+        cycles_per_item /= ilp_speedup
+        cycles_per_item *= 1.0 + profile.traits.divergence
+
+        total_cycles = cycles_per_item * profile.work_items / arch.num_sms
+        return total_cycles / (core_mhz * 1e6)
+
+    def dram_time_s(self, profile: WorkloadProfile, mem_mhz: float) -> float:
+        """Time for the DRAM phase at ``mem_mhz``."""
+        bandwidth = self.dram_bandwidth_bytes_per_s(mem_mhz)
+        return profile.dram_bytes / bandwidth
+
+    def l2_time_s(self, profile: WorkloadProfile, core_mhz: float) -> float:
+        """Time for L2-served traffic (core-clock domain)."""
+        arch = self.device.arch
+        bw = arch.l2_bytes_per_cycle * core_mhz * 1e6
+        return profile.l2_bytes / bw
+
+    def dram_bandwidth_bytes_per_s(self, mem_mhz: float) -> float:
+        """Effective DRAM bandwidth at a memory clock.
+
+        GDDR5 moves data on both edges of a doubled data clock; we fold the
+        data-rate multiplier and achievable efficiency into one coefficient.
+
+        The lowest memory P-state (405 MHz on Titan X) reports an *idle*
+        controller clock, not the data clock — measured bandwidth there is
+        ~77 GB/s against 336 GB/s at 3505 MHz, i.e. ~2.4x better than a
+        linear reading of the reported clock.  We reproduce that with an
+        explicit low-P-state boost; the erratic *variance* of mem-L comes
+        from the noise model, not from the mean bandwidth.
+        """
+        arch = self.device.arch
+        efficiency = arch.dram_efficiency
+        relative = mem_mhz / self.device.max_mem_mhz
+        if relative < 0.18:
+            efficiency *= 2.4  # idle P-state reports controller clock
+        return arch.bus_bytes * 2.0 * mem_mhz * 1e6 * efficiency
+
+    # -- combination ------------------------------------------------------------
+
+    def overlap_exponent(self, profile: WorkloadProfile) -> float:
+        """p-norm exponent from achieved occupancy (latency hiding).
+
+        Kept deliberately moderate (p ≈ 3 at high occupancy): even highly
+        parallel kernels never reach the ideal ``max(t_c, t_m)`` because
+        DRAM latency, fixed-function stages and tail effects couple the
+        phases — which is why real "compute-bound" kernels like k-NN keep a
+        visible memory-frequency floor (speedup 0.62, not 0.51, at the
+        lowest core clock of Fig. 1a).
+        """
+        return 1.0 + 2.2 * profile.traits.occupancy
+
+    def execute(
+        self, profile: WorkloadProfile, core_mhz: float, mem_mhz: float
+    ) -> PhaseBreakdown:
+        """Simulate one launch; returns the timing breakdown."""
+        if core_mhz <= 0 or mem_mhz <= 0:
+            raise ValueError("clocks must be positive")
+        t_c = self.compute_time_s(profile, core_mhz) + self.l2_time_s(profile, core_mhz)
+        t_d = self.dram_time_s(profile, mem_mhz)
+        p = self.overlap_exponent(profile)
+        if t_c == 0.0 and t_d == 0.0:
+            blended = 0.0
+        else:
+            blended = (t_c**p + t_d**p) ** (1.0 / p)
+        total = blended + self.device.arch.launch_overhead_s
+
+        compute_util = t_c / total if total > 0 else 0.0
+        memory_util = t_d / total if total > 0 else 0.0
+        return PhaseBreakdown(
+            t_compute_s=t_c,
+            t_dram_s=t_d,
+            t_l2_s=self.l2_time_s(profile, core_mhz),
+            t_total_s=total,
+            compute_utilization=min(compute_util, 1.0),
+            memory_utilization=min(memory_util, 1.0),
+        )

@@ -1,0 +1,139 @@
+"""Workload profiles: what one kernel execution asks of the GPU.
+
+A :class:`WorkloadProfile` is the simulator's view of a kernel.  The static
+part (per-work-item operation counts) is derived from the same counted IR
+the feature extractor uses — but with *dynamic* knobs layered on top that
+static features cannot see: cache behaviour, coalescing, branch divergence,
+instruction-level parallelism and occupancy.  These knobs are what create a
+realistic gap between the predictive model (which only sees static features)
+and the "measured" behaviour, reproducing the paper's error structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..clkernel.ir import ALL_OPS, KernelIR
+
+
+@dataclass(frozen=True)
+class DynamicTraits:
+    """Dynamic execution characteristics invisible to static features.
+
+    Attributes
+    ----------
+    cache_hit_rate:
+        Fraction of global accesses served by L2 (core-clock domain) rather
+        than DRAM.
+    coalescing:
+        Fraction of the ideal DRAM transaction efficiency achieved (1.0 =
+        perfectly coalesced; 0.25 = mostly scattered).
+    divergence:
+        Fraction of extra compute serialization from warp divergence.
+    ilp:
+        Average independent-instruction overlap (1 = fully dependent chain,
+        4 = wide independent streams).
+    occupancy:
+        Achieved occupancy (0..1]; scales how well memory latency is hidden.
+    """
+
+    cache_hit_rate: float = 0.25
+    coalescing: float = 0.85
+    divergence: float = 0.05
+    ilp: float = 2.0
+    occupancy: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cache_hit_rate <= 1.0:
+            raise ValueError("cache_hit_rate must be in [0, 1]")
+        if not 0.05 <= self.coalescing <= 1.0:
+            raise ValueError("coalescing must be in (0.05, 1]")
+        if not 0.0 <= self.divergence <= 1.0:
+            raise ValueError("divergence must be in [0, 1]")
+        if self.ilp < 1.0:
+            raise ValueError("ilp must be >= 1")
+        if not 0.05 <= self.occupancy <= 1.0:
+            raise ValueError("occupancy must be in (0.05, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the simulator needs to 'run' one kernel.
+
+    ``ops_per_item`` are *dynamic* per-work-item operation counts by class
+    (the IR weighted counts with true loop bounds).  ``bytes_per_access`` is
+    the average DRAM bytes moved per global access before coalescing losses.
+    """
+
+    name: str
+    ops_per_item: dict[str, float]
+    work_items: int
+    bytes_per_access: float = 8.0
+    traits: DynamicTraits = field(default_factory=DynamicTraits)
+
+    def __post_init__(self) -> None:
+        if self.work_items <= 0:
+            raise ValueError("work_items must be positive")
+        if self.bytes_per_access <= 0:
+            raise ValueError("bytes_per_access must be positive")
+        unknown = set(self.ops_per_item) - set(ALL_OPS)
+        if unknown:
+            raise ValueError(f"unknown op classes in profile: {sorted(unknown)}")
+        for op, count in self.ops_per_item.items():
+            if count < 0:
+                raise ValueError(f"negative count for {op}")
+
+    @classmethod
+    def from_ir(
+        cls,
+        ir: KernelIR,
+        work_items: int,
+        traits: DynamicTraits | None = None,
+        bytes_per_access: float = 8.0,
+        trip_count_hint: int | None = None,
+    ) -> "WorkloadProfile":
+        """Build a profile from lowered IR.
+
+        ``trip_count_hint`` replaces the default weight of statically unknown
+        loops with the *actual* runtime iteration count, so the simulator's
+        dynamic counts can diverge from the feature extractor's static view.
+        """
+        default_tc = trip_count_hint if trip_count_hint is not None else 16
+        counts = ir.weighted_counts(default_trip_count=default_tc)
+        return cls(
+            name=ir.name,
+            ops_per_item=counts,
+            work_items=work_items,
+            bytes_per_access=bytes_per_access,
+            traits=traits or DynamicTraits(),
+        )
+
+    def op(self, name: str) -> float:
+        return self.ops_per_item.get(name, 0.0)
+
+    @property
+    def total_ops_per_item(self) -> float:
+        return sum(self.ops_per_item.values())
+
+    @property
+    def global_accesses(self) -> float:
+        return self.op("gl_access") * self.work_items
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM traffic after cache filtering and coalescing losses."""
+        misses = self.global_accesses * (1.0 - self.traits.cache_hit_rate)
+        return misses * self.bytes_per_access / self.traits.coalescing
+
+    @property
+    def l2_bytes(self) -> float:
+        hits = self.global_accesses * self.traits.cache_hit_rate
+        return hits * self.bytes_per_access
+
+    def with_traits(self, **kwargs: float) -> "WorkloadProfile":
+        """Copy with some dynamic traits replaced (used by tests/ablations)."""
+        return replace(self, traits=replace(self.traits, **kwargs))
+
+    def scaled(self, work_items: int) -> "WorkloadProfile":
+        """Copy at a different launch size."""
+        return replace(self, work_items=work_items)

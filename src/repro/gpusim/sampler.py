@@ -1,0 +1,100 @@
+"""Power-sampling emulation (NVML samples board power at 62.5 Hz).
+
+The paper (§4.1) computes per-kernel energy as "the average of sampled power
+values times the execution time", and notes that the 62.5 Hz sampling rate
+"may affect the accuracy of our power measurements if a benchmark runs for a
+too short time"; applications are therefore "executed multiple times, to
+make sure that the execution time is long enough".
+
+This module reproduces that measurement pipeline: given a true average power
+and a duration, it synthesizes the discrete sample stream an NVML poller
+would observe, so short runs genuinely have fewer samples and noisier
+averages — the same failure mode the paper engineered around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: NVML power-sampling frequency on the paper's platform.
+NVML_SAMPLING_HZ = 62.5
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A synthesized stream of power samples over one measured window."""
+
+    samples_w: np.ndarray
+    duration_s: float
+    sampling_hz: float = NVML_SAMPLING_HZ
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.samples_w.size)
+
+    @property
+    def mean_power_w(self) -> float:
+        if self.samples_w.size == 0:
+            return float("nan")
+        return float(np.mean(self.samples_w))
+
+    @property
+    def energy_j(self) -> float:
+        """Energy the paper's protocol would report: mean power × time."""
+        return self.mean_power_w * self.duration_s
+
+
+class PowerSampler:
+    """Synthesizes NVML-like sample streams from model power values."""
+
+    def __init__(self, sampling_hz: float = NVML_SAMPLING_HZ) -> None:
+        if sampling_hz <= 0:
+            raise ValueError("sampling_hz must be positive")
+        self.sampling_hz = sampling_hz
+
+    def sample_count(self, duration_s: float) -> int:
+        """Number of poller readings falling inside a window of ``duration_s``."""
+        return max(int(np.floor(duration_s * self.sampling_hz)), 0)
+
+    def trace(
+        self,
+        true_power_w: float,
+        duration_s: float,
+        jitter: np.ndarray | None = None,
+        idle_power_w: float | None = None,
+    ) -> PowerTrace:
+        """Build the sample stream for a window of ``duration_s`` seconds.
+
+        ``jitter`` is per-sample multiplicative sensor noise (len must cover
+        the sample count; extra entries are ignored).  If the window is too
+        short for even one sample, NVML returns the last idle reading —
+        ``idle_power_w`` — which is precisely why the paper repeats short
+        kernels until the window is long enough.
+        """
+        n = self.sample_count(duration_s)
+        if n == 0:
+            fallback = idle_power_w if idle_power_w is not None else true_power_w
+            return PowerTrace(
+                samples_w=np.asarray([fallback], dtype=np.float64),
+                duration_s=duration_s,
+                sampling_hz=self.sampling_hz,
+            )
+        base = np.full(n, true_power_w, dtype=np.float64)
+        if jitter is not None:
+            usable = np.asarray(jitter, dtype=np.float64)[:n]
+            if usable.size < n:
+                usable = np.pad(usable, (0, n - usable.size), constant_values=1.0)
+            base = base * usable
+        return PowerTrace(samples_w=base, duration_s=duration_s, sampling_hz=self.sampling_hz)
+
+    def repeats_for_min_samples(self, single_run_s: float, min_samples: int = 20) -> int:
+        """How many back-to-back runs give at least ``min_samples`` readings.
+
+        Mirrors the paper's repeat-until-statistically-consistent protocol.
+        """
+        if single_run_s <= 0:
+            raise ValueError("single_run_s must be positive")
+        needed_s = min_samples / self.sampling_hz
+        return max(int(np.ceil(needed_s / single_run_s)), 1)

@@ -1,0 +1,46 @@
+"""Experiment harness: sweeps, characterization, error analysis, reporting."""
+
+from .characterize import (
+    Characterization,
+    DomainSeries,
+    characterize_kernel,
+    default_point,
+)
+from .context import PaperContext, paper_context, quick_context
+from .errors import ErrorAnalysis, prediction_errors
+from .evaluation import (
+    ParetoEvaluation,
+    evaluate_pareto_prediction,
+    evaluate_suite,
+)
+from .report import (
+    ascii_scatter,
+    format_box,
+    format_error_panel,
+    format_heading,
+    format_table,
+)
+from .runner import SweepResult, measure_configs, sweep_kernel
+
+__all__ = [
+    "Characterization",
+    "DomainSeries",
+    "ErrorAnalysis",
+    "PaperContext",
+    "ParetoEvaluation",
+    "SweepResult",
+    "ascii_scatter",
+    "characterize_kernel",
+    "default_point",
+    "evaluate_pareto_prediction",
+    "evaluate_suite",
+    "format_box",
+    "format_error_panel",
+    "format_heading",
+    "format_table",
+    "measure_configs",
+    "paper_context",
+    "prediction_errors",
+    "quick_context",
+    "sweep_kernel",
+]

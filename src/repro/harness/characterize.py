@@ -1,0 +1,116 @@
+"""Application characterization (paper §1.1 Fig. 1 and §4.2 Fig. 5).
+
+Produces, per benchmark and memory domain, the speedup-vs-core-frequency
+and normalized-energy-vs-core-frequency series (Fig. 1a/b/d/e) and the
+bi-objective scatter (Fig. 1c/f, Fig. 5), plus the summary statistics the
+paper's §4.2 narrative quotes (speedup ranges, energy minima locations,
+memory- vs compute-dominated classification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dataset import MeasuredPoint
+from ..gpusim.executor import GPUSimulator
+from ..workloads import KernelSpec
+from .runner import SweepResult, sweep_kernel
+
+
+@dataclass(frozen=True)
+class DomainSeries:
+    """One memory domain's curve: (core MHz, speedup, norm. energy) rows."""
+
+    label: str
+    mem_mhz: float
+    core_mhz: tuple[float, ...]
+    speedups: tuple[float, ...]
+    energies: tuple[float, ...]
+
+    @property
+    def speedup_range(self) -> tuple[float, float]:
+        return (min(self.speedups), max(self.speedups))
+
+    @property
+    def energy_range(self) -> tuple[float, float]:
+        return (min(self.energies), max(self.energies))
+
+    @property
+    def energy_minimum_core_mhz(self) -> float:
+        """Core frequency at which normalized energy bottoms out."""
+        idx = min(range(len(self.energies)), key=lambda i: self.energies[i])
+        return self.core_mhz[idx]
+
+    def rows(self) -> list[tuple[float, float, float]]:
+        return list(zip(self.core_mhz, self.speedups, self.energies))
+
+
+@dataclass
+class Characterization:
+    """Full characterization of one benchmark across all memory domains."""
+
+    kernel: str
+    series: dict[str, DomainSeries]
+    sweep: SweepResult
+
+    @property
+    def speedup_span(self) -> float:
+        """Max minus min speedup over every configuration."""
+        values = [s for d in self.series.values() for s in d.speedups]
+        return max(values) - min(values)
+
+    def classify(self, threshold: float = 0.35) -> str:
+        """'compute' when speedup tracks the core clock, else 'memory'.
+
+        The discriminator is the speedup span within the highest memory
+        domain: compute-dominated codes (k-NN) span ~0.5+, memory-dominated
+        codes (MT, Blackscholes) stay nearly flat (§4.2).
+        """
+        top_label = max(
+            self.series, key=lambda lbl: self.series[lbl].mem_mhz
+        )
+        top = self.series[top_label]
+        lo, hi = top.speedup_range
+        return "compute" if (hi - lo) >= threshold else "memory"
+
+    def mem_sensitivity(self) -> float:
+        """Speedup gained by raising memory frequency at the top core clock."""
+        tops: list[tuple[float, float]] = []  # (mem_mhz, speedup at max core)
+        for d in self.series.values():
+            idx = max(range(len(d.core_mhz)), key=lambda i: d.core_mhz[i])
+            tops.append((d.mem_mhz, d.speedups[idx]))
+        tops.sort()
+        return tops[-1][1] - tops[0][1]
+
+
+def characterize_kernel(
+    sim: GPUSimulator,
+    spec: KernelSpec,
+    configs: list[tuple[float, float]] | None = None,
+) -> Characterization:
+    """Sweep and fold the measurements into per-domain series."""
+    sweep = sweep_kernel(sim, spec, configs)
+    series: dict[str, DomainSeries] = {}
+    for label, points in sweep.by_domain().items():
+        mem = points[0].mem_mhz
+        series[label] = DomainSeries(
+            label=label,
+            mem_mhz=mem,
+            core_mhz=tuple(p.core_mhz for p in points),
+            speedups=tuple(p.speedup for p in points),
+            energies=tuple(p.norm_energy for p in points),
+        )
+    return Characterization(kernel=spec.name, series=series, sweep=sweep)
+
+
+def default_point(sweep: SweepResult) -> MeasuredPoint:
+    """The measured point at the device's default configuration.
+
+    By construction its objectives are ≈ (1, 1); the residual deviation is
+    the measurement noise floor.
+    """
+    default = sweep.device.default_config
+    found = sweep.lookup(default)
+    if found is None:
+        raise KeyError(f"default config {default} was not part of the sweep")
+    return found

@@ -1,0 +1,117 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Everything the benches print goes through here: aligned tables, box-plot
+summaries, and ASCII scatter plots (the closest a terminal gets to Fig. 8).
+"""
+
+from __future__ import annotations
+
+from ..ml.metrics import BoxStats, GroupedErrorReport
+
+
+def format_table(
+    headers: list[str],
+    rows: list[tuple],
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for cells in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_box(stats: BoxStats, width: int = 41, lo: float = -40.0, hi: float = 40.0) -> str:
+    """One-line ASCII box plot over a fixed percent-error axis."""
+    def _pos(value: float) -> int:
+        clamped = min(max(value, lo), hi)
+        return int(round((clamped - lo) / (hi - lo) * (width - 1)))
+
+    line = [" "] * width
+    for a, b in [(stats.minimum, stats.q25), (stats.q75, stats.maximum)]:
+        for i in range(_pos(a), _pos(b) + 1):
+            line[i] = "-"
+    for i in range(_pos(stats.q25), _pos(stats.q75) + 1):
+        line[i] = "="
+    line[_pos(stats.median)] = "|"
+    zero = _pos(0.0)
+    if line[zero] == " ":
+        line[zero] = "."
+    return "".join(line)
+
+
+def format_error_panel(report: GroupedErrorReport, title: str) -> str:
+    """One Fig. 6/7 panel: per-benchmark boxes plus the panel RMSE."""
+    lines = [f"{title}    RMSE = {report.rmse_pct:.2f}%"]
+    lines.append(f"{'benchmark':<16} {'-40%':<4}{'':<33}{'+40%':>4}  median")
+    for name, stats in report.per_key.items():
+        lines.append(
+            f"{name:<16} [{format_box(stats)}] {stats.median:+6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "speedup",
+    y_label: str = "norm. energy",
+    x_range: tuple[float, float] | None = None,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render labelled point sets on one ASCII canvas (Fig. 8 style).
+
+    ``series`` maps a single-character-keyed label (first char is used as
+    the glyph) to its points.  Later series overwrite earlier ones, so list
+    the front/markers last.
+    """
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return "(no points)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = x_range if x_range else (min(xs), max(xs))
+    y_lo, y_hi = y_range if y_range else (min(ys), max(ys))
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, pts in series.items():
+        glyph = label[0]
+        for x, y in pts:
+            cx = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            cy = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            cx = min(max(cx, 0), width - 1)
+            cy = min(max(cy, 0), height - 1)
+            grid[height - 1 - cy][cx] = glyph
+
+    lines = [f"{y_label}: {y_lo:.2f} (bottom) .. {y_hi:.2f} (top)"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f"{x_label}: {x_lo:.2f} (left) .. {x_hi:.2f} (right)")
+    legend = ", ".join(f"'{k[0]}' = {k}" for k in series)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def format_heading(text: str, char: str = "=") -> str:
+    return f"\n{text}\n{char * len(text)}"

@@ -1,0 +1,71 @@
+"""Measurement sweeps over benchmarks (the experimental backbone).
+
+Thin orchestration over :mod:`repro.core.dataset`'s measurement helpers:
+sweep a kernel over a configuration list, group results by memory domain,
+and locate baselines — the raw material for Figs. 1, 5, 8 and Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dataset import KernelMeasurements, MeasuredPoint, measure_kernel
+from ..gpusim.device import DeviceSpec
+from ..gpusim.executor import GPUSimulator
+from ..workloads import KernelSpec
+
+
+@dataclass
+class SweepResult:
+    """A measured sweep of one kernel plus convenient groupings."""
+
+    measurements: KernelMeasurements
+    device: DeviceSpec
+
+    @property
+    def kernel(self) -> str:
+        return self.measurements.spec.name
+
+    @property
+    def points(self) -> list[MeasuredPoint]:
+        return self.measurements.points
+
+    def by_domain(self) -> dict[str, list[MeasuredPoint]]:
+        """Points grouped by memory-domain label (H/h/l/L), core ascending."""
+        grouped: dict[str, list[MeasuredPoint]] = {}
+        for domain in self.device.domains:
+            pts = [p for p in self.points if p.mem_mhz == domain.mem_mhz]
+            pts.sort(key=lambda p: p.core_mhz)
+            if pts:
+                grouped[domain.label] = pts
+        return grouped
+
+    def lookup(self, config: tuple[float, float]) -> MeasuredPoint | None:
+        for p in self.points:
+            if p.config == config:
+                return p
+        return None
+
+    def objective_points(self) -> list[tuple[float, float]]:
+        return self.measurements.objective_points()
+
+
+def sweep_kernel(
+    sim: GPUSimulator,
+    spec: KernelSpec,
+    configs: list[tuple[float, float]] | None = None,
+) -> SweepResult:
+    """Measure ``spec`` at ``configs`` (default: every real configuration)."""
+    chosen = configs if configs is not None else sim.device.real_configurations()
+    measurements = measure_kernel(sim, spec, chosen)
+    return SweepResult(measurements=measurements, device=sim.device)
+
+
+def measure_configs(
+    sim: GPUSimulator,
+    spec: KernelSpec,
+    configs: list[tuple[float, float]],
+) -> dict[tuple[float, float], MeasuredPoint]:
+    """Measured objectives for an explicit config list, keyed by config."""
+    result = sweep_kernel(sim, spec, configs)
+    return {p.config: p for p in result.points}

@@ -1,0 +1,57 @@
+"""From-scratch ML substrate: SVR, linear models, kernels, metrics, CV."""
+
+from .kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel, make_kernel
+from .linear import LassoRegression, OLSRegression, RidgeRegression
+from .metrics import (
+    BoxStats,
+    GroupedErrorReport,
+    mae,
+    mape,
+    r2_score,
+    relative_error_pct,
+    rmse,
+    rmse_pct,
+)
+from .model_select import (
+    CVResult,
+    cross_validate,
+    grid_search,
+    grouped_kfold_indices,
+    kfold_indices,
+)
+from .poly import PolynomialRegression, n_polynomial_terms, polynomial_expand
+from .scaling import IdentityScaler, MinMaxScaler, StandardScaler
+from .svr import SVR, make_energy_svr, make_speedup_svr
+
+__all__ = [
+    "BoxStats",
+    "CVResult",
+    "GroupedErrorReport",
+    "IdentityScaler",
+    "Kernel",
+    "LassoRegression",
+    "LinearKernel",
+    "MinMaxScaler",
+    "OLSRegression",
+    "PolynomialKernel",
+    "PolynomialRegression",
+    "RBFKernel",
+    "RidgeRegression",
+    "SVR",
+    "StandardScaler",
+    "cross_validate",
+    "grid_search",
+    "grouped_kfold_indices",
+    "kfold_indices",
+    "mae",
+    "make_energy_svr",
+    "make_kernel",
+    "make_speedup_svr",
+    "mape",
+    "n_polynomial_terms",
+    "polynomial_expand",
+    "r2_score",
+    "relative_error_pct",
+    "rmse",
+    "rmse_pct",
+]

@@ -1,0 +1,100 @@
+"""Kernel functions for support vector regression (paper §3.4).
+
+The paper uses two kernels:
+
+* linear — ``K(w_i, w_j) = w_i · w_j`` — for the speedup model (speedup is
+  ~linear in core frequency at fixed code and memory clock);
+* RBF — ``K(w_i, w_j) = exp(-γ ||w_i − w_j||²)`` with γ = 0.1 — for the
+  normalized-energy model (parabolic behaviour in core frequency).
+
+A polynomial kernel is included for the model-selection ablation.
+All functions are fully vectorized: inputs are ``(n, d)`` and ``(m, d)``
+matrices, output is the ``(n, m)`` Gram matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+
+class Kernel(Protocol):
+    """A positive-semidefinite kernel producing Gram matrices."""
+
+    name: str
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray: ...
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class LinearKernel:
+    """``K(a, b) = a · b`` (paper's speedup model kernel)."""
+
+    name: str = "linear"
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return _as_2d(a) @ _as_2d(b).T
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """``K(a, b) = exp(-γ ||a − b||²)`` (paper's energy model kernel, γ=0.1)."""
+
+    gamma: float = 0.1
+    name: str = "rbf"
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a2d, b2d = _as_2d(a), _as_2d(b)
+        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a·b, computed without n*m*d blowup.
+        a_sq = np.einsum("ij,ij->i", a2d, a2d)[:, None]
+        b_sq = np.einsum("ij,ij->i", b2d, b2d)[None, :]
+        sq_dist = np.maximum(a_sq + b_sq - 2.0 * (a2d @ b2d.T), 0.0)
+        return np.exp(-self.gamma * sq_dist)
+
+
+@dataclass(frozen=True)
+class PolynomialKernel:
+    """``K(a, b) = (γ a·b + c)^d`` — used only in the model ablation."""
+
+    degree: int = 2
+    gamma: float = 1.0
+    coef0: float = 1.0
+    name: str = "poly"
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (self.gamma * (_as_2d(a) @ _as_2d(b).T) + self.coef0) ** self.degree
+
+
+def make_kernel(name: str, **params: float) -> Kernel:
+    """Factory: ``make_kernel('rbf', gamma=0.1)`` etc."""
+    factories: dict[str, Callable[..., Kernel]] = {
+        "linear": LinearKernel,
+        "rbf": RBFKernel,
+        "poly": PolynomialKernel,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(f"unknown kernel {name!r}; known: {sorted(factories)}") from None
+    return factory(**params)

@@ -1,0 +1,127 @@
+"""Regression error metrics and box-plot statistics (Figs. 6 and 7).
+
+The paper reports prediction error as *relative percentage error* grouped by
+memory frequency, summarized by RMSE (of the percentage errors) and drawn as
+box plots (min / 25th / median / 75th / max).  This module provides exactly
+those aggregations so the evaluation benches print paper-comparable rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _paired(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true, dtype=np.float64).ravel()
+    p = np.asarray(y_pred, dtype=np.float64).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty inputs")
+    return t, p
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error in the target's units."""
+    t, p = _paired(y_true, y_pred)
+    return float(np.sqrt(np.mean((t - p) ** 2)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    t, p = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(t - p)))
+
+
+def relative_error_pct(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Signed relative error in percent: ``100 · (pred − true) / true``.
+
+    Positive = over-approximation (the paper's reading of Figs. 6/7).
+    """
+    t, p = _paired(y_true, y_pred)
+    if np.any(t == 0.0):
+        raise ValueError("relative error undefined for zero true values")
+    return 100.0 * (p - t) / t
+
+
+def rmse_pct(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """RMSE of the signed percentage errors — the Figs. 6/7 headline number."""
+    errors = relative_error_pct(y_true, y_pred)
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error."""
+    return float(np.mean(np.abs(relative_error_pct(y_true, y_pred))))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    t, p = _paired(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - np.mean(t)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary of an error distribution (one box in Fig. 6/7)."""
+
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    mean: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "BoxStats":
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot summarize an empty sample")
+        q25, median, q75 = np.percentile(arr, [25.0, 50.0, 75.0])
+        return cls(
+            minimum=float(arr.min()),
+            q25=float(q25),
+            median=float(median),
+            q75=float(q75),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+            n=int(arr.size),
+        )
+
+    @property
+    def iqr(self) -> float:
+        return self.q75 - self.q25
+
+    def row(self) -> tuple[float, float, float, float, float]:
+        return (self.minimum, self.q25, self.median, self.q75, self.maximum)
+
+
+@dataclass(frozen=True)
+class GroupedErrorReport:
+    """Per-group (per-benchmark) box stats plus the group-level RMSE.
+
+    One instance corresponds to one panel of Fig. 6 or Fig. 7 — i.e., one
+    memory frequency, with a box per benchmark and a panel RMSE.
+    """
+
+    group_label: str
+    per_key: dict[str, BoxStats]
+    rmse_pct: float
+
+    @classmethod
+    def build(
+        cls,
+        group_label: str,
+        errors_by_key: dict[str, np.ndarray],
+    ) -> "GroupedErrorReport":
+        per_key = {k: BoxStats.from_values(v) for k, v in errors_by_key.items()}
+        pooled = np.concatenate([np.ravel(v) for v in errors_by_key.values()])
+        panel_rmse = float(np.sqrt(np.mean(pooled**2)))
+        return cls(group_label=group_label, per_key=per_key, rmse_pct=panel_rmse)

@@ -1,0 +1,123 @@
+"""Model selection utilities: k-fold cross-validation and grid search.
+
+Used by the model-comparison ablation (§3.4: "we tested different kinds of
+regression models including OLS, LASSO and SVR for speedup modeling, and
+polynomial regression and SVR for normalized energy modeling").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol, Sequence
+
+import numpy as np
+
+from .metrics import rmse
+
+
+class Regressor(Protocol):
+    """Anything with the fit/predict contract used across :mod:`repro.ml`."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Regressor": ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray: ...
+
+
+def kfold_indices(
+    n_samples: int, n_splits: int = 5, seed: int = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs for shuffled k-fold CV."""
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    if n_samples < n_splits:
+        raise ValueError("need at least one sample per fold")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_samples)
+    folds = np.array_split(order, n_splits)
+    for i in range(n_splits):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(n_splits) if j != i])
+        yield train_idx, test_idx
+
+
+def grouped_kfold_indices(
+    groups: Sequence[object], n_splits: int = 5, seed: int = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """K-fold that keeps every sample of a group in the same fold.
+
+    Essential here: samples of one kernel at different frequencies must not
+    leak between train and test, or the evaluation measures interpolation
+    rather than the paper's generalize-to-a-new-kernel setting.
+    """
+    labels = np.asarray(groups, dtype=object)
+    unique = list(dict.fromkeys(labels.tolist()))
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    if len(unique) < n_splits:
+        raise ValueError("need at least one group per fold")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(unique))
+    group_folds = np.array_split(order, n_splits)
+    unique_arr = np.asarray(unique, dtype=object)
+    for i in range(n_splits):
+        test_groups = set(unique_arr[group_folds[i]].tolist())
+        test_mask = np.fromiter((g in test_groups for g in labels), bool, len(labels))
+        yield np.flatnonzero(~test_mask), np.flatnonzero(test_mask)
+
+
+@dataclass(frozen=True)
+class CVResult:
+    """Cross-validation outcome for one model configuration."""
+
+    label: str
+    fold_scores: tuple[float, ...]
+
+    @property
+    def mean_score(self) -> float:
+        return float(np.mean(self.fold_scores))
+
+    @property
+    def std_score(self) -> float:
+        return float(np.std(self.fold_scores))
+
+
+def cross_validate(
+    make_model: Callable[[], Regressor],
+    x: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    seed: int = 0,
+    groups: Sequence[object] | None = None,
+    score: Callable[[np.ndarray, np.ndarray], float] = rmse,
+    label: str = "model",
+) -> CVResult:
+    """K-fold CV of a model factory; lower score = better (RMSE default)."""
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64).ravel()
+    if groups is not None:
+        splits = grouped_kfold_indices(groups, n_splits, seed)
+    else:
+        splits = kfold_indices(xa.shape[0], n_splits, seed)
+    scores: list[float] = []
+    for train_idx, test_idx in splits:
+        model = make_model()
+        model.fit(xa[train_idx], ya[train_idx])
+        pred = model.predict(xa[test_idx])
+        scores.append(float(score(ya[test_idx], pred)))
+    return CVResult(label=label, fold_scores=tuple(scores))
+
+
+def grid_search(
+    candidates: dict[str, Callable[[], Regressor]],
+    x: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    seed: int = 0,
+    groups: Sequence[object] | None = None,
+) -> list[CVResult]:
+    """Cross-validate every candidate; results sorted best-first."""
+    results = [
+        cross_validate(factory, x, y, n_splits=n_splits, seed=seed, groups=groups, label=name)
+        for name, factory in candidates.items()
+    ]
+    return sorted(results, key=lambda r: r.mean_score)

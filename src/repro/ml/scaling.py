@@ -1,0 +1,115 @@
+"""Feature scalers.
+
+The paper's features are already individually normalized (instruction shares
+in [0,1], frequencies mapped to [0,1]), but the training pipeline still
+standardizes the assembled matrix before fitting ("the features are
+normalized and used to train the two models", Fig. 2 step 5).  Both scalers
+follow the fit/transform convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance column scaling with safe zero-variance handling."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        if arr.shape[0] == 0:
+            raise ValueError("cannot fit on an empty matrix")
+        self.mean_ = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        # Constant columns carry no information; dividing by 1 leaves them 0.
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        arr = np.asarray(x, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        out = (arr - self.mean_) / self.scale_
+        return out[0] if squeeze else out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        arr = np.asarray(x, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        out = arr * self.scale_ + self.mean_
+        return out[0] if squeeze else out
+
+
+class MinMaxScaler:
+    """Columns linearly mapped to [0, 1] (paper's frequency-feature mapping)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        if arr.shape[0] == 0:
+            raise ValueError("cannot fit on an empty matrix")
+        self.min_ = arr.min(axis=0)
+        rng = arr.max(axis=0) - self.min_
+        rng[rng == 0.0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("scaler is not fitted")
+        arr = np.asarray(x, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        out = (arr - self.min_) / self.range_
+        return out[0] if squeeze else out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("scaler is not fitted")
+        arr = np.asarray(x, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        out = arr * self.range_ + self.min_
+        return out[0] if squeeze else out
+
+
+class IdentityScaler:
+    """No-op scaler for ablations that bypass standardization."""
+
+    def fit(self, x: np.ndarray) -> "IdentityScaler":
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)

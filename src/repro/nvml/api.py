@@ -1,0 +1,238 @@
+"""NVML-compatible management API over the GPU simulator.
+
+Implements the call surface the paper relies on (§4.1)::
+
+    nvmlInit() / nvmlShutdown()
+    nvmlDeviceGetHandleByIndex(i)
+    nvmlDeviceGetSupportedMemoryClocks(handle)
+    nvmlDeviceGetSupportedGraphicsClocks(handle, mem_mhz)
+    nvmlDeviceSetApplicationsClocks(handle, mem_mhz, core_mhz)
+    nvmlDeviceResetApplicationsClocks(handle)
+    nvmlDeviceGetApplicationsClock(handle, clock_type)
+    nvmlDeviceGetClockInfo(handle, clock_type)   # *effective* clock
+    nvmlDeviceGetPowerUsage(handle)              # milliwatts
+    nvmlDeviceSetAutoBoostedClocksEnabled(handle, enabled)
+
+Faithfully reproduced quirk: ``nvmlDeviceGetSupportedGraphicsClocks``
+reports frequencies above 1202 MHz for the high memory clocks even though
+``SetApplicationsClocks`` silently applies 1202 MHz — exactly the paper's
+"configurations indicated as supported by NVML but that actually correspond
+to the core frequency of 1202 MHz" (Fig. 4a).  ``GetClockInfo`` exposes the
+effective clock so callers can detect the clamp, as the authors did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpusim.device import DeviceSpec, make_titan_x
+from ..gpusim.executor import ExecutionRecord, GPUSimulator
+from ..gpusim.profile import WorkloadProfile
+from .types import NVMLError, NvmlReturn
+
+CLOCK_GRAPHICS = 0
+CLOCK_MEM = 2
+
+
+@dataclass
+class DeviceHandle:
+    """Opaque handle, as returned by ``nvmlDeviceGetHandleByIndex``."""
+
+    index: int
+    sim: GPUSimulator
+    auto_boost: bool = True
+    #: Power reading updated by kernel runs; idle draw otherwise.
+    last_power_w: float = field(default=15.0)
+
+
+class NVML:
+    """One NVML 'library' instance managing a set of simulated devices.
+
+    The class is instantiable (tests build isolated instances) and the
+    module also exposes a default global instance through the free
+    functions below, mirroring pynvml's module-level API.
+    """
+
+    def __init__(self) -> None:
+        self._initialized = False
+        self._devices: list[DeviceHandle] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def nvmlInit(self, devices: list[DeviceSpec] | None = None) -> None:
+        if self._initialized:
+            return
+        specs = devices if devices is not None else [make_titan_x()]
+        self._devices = [
+            DeviceHandle(index=i, sim=GPUSimulator(spec)) for i, spec in enumerate(specs)
+        ]
+        self._initialized = True
+
+    def nvmlShutdown(self) -> None:
+        self._initialized = False
+        self._devices = []
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise NVMLError(NvmlReturn.ERROR_UNINITIALIZED, "call nvmlInit() first")
+
+    # -- device discovery ------------------------------------------------------
+
+    def nvmlDeviceGetCount(self) -> int:
+        self._require_init()
+        return len(self._devices)
+
+    def nvmlDeviceGetHandleByIndex(self, index: int) -> DeviceHandle:
+        self._require_init()
+        if not 0 <= index < len(self._devices):
+            raise NVMLError(NvmlReturn.ERROR_INVALID_ARGUMENT, f"no device {index}")
+        return self._devices[index]
+
+    def nvmlDeviceGetName(self, handle: DeviceHandle) -> str:
+        self._require_init()
+        return handle.sim.device.name
+
+    # -- clock queries ------------------------------------------------------------
+
+    def nvmlDeviceGetSupportedMemoryClocks(self, handle: DeviceHandle) -> list[float]:
+        self._require_init()
+        return sorted(handle.sim.device.mem_clocks_mhz, reverse=True)
+
+    def nvmlDeviceGetSupportedGraphicsClocks(
+        self, handle: DeviceHandle, mem_mhz: float
+    ) -> list[float]:
+        self._require_init()
+        try:
+            domain = handle.sim.device.domain(mem_mhz)
+        except KeyError as exc:
+            raise NVMLError(NvmlReturn.ERROR_NOT_FOUND, str(exc)) from None
+        return sorted(domain.reported_core_mhz, reverse=True)
+
+    def nvmlDeviceGetApplicationsClock(self, handle: DeviceHandle, clock_type: int) -> float:
+        """The *requested* application clock (not the effective one)."""
+        self._require_init()
+        core, mem = handle.sim.clocks
+        if clock_type == CLOCK_GRAPHICS:
+            return core
+        if clock_type == CLOCK_MEM:
+            return mem
+        raise NVMLError(NvmlReturn.ERROR_INVALID_ARGUMENT, f"clock type {clock_type}")
+
+    def nvmlDeviceGetClockInfo(self, handle: DeviceHandle, clock_type: int) -> float:
+        """The *effective* clock — exposes the 1202 MHz clamp."""
+        self._require_init()
+        if clock_type == CLOCK_GRAPHICS:
+            return handle.sim.effective_core_mhz
+        if clock_type == CLOCK_MEM:
+            return handle.sim.clocks[1]
+        raise NVMLError(NvmlReturn.ERROR_INVALID_ARGUMENT, f"clock type {clock_type}")
+
+    # -- clock control --------------------------------------------------------------
+
+    def nvmlDeviceSetApplicationsClocks(
+        self, handle: DeviceHandle, mem_mhz: float, core_mhz: float
+    ) -> None:
+        self._require_init()
+        try:
+            handle.sim.set_clocks(core_mhz, mem_mhz)
+        except KeyError as exc:
+            raise NVMLError(NvmlReturn.ERROR_NOT_FOUND, str(exc)) from None
+        except ValueError as exc:
+            raise NVMLError(NvmlReturn.ERROR_INVALID_ARGUMENT, str(exc)) from None
+
+    def nvmlDeviceResetApplicationsClocks(self, handle: DeviceHandle) -> None:
+        self._require_init()
+        handle.sim.reset_clocks()
+
+    def nvmlDeviceSetAutoBoostedClocksEnabled(
+        self, handle: DeviceHandle, enabled: bool
+    ) -> None:
+        """The paper disables auto-boost for all experiments (§4.1)."""
+        self._require_init()
+        handle.auto_boost = bool(enabled)
+
+    # -- power --------------------------------------------------------------------
+
+    def nvmlDeviceGetPowerUsage(self, handle: DeviceHandle) -> int:
+        """Board power draw in milliwatts (NVML convention)."""
+        self._require_init()
+        return int(round(handle.last_power_w * 1000.0))
+
+    # -- execution hook (the simulator stands in for a CUDA/OpenCL runtime) ----------
+
+    def run_kernel(self, handle: DeviceHandle, profile: WorkloadProfile) -> ExecutionRecord:
+        """Run a kernel on the simulated device at its current clocks.
+
+        Not an NVML call — in the real system the OpenCL runtime launches
+        kernels while NVML watches power.  Bundled here so harness code has
+        a single endpoint; updates ``GetPowerUsage`` to the run's average.
+        """
+        self._require_init()
+        if handle.auto_boost:
+            raise NVMLError(
+                NvmlReturn.ERROR_NOT_SUPPORTED,
+                "disable auto-boost before manual DVFS experiments (paper §4.1)",
+            )
+        record = handle.sim.run(profile)
+        handle.last_power_w = record.power_w
+        return record
+
+
+#: Default library instance behind the module-level (pynvml-style) API.
+_DEFAULT = NVML()
+
+
+def nvmlInit(devices: list[DeviceSpec] | None = None) -> None:
+    _DEFAULT.nvmlInit(devices)
+
+
+def nvmlShutdown() -> None:
+    _DEFAULT.nvmlShutdown()
+
+
+def nvmlDeviceGetCount() -> int:
+    return _DEFAULT.nvmlDeviceGetCount()
+
+
+def nvmlDeviceGetHandleByIndex(index: int) -> DeviceHandle:
+    return _DEFAULT.nvmlDeviceGetHandleByIndex(index)
+
+
+def nvmlDeviceGetName(handle: DeviceHandle) -> str:
+    return _DEFAULT.nvmlDeviceGetName(handle)
+
+
+def nvmlDeviceGetSupportedMemoryClocks(handle: DeviceHandle) -> list[float]:
+    return _DEFAULT.nvmlDeviceGetSupportedMemoryClocks(handle)
+
+
+def nvmlDeviceGetSupportedGraphicsClocks(handle: DeviceHandle, mem_mhz: float) -> list[float]:
+    return _DEFAULT.nvmlDeviceGetSupportedGraphicsClocks(handle, mem_mhz)
+
+
+def nvmlDeviceSetApplicationsClocks(handle: DeviceHandle, mem_mhz: float, core_mhz: float) -> None:
+    _DEFAULT.nvmlDeviceSetApplicationsClocks(handle, mem_mhz, core_mhz)
+
+
+def nvmlDeviceResetApplicationsClocks(handle: DeviceHandle) -> None:
+    _DEFAULT.nvmlDeviceResetApplicationsClocks(handle)
+
+
+def nvmlDeviceGetApplicationsClock(handle: DeviceHandle, clock_type: int) -> float:
+    return _DEFAULT.nvmlDeviceGetApplicationsClock(handle, clock_type)
+
+
+def nvmlDeviceGetClockInfo(handle: DeviceHandle, clock_type: int) -> float:
+    return _DEFAULT.nvmlDeviceGetClockInfo(handle, clock_type)
+
+
+def nvmlDeviceGetPowerUsage(handle: DeviceHandle) -> int:
+    return _DEFAULT.nvmlDeviceGetPowerUsage(handle)
+
+
+def nvmlDeviceSetAutoBoostedClocksEnabled(handle: DeviceHandle, enabled: bool) -> None:
+    _DEFAULT.nvmlDeviceSetAutoBoostedClocksEnabled(handle, enabled)
+
+
+def run_kernel(handle: DeviceHandle, profile: WorkloadProfile) -> ExecutionRecord:
+    return _DEFAULT.run_kernel(handle, profile)

@@ -1,0 +1,48 @@
+"""NVML-style types, return codes and exceptions.
+
+The facade mirrors the small slice of the NVIDIA Management Library the
+paper uses (§4.1): querying supported clocks, setting application clocks,
+and polling board power.  Names and error semantics follow NVML so harness
+code reads like real NVML client code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class NvmlReturn(IntEnum):
+    """Subset of ``nvmlReturn_t`` codes the facade can produce."""
+
+    SUCCESS = 0
+    ERROR_UNINITIALIZED = 1
+    ERROR_INVALID_ARGUMENT = 2
+    ERROR_NOT_SUPPORTED = 3
+    ERROR_NOT_FOUND = 6
+    ERROR_UNKNOWN = 999
+
+
+class NVMLError(Exception):
+    """Raised by facade calls, carrying the NVML-style return code."""
+
+    def __init__(self, code: NvmlReturn, message: str = "") -> None:
+        self.code = code
+        detail = f": {message}" if message else ""
+        super().__init__(f"NVML error {code.name}{detail}")
+
+
+@dataclass(frozen=True)
+class ClockPair:
+    """A (core, memory) application-clock pair in MHz."""
+
+    core_mhz: float
+    mem_mhz: float
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One reading from the 62.5 Hz power poller: milliwatts + timestamp."""
+
+    timestamp_s: float
+    power_mw: int

@@ -1,0 +1,103 @@
+"""Pareto-set extraction algorithms.
+
+Three interchangeable implementations:
+
+* :func:`pareto_set_simple` — the paper's Algorithm 1 verbatim (pop a
+  candidate, compare against the rest, classify);
+* :func:`pareto_set_sort` — the O(n log n) sweep the paper alludes to when
+  citing faster algorithms ([18] in the paper);
+* :func:`pareto_set_brute` — O(n²) reference oracle, kept for testing.
+
+All three return *indices* into the input list, sorted ascending, so callers
+can map back to configurations.  Duplicate points are kept (all copies are
+on the front if one is), matching Algorithm 1's behaviour.
+"""
+
+from __future__ import annotations
+
+from .dominance import dominates
+
+
+def pareto_set_brute(points: list[tuple[float, float]]) -> list[int]:
+    """O(n²) oracle: index i survives iff nothing dominates points[i]."""
+    return [
+        i
+        for i, candidate in enumerate(points)
+        if not any(dominates(other, candidate) for j, other in enumerate(points) if j != i)
+    ]
+
+
+def pareto_set_simple(points: list[tuple[float, float]]) -> list[int]:
+    """The paper's Algorithm 1 ("Simple Pareto set calculation").
+
+    Works on a pool of unresolved indices: repeatedly pop a candidate,
+    compare it against the remaining pool, discard whichever side is
+    dominated, and keep the candidate when it survives the pass.
+    """
+    pool = list(range(len(points)))
+    front: list[int] = []
+    while pool:
+        candidate = pool.pop(0)
+        candidate_dominated = False
+        survivors: list[int] = []
+        for other in pool:
+            if dominates(points[other], points[candidate]):
+                candidate_dominated = True
+                survivors.append(other)
+            elif dominates(points[candidate], points[other]):
+                # `other` is dominated: drop it from the pool entirely.
+                continue
+            else:
+                survivors.append(other)
+        pool = survivors
+        if not candidate_dominated:
+            front.append(candidate)
+    front.sort()
+    # Algorithm 1 removes dominated points from the pool before they are
+    # ever popped, so equal duplicates of a front point also survive: keep
+    # every index whose point equals a front point.
+    front_points = {points[i] for i in front}
+    return [i for i, p in enumerate(points) if p in front_points and _on_front(p, points)]
+
+
+def _on_front(p: tuple[float, float], points: list[tuple[float, float]]) -> bool:
+    return not any(dominates(q, p) for q in points)
+
+
+def pareto_set_sort(points: list[tuple[float, float]]) -> list[int]:
+    """O(n log n) sweep: sort by speedup desc, energy asc; keep strict
+    improvements in energy.
+
+    Ties in both objectives are all kept (consistent with Algorithm 1).
+    """
+    if not points:
+        return []
+    order = sorted(
+        range(len(points)),
+        key=lambda i: (-points[i][0], points[i][1]),
+    )
+    front: list[int] = []
+    best_energy = float("inf")
+    best_speedup_at_best_energy = float("-inf")
+    kept_points: set[tuple[float, float]] = set()
+    for idx in order:
+        s, e = points[idx]
+        if e < best_energy:
+            front.append(idx)
+            kept_points.add((s, e))
+            best_energy = e
+            best_speedup_at_best_energy = s
+        elif (s, e) in kept_points:
+            front.append(idx)  # exact duplicate of a front point
+        elif e == best_energy and s == best_speedup_at_best_energy:
+            front.append(idx)
+            kept_points.add((s, e))
+    front.sort()
+    return front
+
+
+def pareto_points(points: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Convenience: the unique front points, sorted by ascending speedup."""
+    idx = pareto_set_sort(points)
+    unique = sorted({points[i] for i in idx})
+    return unique

@@ -1,0 +1,74 @@
+"""Extreme-point analysis (Table 2, "Extreme point distance").
+
+The paper separately scores how well the prediction finds the two extreme
+dominant points: the configuration with **maximum speedup** and the one with
+**minimum normalized energy**.  The reported distance is the per-objective
+absolute difference pair ``(|Δspeedup|, |Δenergy|)`` between the predicted
+extreme point and the true one — ``(0.0, 0.0)`` means the extreme was
+predicted exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExtremePoints:
+    """The two extreme dominant points of a bi-objective set."""
+
+    max_speedup: tuple[float, float]
+    min_energy: tuple[float, float]
+
+
+def extreme_points(points: list[tuple[float, float]]) -> ExtremePoints:
+    """Extract the max-speedup and min-energy points.
+
+    Ties on the primary objective are broken by the secondary one (the tied
+    point that is also better on the other objective is the dominant one).
+    """
+    if not points:
+        raise ValueError("cannot take extrema of an empty set")
+    best_speed = max(points, key=lambda p: (p[0], -p[1]))
+    best_energy = min(points, key=lambda p: (p[1], -p[0]))
+    return ExtremePoints(max_speedup=best_speed, min_energy=best_energy)
+
+
+@dataclass(frozen=True)
+class ExtremaDistance:
+    """Table 2's two distance pairs for one benchmark."""
+
+    max_speedup_delta: tuple[float, float]
+    min_energy_delta: tuple[float, float]
+
+    @property
+    def max_speedup_exact(self) -> bool:
+        return self.max_speedup_delta == (0.0, 0.0)
+
+    @property
+    def min_energy_exact(self) -> bool:
+        return self.min_energy_delta == (0.0, 0.0)
+
+
+def extrema_distance(
+    true_points: list[tuple[float, float]],
+    predicted_points: list[tuple[float, float]],
+    atol: float = 1e-12,
+) -> ExtremaDistance:
+    """Compare predicted extreme points against the true ones.
+
+    Distances below ``atol`` are snapped to exactly 0.0 so "predicted
+    exactly" is a stable notion under float noise.
+    """
+    true_ext = extreme_points(true_points)
+    pred_ext = extreme_points(predicted_points)
+
+    def _delta(a: tuple[float, float], b: tuple[float, float]) -> tuple[float, float]:
+        ds = abs(a[0] - b[0])
+        de = abs(a[1] - b[1])
+        return (0.0 if ds < atol else ds, 0.0 if de < atol else de)
+
+    return ExtremaDistance(
+        max_speedup_delta=_delta(true_ext.max_speedup, pred_ext.max_speedup),
+        min_energy_delta=_delta(true_ext.min_energy, pred_ext.min_energy),
+    )

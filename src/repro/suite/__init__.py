@@ -1,0 +1,17 @@
+"""The paper's twelve test benchmarks, written in the OpenCL C subset."""
+
+from .registry import (
+    FIG1_BENCHMARKS,
+    FIG5_BENCHMARKS,
+    TEST_BENCHMARK_NAMES,
+    get_benchmark,
+    test_benchmarks,
+)
+
+__all__ = [
+    "FIG1_BENCHMARKS",
+    "FIG5_BENCHMARKS",
+    "TEST_BENCHMARK_NAMES",
+    "get_benchmark",
+    "test_benchmarks",
+]

@@ -1,0 +1,170 @@
+"""OpenCL sources for the compute-leaning test benchmarks.
+
+These six of the paper's twelve test benchmarks (§4.2, Figs. 5/8) show
+meaningful core-frequency sensitivity: k-NN (the paper's poster child for
+core scaling), MatrixMultiply, MD, PerlinNoise, K-means and Convolution.
+The kernels are written in the supported OpenCL C subset with realistic
+loop structure and instruction mixes for each algorithm.
+"""
+
+KNN_SOURCE = """
+// k-nearest neighbours: distance of each query point to every reference
+// point in a 16-dimensional space; compute-dominated with streaming reads.
+__kernel void knn_distances(__global const float* refs,
+                            __global const float* query,
+                            __global float* dist,
+                            const int n_refs) {
+    int gid = get_global_id(0);
+    float best = 1.0e30f;
+    for (int r = 0; r < 64; r++) {
+        float acc = 0.0f;
+        for (int d = 0; d < 16; d++) {
+            float diff = refs[r * 16 + d] - query[d];
+            acc = acc + diff * diff;
+        }
+        if (acc < best) {
+            best = acc;
+        }
+    }
+    dist[gid] = sqrt(best);
+}
+"""
+
+MATRIX_MULTIPLY_SOURCE = """
+// Tiled matrix multiply: local-memory tiles, fused multiply-add inner loop.
+__kernel void matmul_tiled(__global const float* a,
+                           __global const float* b,
+                           __global float* c,
+                           __local float* tile_a,
+                           __local float* tile_b,
+                           const int n) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < 32; t++) {
+        tile_a[ly * 16 + lx] = a[gy * n + t * 16 + lx];
+        tile_b[ly * 16 + lx] = b[(t * 16 + ly) * n + gx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < 16; k++) {
+            acc = mad(tile_a[ly * 16 + k], tile_b[k * 16 + lx], acc);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    c[gy * n + gx] = acc;
+}
+"""
+
+MD_SOURCE = """
+// Molecular dynamics (Lennard-Jones): pairwise force accumulation with
+// rsqrt-based distance math; compute/SF dominated.
+__kernel void md_forces(__global const float* pos_x,
+                        __global const float* pos_y,
+                        __global const float* pos_z,
+                        __global float* force,
+                        const int n_atoms) {
+    int gid = get_global_id(0);
+    float px = pos_x[gid];
+    float py = pos_y[gid];
+    float pz = pos_z[gid];
+    float fx = 0.0f;
+    for (int j = 0; j < 128; j++) {
+        float dx = pos_x[gid + j + 1] - px;
+        float dy = pos_y[gid + j + 1] - py;
+        float dz = pos_z[gid + j + 1] - pz;
+        float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+        float inv_r = rsqrt(r2);
+        float inv_r2 = inv_r * inv_r;
+        float inv_r6 = inv_r2 * inv_r2 * inv_r2;
+        float scale = inv_r6 * (inv_r6 - 0.5f) * inv_r2;
+        fx = fx + scale * dx;
+    }
+    force[gid] = fx;
+}
+"""
+
+PERLIN_NOISE_SOURCE = """
+// Perlin noise: per-pixel gradient noise with several octaves; pure
+// compute with trigonometric special functions, almost no memory traffic.
+__kernel void perlin_noise(__global float* image,
+                           const int width,
+                           const float scale) {
+    int gid = get_global_id(0);
+    int px = gid % width;
+    int py = gid / width;
+    float x = (float)(px) * scale;
+    float y = (float)(py) * scale;
+    float value = 0.0f;
+    float amplitude = 1.0f;
+    for (int octave = 0; octave < 6; octave++) {
+        float fx = x - floor(x);
+        float fy = y - floor(y);
+        float u = fx * fx * (3.0f - 2.0f * fx);
+        float v = fy * fy * (3.0f - 2.0f * fy);
+        float g00 = sin(x * 12.9898f + y * 78.233f);
+        float g10 = sin((x + 1.0f) * 12.9898f + y * 78.233f);
+        float g01 = sin(x * 12.9898f + (y + 1.0f) * 78.233f);
+        float g11 = sin((x + 1.0f) * 12.9898f + (y + 1.0f) * 78.233f);
+        float lerp_x0 = g00 + u * (g10 - g00);
+        float lerp_x1 = g01 + u * (g11 - g01);
+        value = value + amplitude * (lerp_x0 + v * (lerp_x1 - lerp_x0));
+        amplitude = amplitude * 0.5f;
+        x = x * 2.0f;
+        y = y * 2.0f;
+    }
+    image[gid] = value;
+}
+"""
+
+KMEANS_SOURCE = """
+// K-means assignment step: nearest of 8 centroids in 4-D feature space;
+// mixed compute/memory with a data-dependent branch.
+__kernel void kmeans_assign(__global const float* points,
+                            __global const float* centroids,
+                            __global int* assignment,
+                            const int n_points) {
+    int gid = get_global_id(0);
+    float best_dist = 1.0e30f;
+    int best_k = 0;
+    for (int k = 0; k < 8; k++) {
+        float acc = 0.0f;
+        for (int d = 0; d < 4; d++) {
+            float diff = points[gid * 4 + d] - centroids[k * 4 + d];
+            acc = acc + diff * diff;
+        }
+        if (acc < best_dist) {
+            best_dist = acc;
+            best_k = k;
+        }
+    }
+    assignment[gid] = best_k;
+}
+"""
+
+CONVOLUTION_SOURCE = """
+// 2-D convolution with a 7x7 kernel: balanced compute and global traffic.
+__kernel void convolution7x7(__global const float* input,
+                             __global const float* weights,
+                             __global float* output,
+                             const int width,
+                             const int height) {
+    int gid = get_global_id(0);
+    int px = gid % width;
+    int py = gid / width;
+    float acc = 0.0f;
+    for (int ky = 0; ky < 7; ky++) {
+        for (int kx = 0; kx < 7; kx++) {
+            int sx = px + kx - 3;
+            int sy = py + ky - 3;
+            if (sx >= 0) {
+                if (sy >= 0) {
+                    acc = acc + input[sy * width + sx]
+                              * weights[ky * 7 + kx];
+                }
+            }
+        }
+    }
+    output[gid] = acc;
+}
+"""

@@ -1,0 +1,167 @@
+"""OpenCL sources for the memory-leaning and integer test benchmarks.
+
+The other six of the paper's twelve: Mersenne Twister (the paper's example
+of a memory-dominated code whose speedup ignores the core clock), AES
+(integer/bitwise with local-memory tables), Blackscholes (streaming,
+little core sensitivity in the paper's data), BitCompression, MedianFilter
+and Flte (a streaming FIR-style filter).
+"""
+
+MERSENNE_TWISTER_SOURCE = """
+// Mersenne Twister state update + tempering: bitwise-heavy but dominated
+// by streaming the large state array through DRAM.
+__kernel void mt_update(__global uint* state,
+                        __global uint* output,
+                        const int n) {
+    int gid = get_global_id(0);
+    uint s0 = state[gid % n];
+    uint s1 = state[(gid + 1) % n];
+    uint s397 = state[(gid + 397) % n];
+    uint mixed = (s0 & 0x80000000u) | (s1 & 0x7fffffffu);
+    uint next = s397 ^ (mixed >> 1);
+    if ((mixed & 1u) != 0u) {
+        next = next ^ 0x9908b0dfu;
+    }
+    uint y = next;
+    y = y ^ (y >> 11);
+    y = y ^ ((y << 7) & 0x9d2c5680u);
+    y = y ^ ((y << 15) & 0xefc60000u);
+    y = y ^ (y >> 18);
+    state[gid % n] = next;
+    output[gid % n] = y;
+}
+"""
+
+AES_SOURCE = """
+// AES round function: S-box substitutions from __local tables plus
+// MixColumns-style bitwise math; integer/local-memory dominated.
+__kernel void aes_rounds(__global const uint* input,
+                         __global uint* output,
+                         __local uint* sbox,
+                         const int n_blocks) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    // Cooperative S-box staging into local memory.
+    for (int i = 0; i < 4; i++) {
+        sbox[(lid * 4 + i) & 255] = (uint)((lid * 4 + i) * 167 + 13) & 0xffu;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    uint block = input[gid];
+    for (int round = 0; round < 10; round++) {
+        uint b0 = sbox[block & 0xffu];
+        uint b1 = sbox[(block >> 8) & 0xffu];
+        uint b2 = sbox[(block >> 16) & 0xffu];
+        uint b3 = sbox[(block >> 24) & 0xffu];
+        uint sub = b0 | (b1 << 8) | (b2 << 16) | (b3 << 24);
+        uint rotated = (sub << 8) | (sub >> 24);
+        uint doubled = ((sub << 1) & 0xfefefefeu) ^ (((sub >> 7) & 0x01010101u) * 0x1bu);
+        block = rotated ^ doubled ^ (uint)(round * 0x01010101);
+    }
+    output[gid] = block;
+}
+"""
+
+BLACKSCHOLES_SOURCE = """
+// Black-Scholes option pricing: streams five input arrays and writes two
+// outputs per item; the per-item SF math does not hide the DRAM traffic.
+__kernel void blackscholes(__global const float* spot,
+                           __global const float* strike,
+                           __global const float* years,
+                           __global const float* rate,
+                           __global const float* volatility,
+                           __global float* call_out,
+                           __global float* put_out,
+                           const int n) {
+    int gid = get_global_id(0);
+    float s = spot[gid];
+    float k = strike[gid];
+    float t = years[gid];
+    float r = rate[gid];
+    float v = volatility[gid];
+    float sqrt_t = sqrt(t);
+    float d1 = (log(s / k) + (r + 0.5f * v * v) * t) / (v * sqrt_t);
+    float d2 = d1 - v * sqrt_t;
+    float cnd1 = 0.5f + 0.5f * (1.0f - exp(-0.7988f * d1 * (1.0f + 0.04417f * d1 * d1)));
+    float cnd2 = 0.5f + 0.5f * (1.0f - exp(-0.7988f * d2 * (1.0f + 0.04417f * d2 * d2)));
+    float discounted = k * exp(-r * t);
+    call_out[gid] = s * cnd1 - discounted * cnd2;
+    put_out[gid] = discounted * (1.0f - cnd2) - s * (1.0f - cnd1);
+}
+"""
+
+BITCOMPRESSION_SOURCE = """
+// Bit-plane compression: pack 4 words into a compressed form with masks
+// and shifts; integer-bitwise with streaming reads and narrower writes.
+__kernel void bit_compress(__global const uint* input,
+                           __global uint* output,
+                           const int n_words) {
+    int gid = get_global_id(0);
+    uint packed = 0u;
+    for (int w = 0; w < 4; w++) {
+        uint word = input[gid * 4 + w];
+        uint nibble = 0u;
+        for (int b = 0; b < 8; b++) {
+            uint bit = (word >> (b * 4)) & 1u;
+            nibble = nibble | (bit << b);
+        }
+        packed = packed | (nibble << (w * 8));
+    }
+    output[gid] = packed;
+}
+"""
+
+MEDIAN_FILTER_SOURCE = """
+// 3x3 median filter via a sorting network on 9 taps; branch/compare heavy
+// with a 3x3 neighbourhood of global reads per pixel.
+__kernel void median3x3(__global const float* input,
+                        __global float* output,
+                        const int width,
+                        const int height) {
+    int gid = get_global_id(0);
+    int px = gid % width;
+    int py = gid / width;
+    float v0 = input[py * width + px];
+    float v1 = input[py * width + px + 1];
+    float v2 = input[py * width + px + 2];
+    float v3 = input[(py + 1) * width + px];
+    float v4 = input[(py + 1) * width + px + 1];
+    float v5 = input[(py + 1) * width + px + 2];
+    float v6 = input[(py + 2) * width + px];
+    float v7 = input[(py + 2) * width + px + 1];
+    float v8 = input[(py + 2) * width + px + 2];
+    for (int pass = 0; pass < 5; pass++) {
+        float t0 = fmin(v0, v1); v1 = fmax(v0, v1); v0 = t0;
+        float t2 = fmin(v2, v3); v3 = fmax(v2, v3); v2 = t2;
+        float t4 = fmin(v4, v5); v5 = fmax(v4, v5); v4 = t4;
+        float t6 = fmin(v6, v7); v7 = fmax(v6, v7); v6 = t6;
+        float t1 = fmin(v1, v2); v2 = fmax(v1, v2); v1 = t1;
+        float t5 = fmin(v5, v6); v6 = fmax(v5, v6); v5 = t5;
+        float t3 = fmin(v3, v4); v4 = fmax(v3, v4); v3 = t3;
+        float t8 = fmin(v7, v8); v8 = fmax(v7, v8); v7 = t8;
+    }
+    output[gid] = v4;
+}
+"""
+
+FLTE_SOURCE = """
+// Flte: nonlinear lowpass filter over audio samples — an 8-tap window
+// with biquad-style feedback shaping per tap; float-math dominated with
+// a streaming read window.
+__kernel void flte_filter(__global const float* samples,
+                          __global const float* taps,
+                          __global float* filtered,
+                          const int n_samples) {
+    int gid = get_global_id(0);
+    float acc = 0.0f;
+    for (int t = 0; t < 8; t++) {
+        float s = samples[gid + t];
+        float w = taps[t];
+        float z = s * w;
+        float fb = z * 0.35f + acc * 0.65f;
+        float shaped = fb * fb * (3.0f - 2.0f * fb);
+        acc = acc + shaped * 0.5f - z * 0.125f;
+    }
+    float out = acc * 0.2f + 0.4f;
+    filtered[gid] = out * out * 0.8f + out * 0.2f;
+}
+"""

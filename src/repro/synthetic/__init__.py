@@ -1,0 +1,29 @@
+"""Synthetic micro-benchmark generation (the paper's 106 training codes)."""
+
+from .generator import (
+    EXPECTED_MICRO_BENCHMARKS,
+    MICRO_WORK_ITEMS,
+    generate_micro_benchmarks,
+    make_mix_spec,
+    make_pattern_spec,
+    micro_traits,
+)
+from .mixes import MIX_RECIPES, MixRecipe, all_mixes, render_mix
+from .patterns import INTENSITIES, PATTERNS, Pattern, render_kernel
+
+__all__ = [
+    "EXPECTED_MICRO_BENCHMARKS",
+    "INTENSITIES",
+    "MICRO_WORK_ITEMS",
+    "MIX_RECIPES",
+    "MixRecipe",
+    "PATTERNS",
+    "Pattern",
+    "all_mixes",
+    "generate_micro_benchmarks",
+    "make_mix_spec",
+    "make_pattern_spec",
+    "micro_traits",
+    "render_kernel",
+    "render_mix",
+]

@@ -1,0 +1,106 @@
+"""Micro-benchmark generator: the paper's 106 synthetic training codes.
+
+§3.3: "each pattern covers a specific feature, and generates a number [of]
+codes with different instruction intensity [...] the pattern b-int-add
+includes nine codes with a variable number of integer addition instructions,
+from 2^0 to 2^8 [...] Overall, we generated 106 micro-benchmarks."
+
+10 patterns × 9 intensities = 90 single-feature codes, plus 16 mixed codes
+= 106.  Dynamic traits are near-ideal with small deterministic per-pattern
+variation: micro-benchmarks are *designed* to be well-behaved, which is why
+a model trained on them meets harder conditions on the real test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..gpusim.profile import DynamicTraits
+from ..workloads import KernelSpec
+from .mixes import MixRecipe, all_mixes, render_mix
+from .patterns import INTENSITIES, PATTERNS, Pattern, render_kernel
+
+#: Launch size for every micro-benchmark (2^20 items: large enough to fill
+#: the GPU, small enough to sweep quickly).
+MICRO_WORK_ITEMS = 1 << 20
+
+#: Paper's count, asserted by tests.
+EXPECTED_MICRO_BENCHMARKS = 106
+
+
+def _trait_jitter(name: str, base: float, spread: float, lo: float, hi: float) -> float:
+    """Small deterministic per-benchmark perturbation of a trait value."""
+    digest = hashlib.blake2b(name.encode(), digest_size=4).digest()
+    unit = int.from_bytes(digest, "little") / 0xFFFFFFFF  # [0, 1]
+    value = base + (unit - 0.5) * 2.0 * spread
+    return min(max(value, lo), hi)
+
+
+def micro_traits(name: str, stressed: str) -> DynamicTraits:
+    """Near-ideal dynamic traits with mild per-benchmark variation.
+
+    Memory-stressing patterns get streaming-like cache behaviour; local
+    patterns get high occupancy; compute patterns leave memory traits at
+    their friendly defaults.
+    """
+    if stressed == "gl_access":
+        # Strided streaming reads: designed to live in DRAM.
+        base_hit, base_coalesce = 0.10, 0.95
+    elif stressed == "loc_access":
+        base_hit, base_coalesce = 0.35, 0.95
+    else:
+        # Compute patterns and mixes touch a small working set repeatedly;
+        # their residual global traffic is largely L2-resident, like the
+        # compute-leaning real benchmarks whose slopes the model must learn.
+        base_hit, base_coalesce = 0.55, 0.92
+    return DynamicTraits(
+        cache_hit_rate=_trait_jitter(name + "#hit", base_hit, 0.05, 0.0, 1.0),
+        coalescing=_trait_jitter(name + "#co", base_coalesce, 0.03, 0.5, 1.0),
+        divergence=_trait_jitter(name + "#div", 0.02, 0.02, 0.0, 0.2),
+        ilp=_trait_jitter(name + "#ilp", 2.0, 0.3, 1.0, 4.0),
+        occupancy=_trait_jitter(name + "#occ", 0.90, 0.05, 0.3, 1.0),
+    )
+
+
+def make_pattern_spec(pattern: Pattern, intensity: int) -> KernelSpec:
+    """One single-feature micro-benchmark at a given intensity."""
+    name = f"{pattern.name}-{intensity}"
+    kernel_name = f"{pattern.name}_{intensity}".replace("-", "_")
+    source = render_kernel(pattern, intensity, kernel_name)
+    is_memory = pattern.stressed_feature in ("gl_access", "loc_access")
+    return KernelSpec(
+        name=name,
+        source=source,
+        work_items=MICRO_WORK_ITEMS,
+        kernel_name=kernel_name,
+        traits=micro_traits(name, pattern.stressed_feature),
+        bytes_per_access=8.0 if is_memory else 4.0,
+        category="memory" if is_memory else "compute",
+    )
+
+
+def make_mix_spec(recipe: MixRecipe) -> KernelSpec:
+    source = render_mix(recipe)
+    # Mixes with a heavy gl component stream like the memory patterns do.
+    streaming = recipe.ops.get("gl_access", 0) >= 12
+    return KernelSpec(
+        name=recipe.name,
+        source=source,
+        work_items=MICRO_WORK_ITEMS,
+        kernel_name=recipe.name.replace("-", "_"),
+        traits=micro_traits(recipe.name, "gl_access" if streaming else "mixed"),
+        bytes_per_access=8.0 if streaming else 4.0,
+        category="mixed",
+    )
+
+
+def generate_micro_benchmarks() -> list[KernelSpec]:
+    """The full training suite: 90 pattern codes + 16 mixes = 106 specs."""
+    specs = [
+        make_pattern_spec(pattern, intensity)
+        for pattern in PATTERNS
+        for intensity in INTENSITIES
+    ]
+    specs.extend(make_mix_spec(recipe) for recipe in all_mixes())
+    assert len(specs) == EXPECTED_MICRO_BENCHMARKS, len(specs)
+    return specs

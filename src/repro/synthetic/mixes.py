@@ -1,0 +1,76 @@
+"""Mixed synthetic benchmarks (paper §3.3).
+
+"Additionally, a set of training benchmarks corresponding to a mix of all
+used features is also taken into account."  Each mix combines several
+feature classes at a specified ratio, filling the region of feature space
+between the single-class patterns — which is where the twelve real test
+benchmarks live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .patterns import PATTERNS, Pattern
+
+#: (name, {feature: ops}) — hand-designed to span compute/memory/SF ratios.
+MIX_RECIPES: tuple[tuple[str, dict[str, int]], ...] = (
+    ("b-mix-balanced", {"int_add": 8, "float_add": 8, "float_mul": 8, "gl_access": 8}),
+    ("b-mix-compute", {"float_add": 32, "float_mul": 32, "int_add": 8, "gl_access": 2}),
+    ("b-mix-memory", {"gl_access": 24, "int_add": 8, "float_add": 4}),
+    ("b-mix-sf-light", {"sf": 4, "float_mul": 16, "gl_access": 4}),
+    ("b-mix-sf-heavy", {"sf": 24, "float_add": 8, "gl_access": 2}),
+    ("b-mix-intensive-int", {"int_add": 24, "int_mul": 12, "int_bw": 12, "gl_access": 4}),
+    ("b-mix-bitwise-mem", {"int_bw": 20, "gl_access": 12, "int_add": 6}),
+    ("b-mix-local", {"loc_access": 16, "float_add": 12, "gl_access": 4}),
+    ("b-mix-local-compute", {"loc_access": 8, "float_mul": 24, "float_add": 12}),
+    ("b-mix-div", {"float_div": 10, "int_div": 6, "float_add": 8, "gl_access": 4}),
+    ("b-mix-stream", {"gl_access": 16, "float_mul": 8, "float_add": 8}),
+    ("b-mix-stencil", {"gl_access": 10, "float_add": 18, "float_mul": 10}),
+    ("b-mix-reduce", {"gl_access": 6, "loc_access": 12, "float_add": 16}),
+    ("b-mix-crypt", {"int_bw": 28, "int_add": 10, "loc_access": 8, "gl_access": 6}),
+    ("b-mix-mc", {"sf": 12, "float_mul": 20, "float_add": 10, "gl_access": 3}),
+    ("b-mix-all", {
+        "int_add": 6, "int_mul": 4, "int_div": 2, "int_bw": 6,
+        "float_add": 6, "float_mul": 6, "float_div": 2, "sf": 4,
+        "gl_access": 6, "loc_access": 6,
+    }),
+)
+
+
+@dataclass(frozen=True)
+class MixRecipe:
+    name: str
+    ops: dict[str, int]
+
+    @property
+    def uses_local(self) -> bool:
+        return self.ops.get("loc_access", 0) > 0
+
+
+def _pattern_for(feature: str) -> Pattern:
+    for p in PATTERNS:
+        if p.stressed_feature == feature:
+            return p
+    raise KeyError(f"no pattern stresses {feature!r}")
+
+
+def render_mix(recipe: MixRecipe) -> str:
+    """Emit a mixed-feature kernel by concatenating pattern bodies."""
+    from .patterns import KERNEL_TEMPLATE, KERNEL_TEMPLATE_LOCAL
+
+    sections: list[str] = []
+    for feature, count in recipe.ops.items():
+        if count <= 0:
+            continue
+        pattern = _pattern_for(feature)
+        sections.append(f"// {feature} x{count}")
+        sections.append(pattern.body(count))
+    body = "\n    ".join(sections)
+    template = KERNEL_TEMPLATE_LOCAL if recipe.uses_local else KERNEL_TEMPLATE
+    kernel_name = recipe.name.replace("-", "_")
+    return template.format(name=kernel_name, body=body)
+
+
+def all_mixes() -> list[MixRecipe]:
+    return [MixRecipe(name=n, ops=dict(ops)) for n, ops in MIX_RECIPES]

@@ -1,0 +1,134 @@
+"""Pattern templates for synthetic micro-benchmark generation (paper §3.3).
+
+Each pattern stresses exactly one feature dimension ("each pattern covers a
+specific feature, and generates a number of codes with different instruction
+intensity").  A pattern instance at intensity ``k`` emits a kernel whose
+body contains ``k`` operations of the stressed class (2^0 … 2^8, nine
+intensities per pattern — the paper's ``b-int-add`` example).
+
+Every generated kernel keeps the same I/O skeleton (one global load, one
+global store) so it is a *runnable* kernel with sane memory behaviour, while
+the stressed operation dominates the instruction mix as intensity grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: The nine intensities of §3.3 ("from 2^0 to 2^8").
+INTENSITIES: tuple[int, ...] = tuple(2**i for i in range(9))
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One micro-benchmark pattern: a name and a body generator.
+
+    ``body(k)`` must return OpenCL statements performing ``k`` operations of
+    the stressed class on the accumulator variables ``fa`` (float) and
+    ``ia`` (int) available in the skeleton.
+    """
+
+    name: str
+    stressed_feature: str
+    body: Callable[[int], str]
+    #: Whether the skeleton needs a __local scratch buffer.
+    uses_local: bool = False
+
+
+def _int_add_body(k: int) -> str:
+    return "\n    ".join(f"ia = ia + {i + 1};" for i in range(k))
+
+
+def _int_mul_body(k: int) -> str:
+    return "\n    ".join(f"ia = ia * {2 * i + 3};" for i in range(k))
+
+
+def _int_div_body(k: int) -> str:
+    return "\n    ".join(f"ia = ia / {i + 2};" for i in range(k))
+
+
+def _int_bw_body(k: int) -> str:
+    ops = ["^", "|", "&"]
+    return "\n    ".join(f"ia = ia {ops[i % 3]} {i + 0x11};" for i in range(k))
+
+
+def _float_add_body(k: int) -> str:
+    return "\n    ".join(f"fa = fa + {float(i + 1)}f;" for i in range(k))
+
+
+def _float_mul_body(k: int) -> str:
+    return "\n    ".join(f"fa = fa * {1.0 + (i + 1) * 1e-4}f;" for i in range(k))
+
+
+def _float_div_body(k: int) -> str:
+    return "\n    ".join(f"fa = fa / {1.0 + (i + 1) * 1e-4}f;" for i in range(k))
+
+
+def _sf_body(k: int) -> str:
+    fns = ["sin", "cos", "exp", "log", "sqrt"]
+    return "\n    ".join(f"fa = {fns[i % 5]}(fa);" for i in range(k))
+
+
+def _gl_access_body(k: int) -> str:
+    # Strided reads from the input buffer accumulate into fa.
+    return "\n    ".join(f"fa = fa + in[gid + {i * 32 + 1}];" for i in range(k))
+
+
+def _loc_access_body(k: int) -> str:
+    lines = []
+    for i in range(k):
+        if i % 2 == 0:
+            lines.append(f"scratch[lid] = fa + {float(i)}f;")
+        else:
+            lines.append(f"fa = fa + scratch[lid + {i}];")
+    return "\n    ".join(lines)
+
+
+#: One pattern per feature dimension, names following the paper's b-<class>.
+PATTERNS: tuple[Pattern, ...] = (
+    Pattern("b-int-add", "int_add", _int_add_body),
+    Pattern("b-int-mul", "int_mul", _int_mul_body),
+    Pattern("b-int-div", "int_div", _int_div_body),
+    Pattern("b-int-bw", "int_bw", _int_bw_body),
+    Pattern("b-float-add", "float_add", _float_add_body),
+    Pattern("b-float-mul", "float_mul", _float_mul_body),
+    Pattern("b-float-div", "float_div", _float_div_body),
+    Pattern("b-sf", "sf", _sf_body),
+    Pattern("b-gl-access", "gl_access", _gl_access_body),
+    Pattern("b-loc-access", "loc_access", _loc_access_body, uses_local=True),
+)
+
+
+KERNEL_TEMPLATE = """\
+__kernel void {name}(__global const float* in, __global float* out, const int n) {{
+    int gid = get_global_id(0);
+    int ia = gid + 1;
+    float fa = in[gid];
+    {body}
+    out[gid] = fa + (float)(ia);
+}}
+"""
+
+KERNEL_TEMPLATE_LOCAL = """\
+__kernel void {name}(__global const float* in, __global float* out,
+                     __local float* scratch, const int n) {{
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int ia = gid + 1;
+    float fa = in[gid];
+    scratch[lid] = fa;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    {body}
+    out[gid] = fa + (float)(ia);
+}}
+"""
+
+
+def render_kernel(pattern: Pattern, intensity: int, name: str) -> str:
+    """Emit OpenCL source for ``pattern`` at ``intensity`` ops."""
+    if intensity < 1:
+        raise ValueError("intensity must be >= 1")
+    body = pattern.body(intensity)
+    template = KERNEL_TEMPLATE_LOCAL if pattern.uses_local else KERNEL_TEMPLATE
+    return template.format(name=name, body=body)

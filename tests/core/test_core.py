@@ -1,0 +1,211 @@
+"""Tests for the core pipeline: sampling, dataset, training, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    exhaustive_settings,
+    make_sampling_plans,
+    mem_l_heuristic_config,
+    prediction_candidates,
+    sample_training_settings,
+)
+from repro.core.dataset import build_training_dataset, measure_kernel
+from repro.core.pipeline import train_models
+from repro.core.predictor import ParetoPredictor
+from repro.gpusim.device import make_tesla_p100, make_titan_x
+from repro.gpusim.executor import GPUSimulator
+from repro.harness.context import quick_context
+from repro.pareto.dominance import dominates
+from repro.suite import get_benchmark
+from repro.suite import test_benchmarks as suite_benchmarks
+from repro.synthetic import generate_micro_benchmarks
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_titan_x()
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return quick_context()
+
+
+class TestSampling:
+    def test_paper_sample_size(self, device):
+        settings = sample_training_settings(device)
+        assert len(settings) == 40
+
+    def test_sample_includes_all_mem_l(self, device):
+        settings = sample_training_settings(device)
+        mem_l = [s for s in settings if s[1] == 405.0]
+        assert len(mem_l) == 6
+
+    def test_sample_covers_all_domains(self, device):
+        settings = sample_training_settings(device)
+        assert {s[1] for s in settings} == {405.0, 810.0, 3304.0, 3505.0}
+
+    def test_samples_are_real_configs(self, device):
+        real = set(device.real_configurations())
+        for s in sample_training_settings(device):
+            assert s in real
+
+    def test_exhaustive_is_all_real(self, device):
+        assert exhaustive_settings(device) == device.real_configurations()
+
+    def test_sampling_plans_increase(self, device):
+        plans = make_sampling_plans(device)
+        sizes = [p.size for p in plans]
+        assert sizes == sorted(sizes)
+        assert plans[-1].name == "exhaustive"
+
+    def test_too_small_budget_rejected(self, device):
+        with pytest.raises(ValueError):
+            sample_training_settings(device, total=2)
+
+
+class TestPredictionCandidates:
+    def test_excludes_mem_l_domain(self, device):
+        candidates = prediction_candidates(device)
+        assert all(mem != 405.0 for _, mem in candidates)
+
+    def test_covers_three_domains(self, device):
+        candidates = prediction_candidates(device)
+        assert {mem for _, mem in candidates} == {810.0, 3304.0, 3505.0}
+
+    def test_p100_single_domain_modeled(self):
+        dev = make_tesla_p100()
+        candidates = prediction_candidates(dev)
+        assert candidates == dev.real_configurations()
+
+    def test_heuristic_config_is_last_mem_l(self, device):
+        cfg = mem_l_heuristic_config(device)
+        assert cfg == (405.0, 405.0)
+
+    def test_p100_has_no_heuristic(self):
+        assert mem_l_heuristic_config(make_tesla_p100()) is None
+
+
+class TestDataset:
+    def test_measure_kernel_normalizes_to_baseline(self, device):
+        sim = GPUSimulator(device)
+        spec = get_benchmark("K-means")
+        m = measure_kernel(sim, spec, [device.default_config])
+        point = m.points[0]
+        assert point.speedup == pytest.approx(1.0, abs=0.05)
+        assert point.norm_energy == pytest.approx(1.0, abs=0.05)
+
+    def test_dataset_shapes(self, device):
+        sim = GPUSimulator(device)
+        specs = generate_micro_benchmarks()[:5]
+        settings = sample_training_settings(device, total=12)
+        ds = build_training_dataset(sim, specs, settings)
+        assert ds.x.shape == (5 * len(settings), 32)
+        assert ds.y_speedup.shape == (ds.n_samples,)
+        assert ds.n_kernels == 5
+
+    def test_groups_align_with_rows(self, device):
+        sim = GPUSimulator(device)
+        specs = generate_micro_benchmarks()[:3]
+        settings = sample_training_settings(device, total=12)
+        ds = build_training_dataset(sim, specs, settings)
+        assert len(ds.groups) == ds.n_samples
+        assert ds.groups[0] == specs[0].name
+        assert ds.groups[-1] == specs[-1].name
+
+    def test_subset(self, ctx):
+        ds = ctx.dataset
+        mask = np.zeros(ds.n_samples, dtype=bool)
+        mask[:10] = True
+        sub = ds.subset(mask)
+        assert sub.n_samples == 10
+
+    def test_empty_inputs_rejected(self, device):
+        sim = GPUSimulator(device)
+        with pytest.raises(ValueError):
+            build_training_dataset(sim, [], [(1001.0, 3505.0)])
+        with pytest.raises(ValueError):
+            build_training_dataset(sim, generate_micro_benchmarks()[:1], [])
+
+
+class TestTrainedModels:
+    def test_predictions_roughly_track_measurements(self, ctx):
+        """Model sanity: averaged over held-out benchmarks, predicted
+        speedup must correlate strongly with measured speedup (the quick
+        context is deliberately under-trained, so the bar is moderate)."""
+        corrs = []
+        for spec in suite_benchmarks():
+            objs = ctx.models.predict_objectives(spec.static_features(), ctx.settings)
+            m = measure_kernel(ctx.sim, spec, ctx.settings)
+            predicted = np.array([o[0] for o in objs])
+            measured = np.array([p.speedup for p in m.points])
+            corrs.append(np.corrcoef(predicted, measured)[0, 1])
+        assert np.mean(corrs) > 0.75
+        assert min(corrs) > 0.3
+
+    def test_energy_predictions_positive(self, ctx):
+        spec = get_benchmark("MT")
+        objs = ctx.models.predict_objectives(spec.static_features(), ctx.settings)
+        assert all(e > 0 for _, e in objs)
+
+    def test_custom_model_factories(self, ctx):
+        from repro.ml.linear import OLSRegression
+
+        models = train_models(
+            ctx.dataset,
+            make_speedup=OLSRegression,
+            make_energy=OLSRegression,
+            settings=ctx.settings,
+        )
+        assert isinstance(models.speedup_model, OLSRegression)
+
+
+class TestParetoPredictor:
+    def test_predicted_front_nonempty(self, ctx):
+        for spec in suite_benchmarks()[:4]:
+            result = ctx.predictor.predict_for_spec(spec)
+            assert result.size >= 2, spec.name
+
+    def test_front_is_mutually_nondominated_in_modeled_points(self, ctx):
+        result = ctx.predictor.predict_for_spec(get_benchmark("K-means"))
+        modeled = result.modeled_front()
+        for i, a in enumerate(modeled):
+            for b in modeled[i + 1 :]:
+                assert not dominates(a.objectives, b.objectives)
+                assert not dominates(b.objectives, a.objectives)
+
+    def test_mem_l_heuristic_point_present(self, ctx):
+        result = ctx.predictor.predict_for_spec(get_benchmark("MD"))
+        heuristic = result.heuristic_points()
+        assert len(heuristic) == 1
+        assert heuristic[0].config == (405.0, 405.0)
+
+    def test_heuristic_can_be_disabled(self, ctx):
+        predictor = ParetoPredictor(
+            ctx.models, ctx.device, use_mem_l_heuristic=False,
+            candidates=ctx.predictor.candidates,
+        )
+        result = predictor.predict_for_spec(get_benchmark("MD"))
+        assert not result.heuristic_points()
+        assert all(mem != 405.0 for _, mem in result.configs)
+
+    def test_predict_from_source(self, ctx):
+        src = """
+        __kernel void axpy(__global const float* x, __global float* y, const float a) {
+            int gid = get_global_id(0);
+            y[gid] = a * x[gid] + y[gid];
+        }
+        """
+        result = ctx.predictor.predict_from_source(src)
+        assert result.kernel == "axpy"
+        assert result.size >= 1
+
+    def test_all_points_cover_candidates(self, ctx):
+        result = ctx.predictor.predict_for_spec(get_benchmark("AES"))
+        assert len(result.all_points) == len(ctx.predictor.candidates)
+
+    def test_front_configs_are_candidates_or_heuristic(self, ctx):
+        result = ctx.predictor.predict_for_spec(get_benchmark("Convolution"))
+        allowed = set(ctx.predictor.candidates) | {(405.0, 405.0)}
+        assert set(result.configs) <= allowed

@@ -1,0 +1,122 @@
+"""Tests for device tables: frequency menus, clamping, V/f curve (Fig. 4)."""
+
+import pytest
+
+from repro.gpusim.device import (
+    TITAN_X_CORE_CLAMP_MHZ,
+    VoltageCurve,
+    get_device,
+    make_tesla_p100,
+    make_titan_x,
+)
+
+
+class TestTitanXMenus:
+    def setup_method(self):
+        self.dev = make_titan_x()
+
+    def test_four_memory_domains(self):
+        assert self.dev.mem_clocks_mhz == (405.0, 810.0, 3304.0, 3505.0)
+
+    def test_domain_labels(self):
+        assert [d.label for d in self.dev.domains] == ["L", "l", "h", "H"]
+
+    def test_mem_l_has_six_cores(self):
+        # Paper §4.1: "the lowest memory configuration (mem-L) only
+        # supports six core frequencies".
+        assert len(self.dev.domain_by_label("L").real_core_mhz) == 6
+
+    def test_mem_l_caps_at_405(self):
+        assert max(self.dev.domain_by_label("L").real_core_mhz) == 405.0
+
+    def test_mem_low_has_71_cores(self):
+        assert len(self.dev.domain_by_label("l").real_core_mhz) == 71
+
+    def test_mem_high_domains_have_50_real(self):
+        # Paper §4.1: "both mem-h and mem-H have 50".
+        assert len(self.dev.domain_by_label("h").real_core_mhz) == 50
+        assert len(self.dev.domain_by_label("H").real_core_mhz) == 50
+
+    def test_reported_total_is_219(self):
+        # Paper §1: "a total number of 219 possible configurations".
+        assert len(self.dev.reported_configurations()) == 219
+
+    def test_clamp_rule(self):
+        domain = self.dev.domain_by_label("H")
+        assert domain.effective_core(1392.0) == TITAN_X_CORE_CLAMP_MHZ
+        assert domain.effective_core(1000.0) == 1000.0
+
+    def test_reported_includes_fake_configs(self):
+        domain = self.dev.domain_by_label("H")
+        fakes = [c for c in domain.reported_core_mhz if c > TITAN_X_CORE_CLAMP_MHZ]
+        assert len(fakes) == 21
+
+    def test_real_excludes_fakes(self):
+        domain = self.dev.domain_by_label("H")
+        assert max(domain.real_core_mhz) == TITAN_X_CORE_CLAMP_MHZ
+
+    def test_default_config(self):
+        assert self.dev.default_config == (1001.0, 3505.0)
+
+    def test_default_core_in_menu(self):
+        for label in ("h", "H", "l"):
+            assert 1001.0 in self.dev.domain_by_label(label).reported_core_mhz
+
+    def test_unknown_mem_clock_raises(self):
+        with pytest.raises(KeyError):
+            self.dev.domain(999.0)
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            self.dev.domain_by_label("X")
+
+
+class TestTeslaP100:
+    def test_single_memory_domain(self):
+        # Paper §4.1: "the NVIDIA Tesla P100 only supports one".
+        dev = make_tesla_p100()
+        assert dev.mem_clocks_mhz == (715.0,)
+
+    def test_no_clamping(self):
+        dev = make_tesla_p100()
+        domain = dev.domains[0]
+        assert domain.effective_core(max(domain.reported_core_mhz)) == max(
+            domain.reported_core_mhz
+        )
+
+    def test_default_is_max_core(self):
+        dev = make_tesla_p100()
+        assert dev.default_core_mhz == 1328.0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_device("NVIDIA GTX Titan X").compute_capability == "5.2"
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("NVIDIA Imaginary 9000")
+
+
+class TestVoltageCurve:
+    def test_flat_region(self):
+        vf = VoltageCurve()
+        assert vf.voltage(135.0) == vf.v_min
+        assert vf.voltage(vf.flat_until_mhz) == vf.v_min
+
+    def test_monotone_rising(self):
+        vf = VoltageCurve()
+        freqs = [200.0, 600.0, 800.0, 1000.0, 1200.0, 1392.0]
+        volts = [vf.voltage(f) for f in freqs]
+        assert volts == sorted(volts)
+
+    def test_max_voltage_at_max_frequency(self):
+        vf = VoltageCurve()
+        assert vf.voltage(vf.max_mhz) == pytest.approx(vf.v_max)
+
+    def test_superlinear_at_top(self):
+        # The marginal volt per MHz must grow toward the top of the range.
+        vf = VoltageCurve()
+        low_slope = vf.voltage(800.0) - vf.voltage(700.0)
+        high_slope = vf.voltage(1392.0) - vf.voltage(1292.0)
+        assert high_slope > low_slope

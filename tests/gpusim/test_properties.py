@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the GPU simulator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.device import make_titan_x
+from repro.gpusim.perf_model import PerformanceModel
+from repro.gpusim.power_model import PowerModel
+from repro.gpusim.profile import DynamicTraits, WorkloadProfile
+
+DEVICE = make_titan_x()
+PERF = PerformanceModel(DEVICE)
+POWER = PowerModel(DEVICE)
+
+op_counts = st.fixed_dictionaries(
+    {
+        "int_add": st.floats(0.0, 500.0),
+        "float_mul": st.floats(0.0, 500.0),
+        "float_add": st.floats(0.0, 500.0),
+        "sf": st.floats(0.0, 50.0),
+        "gl_access": st.floats(0.0, 60.0),
+        "loc_access": st.floats(0.0, 60.0),
+    }
+)
+
+traits_strategy = st.builds(
+    DynamicTraits,
+    cache_hit_rate=st.floats(0.0, 1.0),
+    coalescing=st.floats(0.1, 1.0),
+    divergence=st.floats(0.0, 0.9),
+    ilp=st.floats(1.0, 4.0),
+    occupancy=st.floats(0.1, 1.0),
+)
+
+profiles = st.builds(
+    WorkloadProfile,
+    name=st.just("prop"),
+    ops_per_item=op_counts,
+    work_items=st.integers(1, 1 << 22),
+    bytes_per_access=st.floats(1.0, 32.0),
+    traits=traits_strategy,
+)
+
+core_clocks = st.sampled_from(DEVICE.domain_by_label("l").real_core_mhz)
+mem_clocks = st.sampled_from(DEVICE.mem_clocks_mhz)
+
+
+@given(profile=profiles, core=core_clocks, mem=mem_clocks)
+@settings(max_examples=120, deadline=None)
+def test_time_positive_and_finite(profile, core, mem):
+    phases = PERF.execute(profile, core, mem)
+    assert phases.t_total_s > 0.0
+    assert phases.t_total_s < 1e6
+
+
+@given(profile=profiles, mem=mem_clocks)
+@settings(max_examples=80, deadline=None)
+def test_time_monotone_nonincreasing_in_core(profile, mem):
+    """Raising only the core clock can never slow a kernel down."""
+    menu = sorted(DEVICE.domain(mem).real_core_mhz)
+    times = [PERF.execute(profile, c, mem).t_total_s for c in menu[::10]]
+    for slower, faster in zip(times, times[1:]):
+        assert faster <= slower * (1.0 + 1e-9)
+
+
+@given(profile=profiles, core=st.sampled_from(DEVICE.domain_by_label("L").real_core_mhz))
+@settings(max_examples=60, deadline=None)
+def test_time_monotone_nonincreasing_in_mem(profile, core):
+    """Raising only the memory clock can never slow a kernel down.
+
+    The compared clocks skip the boosted idle P-state (405 MHz reports a
+    controller clock, not the data clock), where monotonicity in the
+    *reported* number is not a physical requirement.
+    """
+    t_810 = PERF.execute(profile, core, 810.0).t_total_s
+    t_3304 = PERF.execute(profile, core, 3304.0).t_total_s
+    t_3505 = PERF.execute(profile, core, 3505.0).t_total_s
+    assert t_3304 <= t_810 * (1.0 + 1e-9)
+    assert t_3505 <= t_3304 * (1.0 + 1e-9)
+
+
+@given(profile=profiles, core=core_clocks, mem=mem_clocks)
+@settings(max_examples=120, deadline=None)
+def test_power_within_physical_bounds(profile, core, mem):
+    phases = PERF.execute(profile, core, mem)
+    total = POWER.power(profile, core, mem, phases).total_w
+    assert 10.0 < total < 350.0
+
+
+@given(profile=profiles, mem=mem_clocks)
+@settings(max_examples=60, deadline=None)
+def test_power_monotone_in_core(profile, mem):
+    menu = sorted(DEVICE.domain(mem).real_core_mhz)
+    watts = []
+    for core in (menu[0], menu[-1]):
+        phases = PERF.execute(profile, core, mem)
+        watts.append(POWER.power(profile, core, mem, phases).total_w)
+    assert watts[1] >= watts[0] - 1e-9
+
+
+@given(profile=profiles, core=core_clocks, mem=mem_clocks)
+@settings(max_examples=80, deadline=None)
+def test_utilizations_bounded(profile, core, mem):
+    phases = PERF.execute(profile, core, mem)
+    assert 0.0 <= phases.compute_utilization <= 1.0
+    assert 0.0 <= phases.memory_utilization <= 1.0
+
+
+@given(profile=profiles)
+@settings(max_examples=60, deadline=None)
+def test_blend_between_max_and_sum(profile):
+    """Total time lies between perfect overlap and full serialization."""
+    phases = PERF.execute(profile, 1001.0, 3505.0)
+    t_c, t_d = phases.t_compute_s, phases.t_dram_s
+    overhead = DEVICE.arch.launch_overhead_s
+    assert phases.t_total_s >= max(t_c, t_d) + overhead - 1e-12
+    assert phases.t_total_s <= t_c + t_d + overhead + 1e-12
+
+
+@given(profile=profiles, core=core_clocks, mem=mem_clocks)
+@settings(max_examples=60, deadline=None)
+def test_scaling_in_work_items(profile, core, mem):
+    """Twice the work can never take less time."""
+    t1 = PERF.execute(profile, core, mem).t_total_s
+    t2 = PERF.execute(profile.scaled(profile.work_items * 2), core, mem).t_total_s
+    assert t2 >= t1 - 1e-12

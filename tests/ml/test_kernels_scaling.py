@@ -1,0 +1,141 @@
+"""Tests for kernel functions and scalers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import LinearKernel, PolynomialKernel, RBFKernel, make_kernel
+from repro.ml.scaling import IdentityScaler, MinMaxScaler, StandardScaler
+
+
+class TestLinearKernel:
+    def test_matches_dot_product(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(5, 3))
+        assert np.allclose(LinearKernel()(a, b), a @ b.T)
+
+    def test_symmetric_gram(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(6, 4))
+        g = LinearKernel()(a, a)
+        assert np.allclose(g, g.T)
+
+    def test_1d_inputs_promoted(self):
+        out = LinearKernel()(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert out.shape == (1, 1)
+        assert out[0, 0] == pytest.approx(11.0)
+
+
+class TestRBFKernel:
+    def test_self_similarity_is_one(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(5, 3))
+        g = RBFKernel(gamma=0.1)(a, a)
+        assert np.allclose(np.diag(g), 1.0)
+
+    def test_bounded_between_zero_and_one(self):
+        rng = np.random.default_rng(3)
+        g = RBFKernel(gamma=0.5)(rng.normal(size=(8, 4)), rng.normal(size=(9, 4)))
+        assert np.all(g > 0.0) and np.all(g <= 1.0)
+
+    def test_matches_explicit_formula(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])  # distance 5
+        g = RBFKernel(gamma=0.1)(a, b)
+        assert g[0, 0] == pytest.approx(np.exp(-0.1 * 25.0))
+
+    def test_decreases_with_distance(self):
+        a = np.array([[0.0]])
+        near = RBFKernel(gamma=0.1)(a, np.array([[1.0]]))[0, 0]
+        far = RBFKernel(gamma=0.1)(a, np.array([[5.0]]))[0, 0]
+        assert near > far
+
+    def test_gamma_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RBFKernel(gamma=0.0)
+
+    def test_gram_psd(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(20, 5))
+        g = RBFKernel(gamma=0.1)(a, a)
+        eigs = np.linalg.eigvalsh(g)
+        assert eigs.min() > -1e-9
+
+
+class TestPolynomialKernel:
+    def test_degree_one_is_affine_dot(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0]])
+        g = PolynomialKernel(degree=1, gamma=1.0, coef0=1.0)(a, b)
+        assert g[0, 0] == pytest.approx(12.0)
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)
+
+
+class TestFactory:
+    def test_make_each(self):
+        assert make_kernel("linear").name == "linear"
+        assert make_kernel("rbf", gamma=0.2).gamma == 0.2
+        assert make_kernel("poly", degree=3).degree == 3
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_kernel("sigmoid")
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(loc=3.0, scale=2.0, size=(100, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_maps_to_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(30, 3))
+        s = StandardScaler().fit(x)
+        assert np.allclose(s.inverse_transform(s.transform(x)), x)
+
+    def test_1d_transform(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        s = StandardScaler().fit(x)
+        row = s.transform(np.array([4.5]))
+        assert row.shape == (1,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 3)))
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(50, 3)) * 10
+        z = MinMaxScaler().fit_transform(x)
+        assert z.min() == pytest.approx(0.0)
+        assert z.max() == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(20, 2))
+        s = MinMaxScaler().fit(x)
+        assert np.allclose(s.inverse_transform(s.transform(x)), x)
+
+
+class TestIdentityScaler:
+    def test_noop(self):
+        x = np.arange(6.0).reshape(2, 3)
+        s = IdentityScaler().fit(x)
+        assert np.allclose(s.transform(x), x)
+        assert np.allclose(s.inverse_transform(x), x)

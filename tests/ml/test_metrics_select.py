@@ -1,0 +1,168 @@
+"""Tests for metrics, box stats and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import OLSRegression
+from repro.ml.metrics import (
+    BoxStats,
+    GroupedErrorReport,
+    mae,
+    mape,
+    r2_score,
+    relative_error_pct,
+    rmse,
+    rmse_pct,
+)
+from repro.ml.model_select import (
+    cross_validate,
+    grid_search,
+    grouped_kfold_indices,
+    kfold_indices,
+)
+
+
+class TestMetrics:
+    def test_rmse_known_value(self):
+        assert rmse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_mae_known_value(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_relative_error_signed(self):
+        errs = relative_error_pct([2.0, 2.0], [2.2, 1.8])
+        assert errs.tolist() == pytest.approx([10.0, -10.0])
+
+    def test_rmse_pct(self):
+        assert rmse_pct([2.0, 2.0], [2.2, 1.8]) == pytest.approx(10.0)
+
+    def test_mape(self):
+        assert mape([2.0, 2.0], [2.2, 1.8]) == pytest.approx(10.0)
+
+    def test_zero_true_value_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error_pct([0.0, 1.0], [1.0, 1.0])
+
+    def test_r2_perfect(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.arange(10.0)
+        assert r2_score(y, np.full(10, y.mean())) == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+
+class TestBoxStats:
+    def test_five_number_summary(self):
+        stats = BoxStats.from_values(np.arange(101.0))
+        assert stats.minimum == 0.0
+        assert stats.q25 == 25.0
+        assert stats.median == 50.0
+        assert stats.q75 == 75.0
+        assert stats.maximum == 100.0
+        assert stats.iqr == 50.0
+        assert stats.n == 101
+
+    def test_single_value(self):
+        stats = BoxStats.from_values(np.array([3.0]))
+        assert stats.minimum == stats.median == stats.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_values(np.array([]))
+
+    def test_row_tuple(self):
+        stats = BoxStats.from_values(np.array([1.0, 2.0, 3.0]))
+        assert stats.row() == (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+class TestGroupedErrorReport:
+    def test_panel_rmse_pools_all_groups(self):
+        report = GroupedErrorReport.build(
+            "H",
+            {"a": np.array([10.0, -10.0]), "b": np.array([5.0, -5.0])},
+        )
+        assert report.rmse_pct == pytest.approx(np.sqrt((100 + 100 + 25 + 25) / 4))
+        assert set(report.per_key) == {"a", "b"}
+
+
+class TestKFold:
+    def test_partitions_everything_once(self):
+        seen = []
+        for _, test_idx in kfold_indices(20, 5, seed=1):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_train_test_disjoint(self):
+        for train_idx, test_idx in kfold_indices(20, 4):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 5))
+
+    def test_bad_splits_rejected(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, 1))
+
+
+class TestGroupedKFold:
+    def test_groups_never_split(self):
+        groups = ["a"] * 5 + ["b"] * 5 + ["c"] * 5 + ["d"] * 5
+        for train_idx, test_idx in grouped_kfold_indices(groups, 2):
+            test_groups = {groups[i] for i in test_idx}
+            train_groups = {groups[i] for i in train_idx}
+            assert not test_groups & train_groups
+
+    def test_all_samples_covered(self):
+        groups = ["a", "a", "b", "b", "c", "c"]
+        seen = []
+        for _, test_idx in grouped_kfold_indices(groups, 3):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(6))
+
+    def test_too_few_groups_rejected(self):
+        with pytest.raises(ValueError):
+            list(grouped_kfold_indices(["a", "a", "b"], 3))
+
+
+class TestCrossValidate:
+    def test_linear_data_scores_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 3.0
+        result = cross_validate(OLSRegression, x, y, n_splits=4)
+        assert result.mean_score < 1e-8
+
+    def test_grid_search_orders_best_first(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(80, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 0.01 * rng.normal(size=80)
+
+        class MeanModel:
+            def fit(self, x, y):
+                self.mean = float(np.mean(y))
+                return self
+
+            def predict(self, x):
+                return np.full(x.shape[0], self.mean)
+
+        results = grid_search({"ols": OLSRegression, "mean": MeanModel}, x, y)
+        assert results[0].label == "ols"
+        assert results[0].mean_score < results[1].mean_score
+
+    def test_grouped_cv_uses_group_labels(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 2))
+        y = x @ np.array([1.0, 1.0])
+        groups = [f"g{i // 10}" for i in range(40)]
+        result = cross_validate(OLSRegression, x, y, n_splits=4, groups=groups)
+        assert len(result.fold_scores) == 4

@@ -1,0 +1,216 @@
+"""Tests for the SVR solver and the linear-model family."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import LinearKernel, RBFKernel
+from repro.ml.linear import LassoRegression, OLSRegression, RidgeRegression
+from repro.ml.metrics import rmse
+from repro.ml.poly import PolynomialRegression, n_polynomial_terms, polynomial_expand
+from repro.ml.svr import SVR, make_energy_svr, make_speedup_svr
+
+
+def linear_data(n=120, d=4, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = x @ w + 1.5 + noise * rng.normal(size=n)
+    return x, y, w
+
+
+class TestOLS:
+    def test_recovers_exact_coefficients(self):
+        x, y, w = linear_data()
+        m = OLSRegression().fit(x, y)
+        assert np.allclose(m.coef_, w, atol=1e-8)
+        assert m.intercept_ == pytest.approx(1.5)
+
+    def test_no_intercept(self):
+        x, y, _ = linear_data()
+        m = OLSRegression(fit_intercept=False).fit(x, y)
+        assert m.intercept_ == 0.0
+
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OLSRegression().predict(np.ones((1, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OLSRegression().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_1d_prediction(self):
+        x, y, _ = linear_data()
+        m = OLSRegression().fit(x, y)
+        single = m.predict(x[0])
+        assert np.isscalar(single) or single.ndim == 0
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self):
+        x, y, _ = linear_data()
+        ols = OLSRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=0.0).fit(x, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage(self):
+        x, y, _ = linear_data(noise=0.5)
+        small = RidgeRegression(alpha=0.01).fit(x, y)
+        large = RidgeRegression(alpha=1000.0).fit(x, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestLasso:
+    def test_sparse_recovery(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(200, 10))
+        w = np.zeros(10)
+        w[[1, 4]] = [2.0, -3.0]
+        y = x @ w + 0.5
+        m = LassoRegression(alpha=0.05).fit(x, y)
+        zero_idx = [i for i in range(10) if i not in (1, 4)]
+        assert np.all(np.abs(m.coef_[zero_idx]) < 0.05)
+        assert m.coef_[1] == pytest.approx(2.0, abs=0.15)
+        assert m.coef_[4] == pytest.approx(-3.0, abs=0.15)
+
+    def test_zero_alpha_matches_ols(self):
+        x, y, w = linear_data(n=80, d=3)
+        m = LassoRegression(alpha=0.0, max_iter=5000, tol=1e-12).fit(x, y)
+        assert np.allclose(m.coef_, w, atol=1e-5)
+
+    def test_huge_alpha_kills_all(self):
+        x, y, _ = linear_data()
+        m = LassoRegression(alpha=1e6).fit(x, y)
+        assert np.allclose(m.coef_, 0.0)
+        assert m.intercept_ == pytest.approx(np.mean(y))
+
+    def test_converges_and_reports_iters(self):
+        x, y, _ = linear_data()
+        m = LassoRegression(alpha=0.01).fit(x, y)
+        assert 1 <= m.n_iter_ <= m.max_iter
+
+
+class TestSVRLinear:
+    def test_fits_clean_linear_data_within_tube(self):
+        x, y, _ = linear_data(n=150)
+        m = SVR(kernel=LinearKernel(), C=1000.0, epsilon=0.1)
+        m.fit(x, y)
+        residuals = np.abs(m.predict(x) - y)
+        assert np.percentile(residuals, 95) <= 0.12
+
+    def test_epsilon_zero_tightens_fit(self):
+        x, y, _ = linear_data(n=100)
+        loose = SVR(kernel=LinearKernel(), epsilon=0.2).fit(x, y)
+        tight = SVR(kernel=LinearKernel(), epsilon=0.0).fit(x, y)
+        assert rmse(y, tight.predict(x)) <= rmse(y, loose.predict(x)) + 1e-9
+
+    def test_deterministic(self):
+        x, y, _ = linear_data()
+        a = SVR(kernel=LinearKernel()).fit(x, y).predict(x)
+        b = SVR(kernel=LinearKernel()).fit(x, y).predict(x)
+        assert np.allclose(a, b)
+
+    def test_support_vectors_subset(self):
+        # Clean data fits entirely inside the tube: no support vectors.
+        x, y, _ = linear_data(n=60)
+        m = SVR(kernel=LinearKernel()).fit(x, y)
+        assert 0 <= m.n_support_ <= 60
+
+    def test_noisy_data_has_support_vectors(self):
+        x, y, _ = linear_data(n=60, noise=0.5, seed=7)
+        m = SVR(kernel=LinearKernel()).fit(x, y)
+        assert m.n_support_ > 0
+
+    def test_constant_target(self):
+        x = np.random.default_rng(2).normal(size=(30, 3))
+        y = np.full(30, 2.5)
+        m = SVR(kernel=LinearKernel()).fit(x, y)
+        assert np.allclose(m.predict(x), 2.5, atol=1e-6)
+
+    def test_dual_objective_finite_and_nonpositive(self):
+        # At beta = 0 the dual objective is 0; the optimum can only be <= 0.
+        x, y, _ = linear_data(n=50)
+        m = SVR(kernel=RBFKernel(gamma=0.5)).fit(x, y)
+        assert m.dual_objective() <= 1e-9
+
+    def test_dual_objective_unavailable_for_primal_path(self):
+        x, y, _ = linear_data(n=30)
+        m = SVR(kernel=LinearKernel()).fit(x, y)
+        with pytest.raises(RuntimeError):
+            m.dual_objective()
+
+    def test_linear_coef_exposed(self):
+        x, y, w = linear_data(n=100)
+        m = SVR(kernel=LinearKernel(), epsilon=0.01).fit(x, y)
+        assert m.coef_ is not None
+        assert np.allclose(m.coef_, w, atol=0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SVR(C=0.0)
+        with pytest.raises(ValueError):
+            SVR(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            SVR(max_epochs=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SVR().predict(np.ones((1, 2)))
+
+
+class TestSVRRBF:
+    def test_fits_parabola(self):
+        # Normalized-energy-like target: parabolic in one input.
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = 1.0 + 2.0 * (x[:, 0] - 0.2) ** 2
+        m = SVR(kernel=RBFKernel(gamma=1.0), C=1000.0, epsilon=0.01)
+        m.fit(x, y)
+        assert rmse(y, m.predict(x)) < 0.05
+
+    def test_paper_configurations(self):
+        speed = make_speedup_svr()
+        energy = make_energy_svr()
+        assert speed.C == 1000.0 and speed.epsilon == 0.1
+        assert energy.C == 1000.0 and energy.epsilon == 0.1
+        assert isinstance(energy.kernel, RBFKernel) and energy.kernel.gamma == 0.1
+        assert isinstance(speed.kernel, LinearKernel)
+
+    def test_interpolates_between_points(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        m = SVR(kernel=RBFKernel(gamma=1.0), epsilon=0.0).fit(x, y)
+        mid = m.predict(np.array([[0.5]]))[0]
+        assert 0.2 < mid < 0.8
+
+
+class TestPolynomialRegression:
+    def test_expansion_width(self):
+        x = np.ones((3, 4))
+        out = polynomial_expand(x, degree=2)
+        assert out.shape[1] == n_polynomial_terms(4, 2) == 4 + 10
+
+    def test_expansion_values(self):
+        x = np.array([[2.0, 3.0]])
+        out = polynomial_expand(x, 2)
+        # x1, x2, x1^2, x1*x2, x2^2
+        assert out.tolist() == [[2.0, 3.0, 4.0, 6.0, 9.0]]
+
+    def test_fits_quadratic(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-2, 2, size=(100, 1))
+        y = 3.0 * x[:, 0] ** 2 - x[:, 0] + 0.5
+        m = PolynomialRegression(degree=2).fit(x, y)
+        assert rmse(y, m.predict(x)) < 1e-4
+
+    def test_feature_count_check(self):
+        m = PolynomialRegression(degree=2).fit(np.ones((10, 3)), np.ones(10))
+        with pytest.raises(ValueError):
+            m.predict(np.ones((2, 4)))
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression(degree=0)

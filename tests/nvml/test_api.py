@@ -1,0 +1,178 @@
+"""Tests for the NVML facade (paper §4.1 call surface)."""
+
+import pytest
+
+from repro.gpusim.device import make_tesla_p100, make_titan_x
+from repro.gpusim.profile import WorkloadProfile
+from repro.nvml.api import CLOCK_GRAPHICS, CLOCK_MEM, NVML
+from repro.nvml.measurement import EnergyMeter, MeasurementCampaign
+from repro.nvml.types import NVMLError, NvmlReturn
+
+
+@pytest.fixture()
+def nvml():
+    lib = NVML()
+    lib.nvmlInit()
+    yield lib
+    lib.nvmlShutdown()
+
+
+@pytest.fixture()
+def handle(nvml):
+    return nvml.nvmlDeviceGetHandleByIndex(0)
+
+
+def probe_profile():
+    return WorkloadProfile(
+        name="probe",
+        ops_per_item={"float_add": 100.0, "gl_access": 4.0},
+        work_items=1 << 20,
+    )
+
+
+class TestLifecycle:
+    def test_uninitialized_calls_fail(self):
+        lib = NVML()
+        with pytest.raises(NVMLError) as err:
+            lib.nvmlDeviceGetCount()
+        assert err.value.code is NvmlReturn.ERROR_UNINITIALIZED
+
+    def test_init_idempotent(self):
+        lib = NVML()
+        lib.nvmlInit()
+        lib.nvmlInit()
+        assert lib.nvmlDeviceGetCount() == 1
+        lib.nvmlShutdown()
+
+    def test_shutdown_clears_devices(self):
+        lib = NVML()
+        lib.nvmlInit()
+        lib.nvmlShutdown()
+        with pytest.raises(NVMLError):
+            lib.nvmlDeviceGetCount()
+
+    def test_multi_device_init(self):
+        lib = NVML()
+        lib.nvmlInit([make_titan_x(), make_tesla_p100()])
+        assert lib.nvmlDeviceGetCount() == 2
+        names = {
+            lib.nvmlDeviceGetName(lib.nvmlDeviceGetHandleByIndex(i)) for i in range(2)
+        }
+        assert names == {"NVIDIA GTX Titan X", "NVIDIA Tesla P100"}
+        lib.nvmlShutdown()
+
+    def test_bad_index_rejected(self, nvml):
+        with pytest.raises(NVMLError) as err:
+            nvml.nvmlDeviceGetHandleByIndex(7)
+        assert err.value.code is NvmlReturn.ERROR_INVALID_ARGUMENT
+
+
+class TestClockQueries:
+    def test_supported_memory_clocks_descending(self, nvml, handle):
+        clocks = nvml.nvmlDeviceGetSupportedMemoryClocks(handle)
+        assert clocks == [3505.0, 3304.0, 810.0, 405.0]
+
+    def test_supported_graphics_clocks(self, nvml, handle):
+        clocks = nvml.nvmlDeviceGetSupportedGraphicsClocks(handle, 405.0)
+        assert len(clocks) == 6
+        assert max(clocks) == 405.0
+
+    def test_reported_includes_fake_high_clocks(self, nvml, handle):
+        # The facade must reproduce NVML's lie: clocks above 1202 MHz are
+        # listed as supported for the high memory domains (Fig. 4a).
+        clocks = nvml.nvmlDeviceGetSupportedGraphicsClocks(handle, 3505.0)
+        assert max(clocks) > 1202.0
+        assert len(clocks) == 71
+
+    def test_unknown_mem_clock_not_found(self, nvml, handle):
+        with pytest.raises(NVMLError) as err:
+            nvml.nvmlDeviceGetSupportedGraphicsClocks(handle, 1234.0)
+        assert err.value.code is NvmlReturn.ERROR_NOT_FOUND
+
+
+class TestClockControl:
+    def test_set_and_get_applications_clocks(self, nvml, handle):
+        nvml.nvmlDeviceSetApplicationsClocks(handle, 405.0, 405.0)
+        assert nvml.nvmlDeviceGetApplicationsClock(handle, CLOCK_GRAPHICS) == 405.0
+        assert nvml.nvmlDeviceGetApplicationsClock(handle, CLOCK_MEM) == 405.0
+
+    def test_clamp_visible_via_clock_info(self, nvml, handle):
+        """The authors' discovery method: request a 'supported' 1392 MHz,
+        then read GetClockInfo and find 1202 MHz actually applied."""
+        fake = max(nvml.nvmlDeviceGetSupportedGraphicsClocks(handle, 3505.0))
+        nvml.nvmlDeviceSetApplicationsClocks(handle, 3505.0, fake)
+        assert nvml.nvmlDeviceGetApplicationsClock(handle, CLOCK_GRAPHICS) == fake
+        assert nvml.nvmlDeviceGetClockInfo(handle, CLOCK_GRAPHICS) == 1202.0
+
+    def test_reset_restores_default(self, nvml, handle):
+        nvml.nvmlDeviceSetApplicationsClocks(handle, 405.0, 405.0)
+        nvml.nvmlDeviceResetApplicationsClocks(handle)
+        assert nvml.nvmlDeviceGetApplicationsClock(handle, CLOCK_GRAPHICS) == 1001.0
+        assert nvml.nvmlDeviceGetApplicationsClock(handle, CLOCK_MEM) == 3505.0
+
+    def test_unsupported_combination_rejected(self, nvml, handle):
+        with pytest.raises(NVMLError):
+            nvml.nvmlDeviceSetApplicationsClocks(handle, 405.0, 1202.0)
+
+    def test_bad_clock_type(self, nvml, handle):
+        with pytest.raises(NVMLError):
+            nvml.nvmlDeviceGetApplicationsClock(handle, 42)
+
+
+class TestPowerAndExecution:
+    def test_power_reading_in_milliwatts(self, nvml, handle):
+        mw = nvml.nvmlDeviceGetPowerUsage(handle)
+        assert isinstance(mw, int)
+        assert mw == 15000  # idle reading before any kernel ran
+
+    def test_run_requires_autoboost_disabled(self, nvml, handle):
+        with pytest.raises(NVMLError) as err:
+            nvml.run_kernel(handle, probe_profile())
+        assert err.value.code is NvmlReturn.ERROR_NOT_SUPPORTED
+
+    def test_run_updates_power_reading(self, nvml, handle):
+        nvml.nvmlDeviceSetAutoBoostedClocksEnabled(handle, False)
+        record = nvml.run_kernel(handle, probe_profile())
+        assert record.time_ms > 0
+        assert nvml.nvmlDeviceGetPowerUsage(handle) == int(round(record.power_w * 1000))
+
+    def test_run_at_applied_clocks(self, nvml, handle):
+        nvml.nvmlDeviceSetAutoBoostedClocksEnabled(handle, False)
+        nvml.nvmlDeviceSetApplicationsClocks(handle, 405.0, 405.0)
+        low = nvml.run_kernel(handle, probe_profile())
+        nvml.nvmlDeviceResetApplicationsClocks(handle)
+        high = nvml.run_kernel(handle, probe_profile())
+        assert low.time_ms > high.time_ms
+
+
+class TestEnergyMeter:
+    def test_measurement_aggregates(self, nvml, handle):
+        nvml.nvmlDeviceSetAutoBoostedClocksEnabled(handle, False)
+        meter = EnergyMeter(nvml, handle, min_repeats=3)
+        m = meter.measure(probe_profile())
+        assert m.kernel == "probe"
+        assert m.energy_j > 0
+        assert m.config == (1001.0, 3505.0)
+        assert m.total_runs >= 3
+
+    def test_min_repeats_validated(self, nvml, handle):
+        with pytest.raises(ValueError):
+            EnergyMeter(nvml, handle, min_repeats=0)
+
+
+class TestMeasurementCampaign:
+    def test_paper_costs(self):
+        campaign = MeasurementCampaign()
+        sampled, exhaustive = campaign.sampled_vs_exhaustive()
+        # §3.3: "it takes 20 minutes to test 40 frequency settings,
+        # 70 minutes to test all the 174 frequency settings".
+        assert sampled.total_minutes == pytest.approx(20.0)
+        assert exhaustive.total_minutes == pytest.approx(87.0, rel=0.25)
+
+    def test_cost_scales_linearly(self):
+        campaign = MeasurementCampaign(seconds_per_setting=30.0)
+        assert campaign.cost(10).total_minutes == pytest.approx(5.0)
+
+    def test_negative_settings_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementCampaign().cost(-1)

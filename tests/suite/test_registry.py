@@ -1,0 +1,107 @@
+"""Tests for the twelve-benchmark test suite (paper §4.2)."""
+
+import pytest
+
+from repro.harness.characterize import characterize_kernel
+from repro.harness.context import quick_context
+from repro.suite.registry import (
+    FIG1_BENCHMARKS,
+    FIG5_BENCHMARKS,
+    TEST_BENCHMARK_NAMES,
+    get_benchmark,
+    test_benchmarks as suite_benchmarks,
+)
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(TEST_BENCHMARK_NAMES) == 12
+        assert len(suite_benchmarks()) == 12
+
+    def test_paper_names_present(self):
+        for name in (
+            "k-NN", "MT", "Blackscholes", "AES", "MatrixMultiply",
+            "Convolution", "MedianFilter", "BitCompression", "MD",
+            "K-means", "PerlinNoise", "Flte",
+        ):
+            assert name in TEST_BENCHMARK_NAMES
+
+    def test_fig_subsets(self):
+        assert len(FIG5_BENCHMARKS) == 8
+        assert FIG1_BENCHMARKS == ("k-NN", "MT")
+        assert set(FIG5_BENCHMARKS) <= set(TEST_BENCHMARK_NAMES)
+
+    def test_lookup(self):
+        assert get_benchmark("k-NN").name == "k-NN"
+        with pytest.raises(KeyError):
+            get_benchmark("nonexistent")
+
+    def test_all_sources_lower_and_extract(self):
+        for spec in suite_benchmarks():
+            features = spec.static_features()
+            assert sum(features.values) == pytest.approx(1.0), spec.name
+            profile = spec.profile()
+            assert profile.total_ops_per_item > 0, spec.name
+
+    def test_names_match_spec_names(self):
+        for spec in suite_benchmarks():
+            assert spec.static_features().kernel_name == spec.name
+
+    def test_local_memory_kernels(self):
+        assert get_benchmark("AES").lower().uses_local_memory
+        assert get_benchmark("MatrixMultiply").lower().uses_local_memory
+
+
+class TestCharacterizationShapes:
+    """The §4.2 behavioural claims, verified on the simulator."""
+
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return quick_context()
+
+    def test_knn_is_compute_dominated(self, ctx):
+        ch = characterize_kernel(ctx.sim, get_benchmark("k-NN"), ctx.settings)
+        assert ch.classify() == "compute"
+
+    def test_mt_is_memory_dominated(self, ctx):
+        ch = characterize_kernel(ctx.sim, get_benchmark("MT"), ctx.settings)
+        assert ch.classify() == "memory"
+
+    def test_blackscholes_is_memory_dominated(self, ctx):
+        ch = characterize_kernel(ctx.sim, get_benchmark("Blackscholes"), ctx.settings)
+        assert ch.classify() == "memory"
+
+    def test_knn_speedup_range_wide(self, ctx):
+        # §4.2: k-NN "can double the performance by only changing the
+        # core frequency" within the high memory domains.
+        ch = characterize_kernel(ctx.sim, get_benchmark("k-NN"), ctx.settings)
+        lo, hi = ch.series["H"].speedup_range
+        assert hi / lo > 1.8
+
+    def test_mt_speedup_flat_at_high_mem(self, ctx):
+        ch = characterize_kernel(ctx.sim, get_benchmark("MT"), ctx.settings)
+        lo, hi = ch.series["H"].speedup_range
+        assert hi - lo < 0.15
+
+    def test_mt_needs_high_memory(self, ctx):
+        ch = characterize_kernel(ctx.sim, get_benchmark("MT"), ctx.settings)
+        assert ch.mem_sensitivity() > 0.5
+
+    def test_energy_minimum_interior_for_knn(self, ctx):
+        # Fig. 1b: normalized energy has an interior minimum in core freq.
+        ch = characterize_kernel(ctx.sim, get_benchmark("k-NN"), ctx.settings)
+        series = ch.series["H"]
+        min_core = series.energy_minimum_core_mhz
+        assert min(series.core_mhz) < min_core < max(series.core_mhz)
+
+    def test_default_config_near_unity(self, ctx):
+        from repro.harness.characterize import default_point
+        from repro.harness.runner import sweep_kernel
+
+        sweep = sweep_kernel(
+            ctx.sim, get_benchmark("K-means"),
+            [ctx.device.default_config] + ctx.settings,
+        )
+        point = default_point(sweep)
+        assert point.speedup == pytest.approx(1.0, abs=0.05)
+        assert point.norm_energy == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,136 @@
+"""Tests for the synthetic micro-benchmark generator (paper §3.3)."""
+
+import pytest
+
+from repro.clkernel.lowering import lower_source
+from repro.synthetic.generator import (
+    EXPECTED_MICRO_BENCHMARKS,
+    generate_micro_benchmarks,
+    make_pattern_spec,
+    micro_traits,
+)
+from repro.synthetic.mixes import MIX_RECIPES, all_mixes, render_mix
+from repro.synthetic.patterns import INTENSITIES, PATTERNS, render_kernel
+
+
+class TestPatterns:
+    def test_ten_patterns_cover_all_features(self):
+        stressed = {p.stressed_feature for p in PATTERNS}
+        assert stressed == {
+            "int_add", "int_mul", "int_div", "int_bw",
+            "float_add", "float_mul", "float_div", "sf",
+            "gl_access", "loc_access",
+        }
+
+    def test_nine_intensities_powers_of_two(self):
+        assert INTENSITIES == (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    @pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.name)
+    def test_intensity_reflected_in_counts(self, pattern):
+        """Higher intensity must strictly increase the stressed feature's
+        weighted count (the pattern's defining property)."""
+        low = lower_source(render_kernel(pattern, 4, "k_low")).weighted_counts()
+        high = lower_source(render_kernel(pattern, 64, "k_high")).weighted_counts()
+        assert high[pattern.stressed_feature] > low[pattern.stressed_feature]
+
+    @pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.name)
+    def test_stressed_feature_prominent_at_max_intensity(self, pattern):
+        """At intensity 256 the stressed feature must be a leading share.
+
+        Memory patterns cannot exceed the integer-add share (every access
+        carries its address arithmetic — true of real LLVM IR too), so the
+        requirement there is a strong floor rather than strict dominance.
+        """
+        spec = make_pattern_spec(pattern, 256)
+        features = spec.static_features()
+        share = features[pattern.stressed_feature]
+        if pattern.stressed_feature in ("gl_access", "loc_access"):
+            assert share >= 0.2
+        else:
+            others = [
+                features[name]
+                for name in features.as_dict()
+                if name != pattern.stressed_feature
+            ]
+            assert share > max(others)
+
+    @pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.name)
+    def test_share_grows_with_intensity(self, pattern):
+        """Compute patterns: the *share* of the stressed class grows.
+        Memory patterns: each access drags address arithmetic along, so the
+        share saturates — but the absolute count must still grow."""
+        low = make_pattern_spec(pattern, 1).static_features()
+        high = make_pattern_spec(pattern, 256).static_features()
+        if pattern.stressed_feature in ("gl_access", "loc_access"):
+            idx = list(low.as_dict()).index(pattern.stressed_feature)
+            assert high.raw_counts[idx] > low.raw_counts[idx]
+        else:
+            assert high[pattern.stressed_feature] > low[pattern.stressed_feature]
+
+    def test_intensity_validation(self):
+        with pytest.raises(ValueError):
+            render_kernel(PATTERNS[0], 0, "bad")
+
+
+class TestMixes:
+    def test_sixteen_recipes(self):
+        assert len(MIX_RECIPES) == 16
+
+    def test_all_mixes_lower(self):
+        for recipe in all_mixes():
+            ir = lower_source(render_mix(recipe))
+            assert ir.total_instructions() > 0
+
+    def test_local_mixes_use_local_memory(self):
+        for recipe in all_mixes():
+            if recipe.uses_local:
+                ir = lower_source(render_mix(recipe))
+                assert ir.uses_local_memory
+
+
+class TestGenerator:
+    def test_exactly_106_micro_benchmarks(self):
+        # Paper §3.3: "Overall, we generated 106 micro-benchmarks."
+        specs = generate_micro_benchmarks()
+        assert len(specs) == EXPECTED_MICRO_BENCHMARKS == 106
+
+    def test_unique_names(self):
+        specs = generate_micro_benchmarks()
+        names = [s.name for s in specs]
+        assert len(set(names)) == len(names)
+
+    def test_pattern_count_structure(self):
+        # 10 patterns x 9 intensities + 16 mixes.
+        specs = generate_micro_benchmarks()
+        pattern_specs = [s for s in specs if not s.name.startswith("b-mix")]
+        mix_specs = [s for s in specs if s.name.startswith("b-mix")]
+        assert len(pattern_specs) == 90
+        assert len(mix_specs) == 16
+
+    def test_all_specs_have_profiles(self):
+        for spec in generate_micro_benchmarks()[::10]:
+            profile = spec.profile()
+            assert profile.total_ops_per_item > 0
+            assert profile.work_items > 0
+
+    def test_traits_deterministic(self):
+        a = micro_traits("b-int-add-4", "int_add")
+        b = micro_traits("b-int-add-4", "int_add")
+        assert a == b
+
+    def test_traits_vary_across_benchmarks(self):
+        a = micro_traits("b-int-add-4", "int_add")
+        b = micro_traits("b-int-add-8", "int_add")
+        assert a != b
+
+    def test_traits_within_valid_ranges(self):
+        for spec in generate_micro_benchmarks():
+            t = spec.traits
+            assert 0.0 <= t.cache_hit_rate <= 1.0
+            assert 0.05 <= t.coalescing <= 1.0
+            assert t.ilp >= 1.0
+
+    def test_memory_patterns_categorized(self):
+        specs = {s.name: s for s in generate_micro_benchmarks()}
+        assert specs["b-gl-access-64"].category == "memory"
+        assert specs["b-int-add-64"].category == "compute"

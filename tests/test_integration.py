@@ -1,0 +1,124 @@
+"""End-to-end integration tests: the full Fig. 2 + Fig. 3 workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import sample_training_settings
+from repro.core.pipeline import train_from_specs
+from repro.core.predictor import ParetoPredictor
+from repro.gpusim.device import make_titan_x
+from repro.gpusim.executor import GPUSimulator
+from repro.harness.context import quick_context
+from repro.harness.evaluation import evaluate_suite
+from repro.pareto.hypervolume import hypervolume
+from repro.suite import test_benchmarks as suite_benchmarks
+from repro.synthetic import generate_micro_benchmarks
+
+
+class TestFullWorkflow:
+    """Train from scratch on a tiny setup and predict — no shared cache."""
+
+    @pytest.fixture(scope="class")
+    def trained(self):
+        device = make_titan_x()
+        sim = GPUSimulator(device)
+        micro = generate_micro_benchmarks()[::8]  # 14 codes
+        settings = sample_training_settings(device, total=16)
+        models, dataset = train_from_specs(sim, micro, settings)
+        return sim, device, models, dataset, settings
+
+    def test_training_produced_sane_dataset(self, trained):
+        _, _, _, dataset, settings = trained
+        assert dataset.n_samples == 14 * len(settings)
+        assert np.all(dataset.y_speedup > 0)
+        assert np.all(dataset.y_energy > 0)
+        # Default-ish configs must sit near speedup 1.
+        assert 0.05 < dataset.y_speedup.min() < dataset.y_speedup.max() < 2.0
+
+    def test_prediction_phase_runs(self, trained):
+        sim, device, models, _, _ = trained
+        predictor = ParetoPredictor(models, device)
+        result = predictor.predict_for_spec(suite_benchmarks()[0])
+        assert result.size >= 1
+        assert all(p.config in set(predictor.candidates) | {(405.0, 405.0)}
+                   for p in result.front)
+
+    def test_evaluation_metrics_finite_and_ordered(self, trained):
+        sim, device, models, _, settings = trained
+        predictor = ParetoPredictor(models, device)
+        evals = evaluate_suite(sim, predictor, suite_benchmarks()[:3], settings)
+        for ev in evals:
+            assert np.isfinite(ev.coverage_diff)
+            assert ev.coverage_diff >= 0.0
+        values = [e.coverage_diff for e in evals]
+        assert values == sorted(values)
+
+
+class TestPredictionQuality:
+    """Quality bars on the shared quick context."""
+
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return quick_context()
+
+    def test_predicted_fronts_capture_most_true_hypervolume(self, ctx):
+        evals = evaluate_suite(
+            ctx.sim, ctx.predictor, suite_benchmarks(), ctx.settings
+        )
+        captured = []
+        for ev in evals:
+            true_hv = hypervolume([p.objectives for p in ev.true_front])
+            if true_hv == 0:
+                continue
+            captured.append(1.0 - ev.coverage_diff / true_hv)
+        assert np.mean(captured) > 0.7
+
+    def test_default_config_rarely_strictly_better(self, ctx):
+        """The predicted front, measured, should almost always contain a
+        point at least as good as the default config in one objective."""
+        evals = evaluate_suite(
+            ctx.sim, ctx.predictor, suite_benchmarks(), ctx.settings
+        )
+        wins = 0
+        for ev in evals:
+            best_energy = min(p.norm_energy for p in ev.predicted_measured)
+            best_speed = max(p.speedup for p in ev.predicted_measured)
+            if best_energy < 1.0 or best_speed > 1.0:
+                wins += 1
+        assert wins >= 11
+
+    def test_deterministic_end_to_end(self):
+        """Two fresh simulators produce identical measurements, so the
+        whole experiment is reproducible bit-for-bit."""
+        spec = suite_benchmarks()[3]
+        a = GPUSimulator().run_default(spec.profile())
+        b = GPUSimulator().run_default(spec.profile())
+        assert a.time_ms == b.time_ms
+        assert a.energy_j == b.energy_j
+
+    def test_models_generalize_beyond_training_names(self, ctx):
+        """Predicting for a brand-new kernel (not in training, not in the
+        suite) produces a plausible Pareto set."""
+        src = """
+        __kernel void histogram_accumulate(__global const uint* keys,
+                                           __global uint* bins,
+                                           __local uint* local_bins,
+                                           const int n) {
+            int gid = get_global_id(0);
+            int lid = get_local_id(0);
+            local_bins[lid] = 0u;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            for (int i = 0; i < 16; i++) {
+                uint key = keys[gid * 16 + i];
+                local_bins[(key >> 4) & 63u] = local_bins[(key >> 4) & 63u] + 1u;
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            bins[gid & 63] = local_bins[lid];
+        }
+        """
+        result = ctx.predictor.predict_from_source(src)
+        assert 1 <= result.size <= 40
+        speeds = [p.speedup for p in result.modeled_front()]
+        energies = [p.norm_energy for p in result.modeled_front()]
+        assert all(0.0 < s < 3.0 for s in speeds)
+        assert all(0.0 < e < 4.0 for e in energies)
