@@ -1,0 +1,114 @@
+"""Serving throughput: cold vs warm feature cache, sequential vs batched.
+
+The `repro.serve` subsystem exists so prediction can sit in an autotuner's
+inner loop: features come from a content-hash cache instead of the clkernel
+frontend, and a batch of kernels is predicted with one vectorized model
+pass instead of a per-kernel Python loop.  This bench measures both claims
+on a 50-kernel batch and records kernels/sec for the three serving regimes
+(cold, warm-cache, batched).
+"""
+
+import time
+
+from _common import write_artifact
+
+from repro.core.predictor import ParetoPredictor
+from repro.harness.context import quick_context
+from repro.harness.report import format_heading, format_table
+from repro.serve.cache import KernelFeatureCache
+from repro.synthetic import generate_micro_benchmarks
+
+N_KERNELS = 50
+REPEATS = 3
+
+
+def _specs():
+    return generate_micro_benchmarks()[:N_KERNELS]
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_feature_cache() -> tuple[float, float]:
+    """Seconds to extract features for all kernels: cold vs warm cache."""
+    specs = _specs()
+
+    def cold():
+        cache = KernelFeatureCache()
+        return [cache.get(s.source, s.kernel_name) for s in specs]
+
+    t_cold, _ = _best_of(cold)
+
+    warm_cache = KernelFeatureCache()
+    for s in specs:
+        warm_cache.get(s.source, s.kernel_name)
+
+    def warm():
+        return [warm_cache.get(s.source, s.kernel_name) for s in specs]
+
+    t_warm, _ = _best_of(warm)
+    return t_cold, t_warm
+
+
+def measure_inference() -> tuple[float, float]:
+    """Seconds to predict all kernels: per-kernel loop vs batched pass.
+
+    Uses the predictor's default candidate menu (every real configuration
+    of the modeled memory domains) — the serving configuration.
+    """
+    ctx = quick_context()
+    predictor = ParetoPredictor(ctx.models, ctx.device)
+    statics = [s.static_features() for s in _specs()]
+
+    predictor.predict_batch(statics)  # warm numpy/BLAS paths
+
+    t_seq, _ = _best_of(
+        lambda: [predictor.predict_from_features(s) for s in statics]
+    )
+    t_bat, _ = _best_of(lambda: predictor.predict_batch(statics))
+    return t_seq, t_bat
+
+
+def regenerate_throughput() -> str:
+    t_cold, t_warm = measure_feature_cache()
+    t_seq, t_bat = measure_inference()
+    rows = [
+        ("feature extraction, cold cache", f"{t_cold * 1e3:8.2f}",
+         f"{N_KERNELS / t_cold:10.0f}", "1.0x"),
+        ("feature extraction, warm cache", f"{t_warm * 1e3:8.2f}",
+         f"{N_KERNELS / t_warm:10.0f}", f"{t_cold / t_warm:.1f}x"),
+        ("inference, sequential per-kernel loop", f"{t_seq * 1e3:8.2f}",
+         f"{N_KERNELS / t_seq:10.0f}", "1.0x"),
+        ("inference, batched vectorized pass", f"{t_bat * 1e3:8.2f}",
+         f"{N_KERNELS / t_bat:10.0f}", f"{t_seq / t_bat:.1f}x"),
+    ]
+    table = format_table(
+        ["stage", "ms / 50 kernels", "kernels/sec", "speedup"], rows
+    )
+    return (
+        format_heading("repro.serve — throughput on a 50-kernel batch")
+        + "\n" + table
+    )
+
+
+def test_serve_throughput():
+    text = regenerate_throughput()
+    write_artifact("serve_throughput", text)
+    assert "batched" in text
+
+
+def test_warm_cache_at_least_10x_faster():
+    t_cold, t_warm = measure_feature_cache()
+    assert t_cold / t_warm >= 10.0, (t_cold, t_warm)
+
+
+def test_batched_at_least_5x_faster():
+    t_seq, t_bat = measure_inference()
+    assert t_seq / t_bat >= 5.0, (t_seq, t_bat)

@@ -23,6 +23,7 @@ from .features.extractor import extract_features
 from .gpusim.device import make_tesla_p100, make_titan_x
 from .gpusim.executor import GPUSimulator
 from .harness.context import paper_context, quick_context
+from .serve import ModelKey, ModelRegistry, PredictionService
 from .suite.registry import get_benchmark, test_benchmarks
 from .synthetic.generator import generate_micro_benchmarks
 from .workloads import KernelSpec
@@ -32,9 +33,12 @@ __version__ = "1.0.0"
 __all__ = [
     "GPUSimulator",
     "KernelSpec",
+    "ModelKey",
+    "ModelRegistry",
     "ParetoPredictor",
     "PredictedParetoSet",
     "PredictedPoint",
+    "PredictionService",
     "TrainedModels",
     "__version__",
     "extract_features",

@@ -3,8 +3,12 @@
 Subcommands:
 
 * ``features <kernel.cl>`` — extract and print the ten static features;
-* ``predict <kernel.cl>`` — train (cached per process) and print the
-  predicted Pareto set of frequency settings;
+* ``train --save <models.json>`` — fit the paper's models and persist them
+  as a versioned artifact for later ``predict --model`` runs;
+* ``predict <kernel.cl>`` — print the predicted Pareto set of frequency
+  settings, training in-process or loading a saved artifact (``--model``);
+* ``predict-batch <kernel.cl>...`` — predict many kernels through the
+  serving path (one vectorized model pass) and print per-kernel fronts;
 * ``devices`` — list the simulated devices and their frequency menus;
 * ``characterize <benchmark>`` — sweep one of the twelve suite benchmarks
   and print its per-domain speedup/energy series;
@@ -30,14 +34,7 @@ def _cmd_features(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_predict(args: argparse.Namespace) -> int:
-    from .harness.context import paper_context, quick_context
-    from .harness.report import format_table
-
-    source = pathlib.Path(args.kernel).read_text()
-    ctx = quick_context() if args.quick else paper_context()
-    result = ctx.predictor.predict_from_source(source, kernel_name=args.name)
-    print(f"predicted Pareto set for {result.kernel!r}:")
+def _front_rows(result) -> list[tuple[str, str, str, str, str]]:
     rows = []
     for p in result.front:
         rows.append(
@@ -49,12 +46,82 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                 "model" if p.modeled else "mem-L heuristic",
             )
         )
+    return rows
+
+
+def _print_front(result) -> None:
+    from .harness.report import format_table
+
+    print(f"predicted Pareto set for {result.kernel!r}:")
     print(
         format_table(
             ["core MHz", "mem MHz", "pred speedup", "pred norm energy", "origin"],
-            rows,
+            _front_rows(result),
         )
     )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .harness.context import paper_context, quick_context
+    from .serve.artifacts import save_models
+
+    ctx = quick_context() if args.quick else paper_context()
+    meta = {
+        "device": ctx.device.name,
+        "recipe": "quick" if args.quick else "paper",
+        "features": "interactions",
+    }
+    path = save_models(args.save, ctx.models, meta=meta)
+    print(
+        f"trained on {ctx.models.n_training_samples} samples "
+        f"({ctx.dataset.n_kernels} codes x {len(ctx.settings)} settings)"
+    )
+    print(f"saved model artifact to {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    source = pathlib.Path(args.kernel).read_text()
+    if args.model:
+        from .serve.service import PredictionService
+
+        service = PredictionService.from_artifact(args.model)
+        result = service.predict(source, kernel_name=args.name)
+    else:
+        from .harness.context import paper_context, quick_context
+
+        ctx = quick_context() if args.quick else paper_context()
+        result = ctx.predictor.predict_from_source(source, kernel_name=args.name)
+    _print_front(result)
+    return 0
+
+
+def _cmd_predict_batch(args: argparse.Namespace) -> int:
+    from .serve.service import PredictionService
+
+    if args.model:
+        service = PredictionService.from_artifact(args.model)
+    else:
+        from .harness.context import paper_context, quick_context
+
+        ctx = quick_context() if args.quick else paper_context()
+        service = PredictionService(models=ctx.models, device=ctx.device)
+
+    requests = []
+    for kernel_path in args.kernels:
+        requests.append((pathlib.Path(kernel_path).read_text(), args.name))
+    results = service.predict_batch(requests)
+    for kernel_path, result in zip(args.kernels, results):
+        print(f"== {kernel_path}")
+        _print_front(result)
+    if args.stats:
+        summary = service.stats_summary()
+        cache = summary.pop("feature_cache")
+        print("-- service stats")
+        for name, value in summary.items():
+            print(f"  {name}: {value}")
+        for name, value in cache.items():
+            print(f"  feature_cache.{name}: {value}")
     return 0
 
 
@@ -132,14 +199,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_feat.add_argument("--name", help="kernel function name (if several)")
     p_feat.set_defaults(func=_cmd_features)
 
+    p_train = sub.add_parser(
+        "train", help="train the paper's models and save them to disk"
+    )
+    p_train.add_argument(
+        "--save", required=True, metavar="PATH",
+        help="where to write the model artifact (JSON)",
+    )
+    p_train.add_argument(
+        "--quick", action="store_true",
+        help="use the reduced training setup (faster, less accurate)",
+    )
+    p_train.set_defaults(func=_cmd_train)
+
     p_pred = sub.add_parser("predict", help="predict Pareto-optimal clocks")
     p_pred.add_argument("kernel", help="path to an OpenCL .cl source file")
     p_pred.add_argument("--name", help="kernel function name (if several)")
     p_pred.add_argument(
         "--quick", action="store_true",
-        help="use the reduced training setup (faster, less accurate)",
+        help="(without --model) use the reduced training setup "
+             "(faster, less accurate)",
+    )
+    p_pred.add_argument(
+        "--model", metavar="PATH",
+        help="load a saved model artifact instead of training in-process",
     )
     p_pred.set_defaults(func=_cmd_predict)
+
+    p_batch = sub.add_parser(
+        "predict-batch",
+        help="predict many kernels via the batched serving path",
+    )
+    p_batch.add_argument(
+        "kernels", nargs="+", help="paths to OpenCL .cl source files"
+    )
+    p_batch.add_argument(
+        "--name",
+        help="kernel function name, applied to every file "
+             "(for multi-kernel translation units)",
+    )
+    p_batch.add_argument(
+        "--model", metavar="PATH",
+        help="load a saved model artifact instead of training in-process",
+    )
+    p_batch.add_argument(
+        "--quick", action="store_true",
+        help="(without --model) use the reduced training setup",
+    )
+    p_batch.add_argument(
+        "--stats", action="store_true",
+        help="print service cache/latency counters after the batch",
+    )
+    p_batch.set_defaults(func=_cmd_predict_batch)
 
     p_dev = sub.add_parser("devices", help="list simulated devices")
     p_dev.set_defaults(func=_cmd_devices)
@@ -157,9 +268,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .clkernel.errors import CLFrontendError
+    from .serve.artifacts import ArtifactError
+    from .serve.service import ServiceError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ArtifactError, CLFrontendError, FileNotFoundError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

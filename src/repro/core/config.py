@@ -73,6 +73,25 @@ def exhaustive_settings(device: DeviceSpec) -> list[tuple[float, float]]:
     return device.real_configurations()
 
 
+def modeled_subset(
+    device: DeviceSpec, settings: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Restrict sampled settings to the modeled memory domains.
+
+    The paper predicts over the sampled frequency configurations of
+    mem-l/h/H (Fig. 3 step 3); mem-L enters only via the §4.5 heuristic.
+    Used to derive a predictor's candidate set from a trained bundle's
+    recorded training settings.  May return an empty list (single-domain
+    devices); :class:`~repro.core.predictor.ParetoPredictor` falls back to
+    :func:`prediction_candidates` in that case.
+    """
+    return [
+        (core, mem)
+        for core, mem in settings
+        if device.domain(mem).label in MODELED_LABELS
+    ]
+
+
 def prediction_candidates(device: DeviceSpec) -> list[tuple[float, float]]:
     """Configurations the models predict over: real settings of mem-l/h/H."""
     settings: list[tuple[float, float]] = []

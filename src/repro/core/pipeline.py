@@ -16,8 +16,13 @@ from typing import Callable
 
 import numpy as np
 
-from ..features.vector import StaticFeatures, build_design_matrix
+from ..features.vector import (
+    StaticFeatures,
+    build_batch_design_matrix,
+    build_design_matrix,
+)
 from ..gpusim.executor import GPUSimulator
+from ..ml import regressor_from_state, scaler_from_state
 from ..ml.model_select import Regressor
 from ..ml.scaling import StandardScaler
 from ..ml.svr import make_energy_svr, make_speedup_svr
@@ -55,6 +60,64 @@ class TrainedModels:
         speedups = self.predict_speedup(x)
         energies = self.predict_energy(x)
         return list(zip(speedups.tolist(), energies.tolist()))
+
+    def predict_objective_arrays(
+        self,
+        statics: list[StaticFeatures],
+        configs: list[tuple[float, float]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized batch prediction, returned as ``(N, M)`` arrays.
+
+        The N kernels × M configs block is stacked into one design matrix
+        and each model predicts it in a single vectorized call — the
+        serving path's replacement for looping :meth:`predict_objectives`
+        over kernels.  Row ``i`` holds kernel ``i``'s predicted speedups
+        (resp. normalized energies) across all configs, in config order.
+        """
+        x = build_batch_design_matrix(statics, configs, interactions=self.interactions)
+        shape = (len(statics), len(configs))
+        speedups = self.predict_speedup(x).reshape(shape)
+        energies = self.predict_energy(x).reshape(shape)
+        return speedups, energies
+
+    def predict_objectives_batch(
+        self,
+        statics: list[StaticFeatures],
+        configs: list[tuple[float, float]],
+    ) -> list[list[tuple[float, float]]]:
+        """Per-kernel ``(speedup, norm_energy)`` pair lists for a batch."""
+        if not statics:
+            return []
+        speedups, energies = self.predict_objective_arrays(statics, configs)
+        return [
+            list(zip(speedups[i].tolist(), energies[i].tolist()))
+            for i in range(len(statics))
+        ]
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the full trained bundle."""
+        return {
+            "kind": "trained_models",
+            "scaler": self.scaler.to_state(),
+            "speedup_model": self.speedup_model.to_state(),
+            "energy_model": self.energy_model.to_state(),
+            "settings": [list(s) for s in self.settings],
+            "n_training_samples": self.n_training_samples,
+            "interactions": self.interactions,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TrainedModels":
+        return cls(
+            scaler=scaler_from_state(state["scaler"]),
+            speedup_model=regressor_from_state(state["speedup_model"]),
+            energy_model=regressor_from_state(state["energy_model"]),
+            settings=[tuple(s) for s in state["settings"]],
+            n_training_samples=int(state["n_training_samples"]),
+            interactions=bool(state["interactions"]),
+        )
 
 
 def train_models(

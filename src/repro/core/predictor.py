@@ -14,12 +14,15 @@ Given trained single-objective models and a *new* kernel, the predictor:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..features.extractor import FeatureExtractor
 from ..features.vector import StaticFeatures
 from ..gpusim.device import DeviceSpec
-from ..pareto.algorithms import pareto_set_simple
+from ..pareto.algorithms import pareto_front_masks, pareto_set_simple
 from ..workloads import KernelSpec
 from .config import mem_l_heuristic_config, prediction_candidates
 from .pipeline import TrainedModels
@@ -49,13 +52,41 @@ class PredictedPoint:
         return (self.speedup, self.norm_energy)
 
 
-@dataclass
 class PredictedParetoSet:
-    """The predictor's output: the predicted front plus all predictions."""
+    """The predictor's output: the predicted front plus all predictions.
 
-    kernel: str
-    front: list[PredictedPoint]
-    all_points: list[PredictedPoint] = field(default_factory=list)
+    ``all_points`` (the full predicted point cloud, one entry per candidate
+    configuration) is materialized lazily: the serving path never pays for
+    N×M :class:`PredictedPoint` objects unless a caller actually inspects
+    the cloud.  Passing ``all_points`` explicitly still works and takes
+    precedence over the lazy factory.
+    """
+
+    def __init__(
+        self,
+        kernel: str,
+        front: list[PredictedPoint],
+        all_points: list[PredictedPoint] | None = None,
+        cloud_factory: "Callable[[], list[PredictedPoint]] | None" = None,
+    ) -> None:
+        self.kernel = kernel
+        self.front = front
+        self._all_points = list(all_points) if all_points is not None else None
+        self._cloud_factory = cloud_factory
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictedParetoSet(kernel={self.kernel!r}, "
+            f"front={len(self.front)} points)"
+        )
+
+    @property
+    def all_points(self) -> list[PredictedPoint]:
+        if self._all_points is None:
+            factory = self._cloud_factory
+            self._all_points = factory() if factory is not None else []
+            self._cloud_factory = None  # release the captured objectives
+        return self._all_points
 
     @property
     def configs(self) -> list[tuple[float, float]]:
@@ -70,6 +101,25 @@ class PredictedParetoSet:
 
     def heuristic_points(self) -> list[PredictedPoint]:
         return [p for p in self.front if not p.modeled]
+
+
+class _ArrayObjectives:
+    """Tuple-list view over per-kernel objective arrays (lazy conversion)."""
+
+    __slots__ = ("_speedups", "_energies")
+
+    def __init__(self, speedups: np.ndarray, energies: np.ndarray) -> None:
+        self._speedups = speedups
+        self._energies = energies
+
+    def __len__(self) -> int:
+        return int(self._speedups.shape[0])
+
+    def __getitem__(self, i: int) -> tuple[float, float]:
+        return (float(self._speedups[i]), float(self._energies[i]))
+
+    def __iter__(self):
+        return iter(zip(self._speedups.tolist(), self._energies.tolist()))
 
 
 class ParetoPredictor:
@@ -87,6 +137,9 @@ class ParetoPredictor:
         self.use_mem_l_heuristic = use_mem_l_heuristic
         self.candidates = candidates or prediction_candidates(device)
         self._extractor = FeatureExtractor()
+        # Device-constant; resolved once so the serving hot path never
+        # re-walks the frequency menus per request.
+        self._heuristic_config = mem_l_heuristic_config(device)
 
     # -- feature entry points ------------------------------------------------
 
@@ -103,21 +156,69 @@ class ParetoPredictor:
 
     def predict_from_features(self, static: StaticFeatures) -> PredictedParetoSet:
         objectives = self.models.predict_objectives(static, self.candidates)
-        all_points = [
-            PredictedPoint(
-                core_mhz=core,
-                mem_mhz=mem,
-                speedup=s,
-                norm_energy=e,
+        front_idx = pareto_set_simple(objectives)
+        return self._assemble(static.kernel_name, objectives, front_idx)
+
+    def predict_batch(
+        self, statics: Sequence[StaticFeatures]
+    ) -> list[PredictedParetoSet]:
+        """Predict Pareto sets for many kernels with one model pass.
+
+        All kernels share ``self.candidates``; the stacked design matrix is
+        scaled and predicted once per model (see
+        :meth:`TrainedModels.predict_objective_arrays`), and per-kernel
+        front extraction uses the vectorized dominance test — which returns
+        exactly the same indices as Algorithm 1, so front membership
+        matches :meth:`predict_from_features` kernel for kernel (predicted
+        objectives may differ by ~1 ulp: BLAS reassociates sums differently
+        for different matrix shapes).
+        """
+        statics = list(statics)
+        if not statics:
+            return []
+        speedups, energies = self.models.predict_objective_arrays(
+            statics, self.candidates
+        )
+        masks = pareto_front_masks(speedups, energies)
+        results: list[PredictedParetoSet] = []
+        for i, static in enumerate(statics):
+            front_idx = np.flatnonzero(masks[i]).tolist()
+            results.append(
+                self._assemble(
+                    static.kernel_name,
+                    # Row copies, so a retained result pins M floats per
+                    # objective instead of the whole (N, M) batch matrix.
+                    _ArrayObjectives(speedups[i].copy(), energies[i].copy()),
+                    front_idx,
+                )
             )
-            for (core, mem), (s, e) in zip(self.candidates, objectives)
+        return results
+
+    def _assemble(
+        self,
+        kernel_name: str,
+        objectives: "Sequence[tuple[float, float]]",
+        front_idx: list[int],
+    ) -> PredictedParetoSet:
+        """Fig. 3 steps 5–9 for one kernel's predicted point cloud.
+
+        ``objectives`` only needs indexing and iteration: the sequential
+        path passes the plain tuple list, the batch path an array-backed
+        view so the full M-point cloud is never materialized eagerly.
+        """
+        candidates = self.candidates
+        front = [
+            PredictedPoint(
+                core_mhz=candidates[i][0],
+                mem_mhz=candidates[i][1],
+                speedup=objectives[i][0],
+                norm_energy=objectives[i][1],
+            )
+            for i in front_idx
         ]
 
-        front_idx = pareto_set_simple([p.objectives for p in all_points])
-        front = [all_points[i] for i in front_idx]
-
         if self.use_mem_l_heuristic:
-            heuristic = mem_l_heuristic_config(self.device)
+            heuristic = self._heuristic_config
             if heuristic is not None and heuristic not in {p.config for p in front}:
                 # The heuristic point is appended with NaN-free placeholder
                 # objectives at the front's conservative corner; it is a
@@ -133,6 +234,15 @@ class ParetoPredictor:
                 )
 
         front.sort(key=lambda p: (p.speedup, p.norm_energy))
+
+        def cloud_factory() -> list[PredictedPoint]:
+            return [
+                PredictedPoint(
+                    core_mhz=core, mem_mhz=mem, speedup=s, norm_energy=e
+                )
+                for (core, mem), (s, e) in zip(candidates, objectives)
+            ]
+
         return PredictedParetoSet(
-            kernel=static.kernel_name, front=front, all_points=all_points
+            kernel=kernel_name, front=front, cloud_factory=cloud_factory
         )

@@ -181,16 +181,54 @@ def build_design_matrix(
     ndarray of shape ``(len(settings), 32)`` — or ``(len(settings), 12)``
     when ``interactions=False``.
     """
-    base = static.as_array()
+    return build_batch_design_matrix(
+        [static], settings, core_interval, mem_interval, interactions=interactions
+    )
+
+
+def build_batch_design_matrix(
+    statics: "list[StaticFeatures]",
+    settings: list[tuple[float, float]],
+    core_interval: tuple[float, float] = CORE_FREQ_INTERVAL,
+    mem_interval: tuple[float, float] = MEM_FREQ_INTERVAL,
+    interactions: bool = True,
+) -> np.ndarray:
+    """Stack combined rows for **many** kernels across the same settings.
+
+    The output has one block of ``len(settings)`` rows per kernel, in order:
+    row ``i * len(settings) + j`` is kernel ``i`` at setting ``j`` — exactly
+    the rows :func:`build_design_matrix` would produce for each kernel,
+    concatenated.  Construction is fully vectorized (no per-row Python
+    loop), which is what makes the batched inference path in
+    :mod:`repro.serve` cheap: the whole N×M block feeds a single scaler
+    transform and a single predict per model.
+    """
+    n_kernels = len(statics)
+    n_settings = len(settings)
     d_static = len(STATIC_FEATURE_NAMES)
     width = len(FULL_FEATURE_NAMES) if interactions else len(CONCAT_FEATURE_NAMES)
-    rows = np.empty((len(settings), width), dtype=np.float64)
-    for i, (fc_mhz, fm_mhz) in enumerate(settings):
-        fc, fm = normalize_frequency(fc_mhz, fm_mhz, core_interval, mem_interval)
-        rows[i, :d_static] = base
-        rows[i, d_static] = fc
-        rows[i, d_static + 1] = fm
-        if interactions:
-            rows[i, d_static + 2 : 2 * d_static + 2] = base * fc
-            rows[i, 2 * d_static + 2 :] = base * fm
+
+    core_lo, core_hi = core_interval
+    mem_lo, mem_hi = mem_interval
+    if core_hi <= core_lo or mem_hi <= mem_lo:
+        raise ValueError("frequency intervals must be non-degenerate")
+
+    settings_arr = np.asarray(settings, dtype=np.float64).reshape(n_settings, 2)
+    fc = (settings_arr[:, 0] - core_lo) / (core_hi - core_lo)
+    fm = (settings_arr[:, 1] - mem_lo) / (mem_hi - mem_lo)
+
+    base = np.asarray([s.values for s in statics], dtype=np.float64).reshape(
+        n_kernels, d_static
+    )
+    static_block = np.repeat(base, n_settings, axis=0)
+    fc_col = np.tile(fc, n_kernels)
+    fm_col = np.tile(fm, n_kernels)
+
+    rows = np.empty((n_kernels * n_settings, width), dtype=np.float64)
+    rows[:, :d_static] = static_block
+    rows[:, d_static] = fc_col
+    rows[:, d_static + 1] = fm_col
+    if interactions:
+        rows[:, d_static + 2 : 2 * d_static + 2] = static_block * fc_col[:, None]
+        rows[:, 2 * d_static + 2 :] = static_block * fm_col[:, None]
     return rows

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from ..core.config import MODELED_LABELS, sample_training_settings
+from ..core.config import modeled_subset as _modeled_subset
+from ..core.config import sample_training_settings
 from ..core.dataset import TrainingDataset
 from ..core.pipeline import TrainedModels, train_from_specs
 from ..core.predictor import ParetoPredictor
@@ -19,21 +20,6 @@ from ..gpusim.device import DeviceSpec, make_titan_x
 from ..gpusim.executor import GPUSimulator
 from ..synthetic.generator import generate_micro_benchmarks
 from ..workloads import KernelSpec
-
-
-def _modeled_subset(
-    device: DeviceSpec, settings: list[tuple[float, float]]
-) -> list[tuple[float, float]]:
-    """The sampled settings restricted to the modeled memory domains.
-
-    The paper predicts over the sampled frequency configurations of
-    mem-l/h/H (Fig. 3 step 3); mem-L enters only via the §4.5 heuristic.
-    """
-    return [
-        (core, mem)
-        for core, mem in settings
-        if device.domain(mem).label in MODELED_LABELS
-    ]
 
 
 @dataclass

@@ -27,6 +27,8 @@ class Kernel(Protocol):
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray: ...
 
+    def to_state(self) -> dict: ...
+
 
 def _as_2d(x: np.ndarray) -> np.ndarray:
     arr = np.asarray(x, dtype=np.float64)
@@ -46,6 +48,9 @@ class LinearKernel:
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return _as_2d(a) @ _as_2d(b).T
 
+    def to_state(self) -> dict:
+        return {"kind": "linear"}
+
 
 @dataclass(frozen=True)
 class RBFKernel:
@@ -60,11 +65,23 @@ class RBFKernel:
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a2d, b2d = _as_2d(a), _as_2d(b)
-        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a·b, computed without n*m*d blowup.
+        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a·b, computed without n*m*d
+        # blowup.  The updates run in place (same operands, same order, so
+        # bit-identical results) to avoid five (n, m) temporaries — on the
+        # batched serving path this Gram matrix is millions of entries.
         a_sq = np.einsum("ij,ij->i", a2d, a2d)[:, None]
         b_sq = np.einsum("ij,ij->i", b2d, b2d)[None, :]
-        sq_dist = np.maximum(a_sq + b_sq - 2.0 * (a2d @ b2d.T), 0.0)
-        return np.exp(-self.gamma * sq_dist)
+        out = a_sq + b_sq
+        cross = a2d @ b2d.T
+        cross *= 2.0
+        out -= cross
+        np.maximum(out, 0.0, out=out)
+        out *= -self.gamma
+        np.exp(out, out=out)
+        return out
+
+    def to_state(self) -> dict:
+        return {"kind": "rbf", "gamma": self.gamma}
 
 
 @dataclass(frozen=True)
@@ -84,6 +101,20 @@ class PolynomialKernel:
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return (self.gamma * (_as_2d(a) @ _as_2d(b).T) + self.coef0) ** self.degree
+
+    def to_state(self) -> dict:
+        return {
+            "kind": "poly",
+            "degree": self.degree,
+            "gamma": self.gamma,
+            "coef0": self.coef0,
+        }
+
+
+def kernel_from_state(state: dict) -> Kernel:
+    """Reconstruct a kernel from its ``to_state`` dict."""
+    params = {k: v for k, v in state.items() if k != "kind"}
+    return make_kernel(state["kind"], **params)
 
 
 def make_kernel(name: str, **params: float) -> Kernel:

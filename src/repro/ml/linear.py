@@ -56,6 +56,22 @@ class OLSRegression:
         out = xa @ self.coef_ + self.intercept_
         return out[0] if squeeze else out
 
+    def to_state(self) -> dict:
+        return {
+            "kind": "ols",
+            "fit_intercept": self.fit_intercept,
+            "coef": None if self.coef_ is None else self.coef_.tolist(),
+            "intercept": self.intercept_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OLSRegression":
+        model = cls(fit_intercept=state["fit_intercept"])
+        coef = state["coef"]
+        model.coef_ = None if coef is None else np.asarray(coef, dtype=np.float64)
+        model.intercept_ = float(state["intercept"])
+        return model
+
 
 class RidgeRegression:
     """L2-regularized least squares, closed form."""
@@ -94,6 +110,23 @@ class RidgeRegression:
             xa = xa[None, :]
         out = xa @ self.coef_ + self.intercept_
         return out[0] if squeeze else out
+
+    def to_state(self) -> dict:
+        return {
+            "kind": "ridge",
+            "alpha": self.alpha,
+            "fit_intercept": self.fit_intercept,
+            "coef": None if self.coef_ is None else self.coef_.tolist(),
+            "intercept": self.intercept_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RidgeRegression":
+        model = cls(alpha=state["alpha"], fit_intercept=state["fit_intercept"])
+        coef = state["coef"]
+        model.coef_ = None if coef is None else np.asarray(coef, dtype=np.float64)
+        model.intercept_ = float(state["intercept"])
+        return model
 
 
 class LassoRegression:
@@ -181,3 +214,29 @@ class LassoRegression:
             xa = xa[None, :]
         out = xa @ self.coef_ + self.intercept_
         return out[0] if squeeze else out
+
+    def to_state(self) -> dict:
+        return {
+            "kind": "lasso",
+            "alpha": self.alpha,
+            "fit_intercept": self.fit_intercept,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+            "coef": None if self.coef_ is None else self.coef_.tolist(),
+            "intercept": self.intercept_,
+            "n_iter": self.n_iter_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LassoRegression":
+        model = cls(
+            alpha=state["alpha"],
+            fit_intercept=state["fit_intercept"],
+            max_iter=state["max_iter"],
+            tol=state["tol"],
+        )
+        coef = state["coef"]
+        model.coef_ = None if coef is None else np.asarray(coef, dtype=np.float64)
+        model.intercept_ = float(state["intercept"])
+        model.n_iter_ = int(state["n_iter"])
+        return model

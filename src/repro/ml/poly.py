@@ -84,3 +84,20 @@ class PolynomialRegression:
             )
         out = self._ridge.predict(polynomial_expand(arr, self.degree))
         return out[0] if squeeze else out
+
+    def to_state(self) -> dict:
+        return {
+            "kind": "poly_regression",
+            "degree": self.degree,
+            "alpha": self.alpha,
+            "n_features": self.n_features_,
+            "ridge": self._ridge.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PolynomialRegression":
+        model = cls(degree=state["degree"], alpha=state["alpha"])
+        n_features = state["n_features"]
+        model.n_features_ = None if n_features is None else int(n_features)
+        model._ridge = RidgeRegression.from_state(state["ridge"])
+        return model

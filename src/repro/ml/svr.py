@@ -29,7 +29,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import minimize
 
-from .kernels import Kernel, LinearKernel, RBFKernel
+from .kernels import Kernel, LinearKernel, RBFKernel, kernel_from_state
+from .scaling import array_from_state, array_to_state
 
 
 class SVR:
@@ -199,6 +200,13 @@ class SVR:
 
     # -- inference ---------------------------------------------------------------
 
+    #: Row-block size for large kernel-expansion predictions.  Batched
+    #: serving stacks thousands of rows; evaluating the Gram matrix in
+    #: blocks keeps each (block × n_sv) slab cache-resident, which is
+    #: measurably faster than one huge allocation.  Per-row results are
+    #: unaffected (each output row depends only on its own input row).
+    PREDICT_CHUNK_ROWS = 512
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         xa = np.asarray(x, dtype=np.float64)
         squeeze = xa.ndim == 1
@@ -214,9 +222,81 @@ class SVR:
         if not np.any(sv_mask):
             out = np.full(xa.shape[0], self.bias_)
         else:
-            k_eval = self.kernel(xa, self.x_train_[sv_mask])
-            out = k_eval @ self.beta_[sv_mask] + self.bias_
+            sv = self.x_train_[sv_mask]
+            beta = self.beta_[sv_mask]
+            n = xa.shape[0]
+            chunk = self.PREDICT_CHUNK_ROWS
+            if n > chunk:
+                out = np.empty(n)
+                for start in range(0, n, chunk):
+                    block = xa[start : start + chunk]
+                    out[start : start + chunk] = (
+                        self.kernel(block, sv) @ beta + self.bias_
+                    )
+            else:
+                out = self.kernel(xa, sv) @ beta + self.bias_
         return out[0] if squeeze else out
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of hyper-parameters and the fitted solution.
+
+        Only the state :meth:`predict` needs is serialized — the primal
+        path stores ``coef_``, the dual path stores the *support vectors*
+        and their ``beta_`` entries (dead rows contribute nothing to the
+        kernel expansion).  A reloaded model predicts bit-identically, and
+        artifacts stay kilobytes instead of shipping the whole training
+        matrix.  Introspection that needs the full training set
+        (:meth:`dual_objective`; dual-path ``support_indices_`` relative
+        to the original sample order) is unavailable after a reload.
+        """
+        state = {
+            "kind": "svr",
+            "kernel": self.kernel.to_state(),
+            "C": self.C,
+            "epsilon": self.epsilon,
+            "max_epochs": self.max_epochs,
+            "tol": self.tol,
+            "shuffle_seed": self.shuffle_seed,
+            "bias": self.bias_,
+            "n_epochs": self.n_epochs_,
+            "beta": None,
+            "coef": array_to_state(self.coef_),
+            "sv_mask": None,
+            "x_train": None,
+        }
+        if self.coef_ is not None:
+            state["sv_mask"] = (
+                None if self._sv_mask is None else self._sv_mask.tolist()
+            )
+        elif self.beta_ is not None and self.x_train_ is not None:
+            sv = self.beta_ != 0.0
+            state["beta"] = self.beta_[sv].tolist()
+            state["x_train"] = self.x_train_[sv].tolist()
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SVR":
+        model = cls(
+            kernel=kernel_from_state(state["kernel"]),
+            C=state["C"],
+            epsilon=state["epsilon"],
+            max_epochs=state["max_epochs"],
+            tol=state["tol"],
+            shuffle_seed=state["shuffle_seed"],
+        )
+        model.bias_ = float(state["bias"])
+        model.n_epochs_ = int(state["n_epochs"])
+        model.beta_ = array_from_state(state["beta"])
+        model.coef_ = array_from_state(state["coef"])
+        mask = state["sv_mask"]
+        model._sv_mask = None if mask is None else np.asarray(mask, dtype=bool)
+        x_train = state["x_train"]
+        if x_train is not None:
+            d = len(x_train[0]) if x_train else 0
+            model.x_train_ = np.asarray(x_train, dtype=np.float64).reshape(-1, d)
+        return model
 
     # -- introspection ----------------------------------------------------------
 
@@ -237,7 +317,9 @@ class SVR:
 
         ``½ βᵀKβ − y_cᵀβ + ε‖β‖₁`` — useful in tests to verify that the
         coordinate-descent solution cannot be improved by perturbation.
-        Only available for the dual (non-linear-kernel) path.
+        Only available for the dual (non-linear-kernel) path, and only on
+        the originally fitted model (serialization keeps just the support
+        vectors, not the centered targets).
         """
         if self.coef_ is not None:
             raise RuntimeError(
@@ -245,6 +327,11 @@ class SVR:
             )
         if self.beta_ is None or self.x_train_ is None:
             raise RuntimeError("model is not fitted")
+        if self.y_centered_ is None:
+            raise RuntimeError(
+                "dual objective needs the full training state, which is "
+                "not serialized; compute it on the originally fitted model"
+            )
         gram = self.kernel(self.x_train_, self.x_train_)
         beta = self.beta_
         quad = 0.5 * float(beta @ gram @ beta)

@@ -3,6 +3,7 @@
 from .algorithms import (
     pareto_points,
     pareto_set_brute,
+    pareto_set_numpy,
     pareto_set_simple,
     pareto_set_sort,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "is_pareto_optimal",
     "pareto_points",
     "pareto_set_brute",
+    "pareto_set_numpy",
     "pareto_set_simple",
     "pareto_set_sort",
     "relative_coverage",

@@ -6,14 +6,20 @@ Three interchangeable implementations:
   candidate, compare against the rest, classify);
 * :func:`pareto_set_sort` — the O(n log n) sweep the paper alludes to when
   citing faster algorithms ([18] in the paper);
-* :func:`pareto_set_brute` — O(n²) reference oracle, kept for testing.
+* :func:`pareto_set_brute` — O(n²) reference oracle, kept for testing;
+* :func:`pareto_set_numpy` — the O(n²) dominance test as one broadcasted
+  numpy expression; :func:`pareto_front_masks` is its whole-batch form,
+  used by the batched serving path where the per-point Python loop of
+  Algorithm 1 dominates the request latency.
 
-All three return *indices* into the input list, sorted ascending, so callers
+All four return *indices* into the input list, sorted ascending, so callers
 can map back to configurations.  Duplicate points are kept (all copies are
 on the front if one is), matching Algorithm 1's behaviour.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from .dominance import dominates
 
@@ -62,6 +68,50 @@ def pareto_set_simple(points: list[tuple[float, float]]) -> list[int]:
 
 def _on_front(p: tuple[float, float], points: list[tuple[float, float]]) -> bool:
     return not any(dominates(q, p) for q in points)
+
+
+def pareto_set_numpy(points) -> list[int]:
+    """Vectorized dominance test, identical output to Algorithm 1.
+
+    ``points`` may be a list of ``(speedup, energy)`` pairs or an ``(n, 2)``
+    array.  A point survives iff no other point dominates it under the
+    paper's definition (maximize speedup, minimize energy), which is exactly
+    the set :func:`pareto_set_simple` returns — including duplicates.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    arr = arr.reshape(-1, 2)
+    mask = pareto_front_masks(arr[None, :, 0], arr[None, :, 1])[0]
+    return np.flatnonzero(mask).tolist()
+
+
+def pareto_front_masks(speedups: np.ndarray, energies: np.ndarray) -> np.ndarray:
+    """Per-row Pareto membership for a whole batch in one broadcast.
+
+    ``speedups`` and ``energies`` are ``(n_kernels, n_points)`` arrays; the
+    result is a boolean array of the same shape where ``mask[k, i]`` is
+    True iff point ``i`` is on kernel ``k``'s front — row ``k`` equals
+    ``pareto_set_numpy`` of that kernel's points.  Used by the batched
+    serving path: one 3-D dominance tensor replaces n_kernels Python-level
+    front extractions.
+    """
+    s = np.asarray(speedups, dtype=np.float64)
+    e = np.asarray(energies, dtype=np.float64)
+    if s.ndim != 2 or s.shape != e.shape:
+        raise ValueError("expected matching (n_kernels, n_points) arrays")
+    sj, si = s[:, :, None], s[:, None, :]
+    ej, ei = e[:, :, None], e[:, None, :]
+    # dom = (sj >= si & ej < ei) | (sj > si & ej <= ei), built in place to
+    # keep the (n, m, m) boolean temporaries to two allocations.
+    dom = sj >= si
+    dom &= ej < ei
+    strict = sj > si
+    strict &= ej <= ei
+    dom |= strict
+    out = dom.any(axis=1)
+    np.logical_not(out, out=out)
+    return out
 
 
 def pareto_set_sort(points: list[tuple[float, float]]) -> list[int]:

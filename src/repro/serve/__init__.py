@@ -1,0 +1,64 @@
+"""repro.serve — the prediction service subsystem.
+
+Turns the interactive pipeline (train → extract → predict, all in-process
+and from scratch every time) into a serving stack:
+
+* :mod:`repro.serve.artifacts` — versioned JSON persistence for trained
+  bundles; a reloaded model predicts **bit-identically** to the original;
+* :mod:`repro.serve.registry` — named bundles keyed by (device, recipe,
+  feature config) that train on first use and reload instantly after;
+* :mod:`repro.serve.cache` — content-hash LRU over kernel source → static
+  features, skipping the clkernel frontend on repeat requests;
+* :mod:`repro.serve.service` — the :class:`PredictionService` facade with
+  batched vectorized inference and hit/miss/latency telemetry.
+
+Quick start::
+
+    from repro.serve import ModelKey, ModelRegistry, PredictionService
+
+    registry = ModelRegistry(root="~/.cache/repro-models")
+    service = PredictionService.from_registry(
+        registry, ModelKey(recipe="quick")
+    )
+    fronts = service.predict_batch([src1, src2, src3])
+"""
+
+from .artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    load_artifact,
+    load_models,
+    load_models_with_meta,
+    save_artifact,
+    save_models,
+)
+from .cache import CacheStats, KernelFeatureCache, source_fingerprint
+from .registry import (
+    TRAINING_RECIPES,
+    ModelKey,
+    ModelRegistry,
+    RegistryStats,
+    train_for_key,
+)
+from .service import PredictionService, ServiceError, ServiceStats
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "CacheStats",
+    "KernelFeatureCache",
+    "ModelKey",
+    "ModelRegistry",
+    "PredictionService",
+    "RegistryStats",
+    "ServiceError",
+    "ServiceStats",
+    "TRAINING_RECIPES",
+    "load_artifact",
+    "load_models",
+    "load_models_with_meta",
+    "save_artifact",
+    "save_models",
+    "source_fingerprint",
+    "train_for_key",
+]

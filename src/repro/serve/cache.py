@@ -1,0 +1,111 @@
+"""Content-hash LRU cache over kernel source → static features.
+
+Feature extraction runs the whole clkernel frontend (lex → parse → lower →
+count); for serving, where the same kernel text arrives again and again
+from an autotuner's inner loop, that work is pure waste.  The cache keys on
+a SHA-256 fingerprint of the *source text*, the requested kernel name, and
+the extractor configuration, so:
+
+* a repeat request returns the **identical** :class:`StaticFeatures` object
+  without touching the frontend;
+* any edit to the source (or asking for a different kernel in the same
+  translation unit, or changing extractor knobs) changes the fingerprint
+  and misses — stale features can never be served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..features.extractor import ExtractorConfig, FeatureExtractor
+from ..features.vector import StaticFeatures
+
+
+def source_fingerprint(
+    source: str,
+    kernel_name: str | None = None,
+    config: ExtractorConfig | None = None,
+) -> str:
+    """SHA-256 over everything that determines the extracted features.
+
+    The config enters via its dataclass ``repr``, which covers every
+    field — a knob added to :class:`ExtractorConfig` later is
+    automatically part of the key, so two configs can never share an
+    entry.
+    """
+    cfg = config or ExtractorConfig()
+    hasher = hashlib.sha256()
+    for part in (kernel_name or "", repr(cfg), source):
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`KernelFeatureCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class KernelFeatureCache:
+    """LRU map from source fingerprints to extracted features."""
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor | None = None,
+        capacity: int = 512,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.extractor = extractor or FeatureExtractor()
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, StaticFeatures] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, source: str, kernel_name: str | None = None) -> StaticFeatures:
+        """Return features for ``source``, extracting only on a miss."""
+        key = source_fingerprint(source, kernel_name, self.extractor.config)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        features = self.extractor.extract(source, kernel_name)
+        self._entries[key] = features
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return features
+
+    def peek(self, source: str, kernel_name: str | None = None) -> StaticFeatures | None:
+        """Non-mutating lookup (no extraction, no LRU/statistics update)."""
+        key = source_fingerprint(source, kernel_name, self.extractor.config)
+        return self._entries.get(key)
+
+    def clear(self) -> None:
+        self._entries.clear()

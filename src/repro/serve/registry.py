@@ -1,0 +1,157 @@
+"""Named model registry: train once, persist, reload instantly.
+
+A :class:`ModelKey` identifies a trained bundle by device, training recipe,
+and feature configuration.  :class:`ModelRegistry` maps keys to artifact
+files under a root directory and resolves ``get(key)`` in order of cost:
+
+1. **memory** — already materialized in this process;
+2. **disk** — a saved artifact exists, load it (milliseconds);
+3. **train** — first use anywhere: run the training recipe, save the
+   artifact, and serve from memory thereafter.
+
+Recipes mirror the harness contexts: ``paper`` is the full 106-code ×
+40-setting setup, ``quick`` the reduced one used by fast tests.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import PAPER_SAMPLE_SIZE, sample_training_settings
+from ..core.pipeline import TrainedModels, train_from_specs
+from ..gpusim.device import DEVICE_REGISTRY, DeviceSpec
+from ..gpusim.executor import GPUSimulator
+from ..synthetic.generator import generate_micro_benchmarks
+from .artifacts import load_models, save_models
+
+#: Known training recipes: name → (micro-benchmark stride, settings budget).
+TRAINING_RECIPES: dict[str, tuple[int, int]] = {
+    "paper": (1, PAPER_SAMPLE_SIZE),
+    "quick": (3, 24),
+}
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Identity of one trained bundle: (device, recipe, feature config)."""
+
+    device: str = "NVIDIA GTX Titan X"
+    recipe: str = "paper"
+    features: str = "interactions"  # or "concat" (no-interactions ablation)
+
+    def __post_init__(self) -> None:
+        if self.features not in ("interactions", "concat"):
+            raise ValueError(
+                f"features must be 'interactions' or 'concat', got {self.features!r}"
+            )
+
+    @property
+    def interactions(self) -> bool:
+        return self.features == "interactions"
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe identifier, stable across processes."""
+        parts = (self.device, self.recipe, self.features)
+        return "__".join(
+            re.sub(r"[^a-z0-9]+", "-", part.lower()).strip("-") for part in parts
+        )
+
+    def device_spec(self) -> DeviceSpec:
+        try:
+            return DEVICE_REGISTRY[self.device]
+        except KeyError:
+            raise KeyError(
+                f"unknown device {self.device!r}; known: {sorted(DEVICE_REGISTRY)}"
+            ) from None
+
+    def as_meta(self) -> dict:
+        return {"device": self.device, "recipe": self.recipe, "features": self.features}
+
+
+def train_for_key(key: ModelKey) -> TrainedModels:
+    """The default trainer: run the key's recipe end to end."""
+    try:
+        stride, budget = TRAINING_RECIPES[key.recipe]
+    except KeyError:
+        raise ValueError(
+            f"unknown recipe {key.recipe!r}; known: {sorted(TRAINING_RECIPES)}"
+        ) from None
+    device = key.device_spec()
+    sim = GPUSimulator(device)
+    micro = generate_micro_benchmarks()[::stride]
+    settings = sample_training_settings(device, total=budget)
+    models, _dataset = train_from_specs(
+        sim, micro, settings, interactions=key.interactions
+    )
+    return models
+
+
+@dataclass
+class RegistryStats:
+    """Where each ``get`` was satisfied from."""
+
+    memory_hits: int = 0
+    disk_loads: int = 0
+    trainings: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_loads": self.disk_loads,
+            "trainings": self.trainings,
+        }
+
+
+@dataclass
+class ModelRegistry:
+    """Keyed store of trained bundles backed by a directory of artifacts."""
+
+    root: pathlib.Path
+    trainer: Callable[[ModelKey], TrainedModels] = train_for_key
+    stats: RegistryStats = field(default_factory=RegistryStats)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[ModelKey, TrainedModels] = {}
+
+    def path_for(self, key: ModelKey) -> pathlib.Path:
+        return self.root / f"{key.slug}.json"
+
+    def __contains__(self, key: ModelKey) -> bool:
+        return key in self._memory or self.path_for(key).exists()
+
+    def get(self, key: ModelKey) -> TrainedModels:
+        """Resolve a bundle: memory, then disk, then train-and-persist."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        path = self.path_for(key)
+        if path.exists():
+            models = load_models(path)
+            self.stats.disk_loads += 1
+        else:
+            models = self.trainer(key)
+            save_models(path, models, meta=key.as_meta())
+            self.stats.trainings += 1
+        self._memory[key] = models
+        return models
+
+    def put(self, key: ModelKey, models: TrainedModels) -> pathlib.Path:
+        """Register an externally trained bundle under ``key``."""
+        path = save_models(self.path_for(key), models, meta=key.as_meta())
+        self._memory[key] = models
+        return path
+
+    def entries(self) -> list[str]:
+        """Slugs of every persisted bundle under the registry root."""
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def evict_memory(self) -> None:
+        """Drop in-process copies (artifacts on disk are untouched)."""
+        self._memory.clear()

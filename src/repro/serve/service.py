@@ -1,0 +1,165 @@
+"""The serving facade: cached features + persistent models + batched predict.
+
+:class:`PredictionService` is the one object a deployment talks to.  It
+owns a :class:`~repro.serve.cache.KernelFeatureCache` (skip the frontend on
+repeat sources), a trained bundle (from a registry, an artifact file, or
+in-memory training), and a :class:`~repro.core.predictor.ParetoPredictor`
+whose batch path runs one vectorized model pass for a whole request batch.
+Every request updates hit/miss and latency counters so operators can see
+where time goes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.config import modeled_subset
+from ..core.pipeline import TrainedModels
+from ..core.predictor import ParetoPredictor, PredictedParetoSet
+from ..features.vector import StaticFeatures
+from ..gpusim.device import DeviceSpec
+from .artifacts import load_models_with_meta
+from .cache import KernelFeatureCache
+from .registry import ModelKey, ModelRegistry
+
+
+class ServiceError(RuntimeError):
+    """Raised when a service is assembled from mismatched parts."""
+
+
+def _normalize(request) -> tuple[str, str | None]:
+    if isinstance(request, str):
+        return request, None
+    source, kernel_name = request
+    return source, kernel_name
+
+
+@dataclass
+class ServiceStats:
+    """Request counters and cumulative stage latencies (seconds)."""
+
+    single_requests: int = 0
+    batch_requests: int = 0
+    kernels_served: int = 0
+    extract_seconds: float = 0.0
+    predict_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "single_requests": self.single_requests,
+            "batch_requests": self.batch_requests,
+            "kernels_served": self.kernels_served,
+            "extract_seconds": self.extract_seconds,
+            "predict_seconds": self.predict_seconds,
+        }
+
+
+@dataclass
+class PredictionService:
+    """Facade over cache + models + predictor with built-in telemetry."""
+
+    models: TrainedModels
+    device: DeviceSpec
+    cache: KernelFeatureCache = field(default_factory=KernelFeatureCache)
+    use_mem_l_heuristic: bool = True
+    candidates: list[tuple[float, float]] | None = None
+    clock: Callable[[], float] = time.perf_counter
+    stats: ServiceStats = field(default_factory=ServiceStats)
+
+    def __post_init__(self) -> None:
+        if self.candidates is None and self.models.settings:
+            # Predict over the modeled subset of the settings the bundle
+            # was trained on — the paper_context convention.
+            try:
+                self.candidates = modeled_subset(self.device, self.models.settings)
+            except KeyError as exc:
+                raise ServiceError(
+                    f"model bundle does not fit device {self.device.name!r}: "
+                    f"{exc.args[0] if exc.args else exc}"
+                ) from None
+        self.predictor = ParetoPredictor(
+            self.models,
+            self.device,
+            use_mem_l_heuristic=self.use_mem_l_heuristic,
+            candidates=self.candidates or None,
+        )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_registry(
+        cls, registry: ModelRegistry, key: ModelKey, **kwargs
+    ) -> "PredictionService":
+        """Resolve ``key`` through the registry (training on first use)."""
+        models = registry.get(key)
+        return cls(models=models, device=key.device_spec(), **kwargs)
+
+    @classmethod
+    def from_artifact(
+        cls, path, device: DeviceSpec | None = None, **kwargs
+    ) -> "PredictionService":
+        """Load a saved bundle; device resolves from the artifact's metadata.
+
+        Raises :class:`ServiceError` when the artifact names no known
+        device and none is passed — a silent default could pair the
+        bundle with frequency menus it was never trained on.
+        """
+        from ..gpusim.device import DEVICE_REGISTRY
+
+        models, meta = load_models_with_meta(path)
+        if device is None:
+            name = meta.get("device")
+            device = DEVICE_REGISTRY.get(name) if name else None
+            if device is None:
+                known = ", ".join(sorted(DEVICE_REGISTRY))
+                raise ServiceError(
+                    f"artifact {path} names no known device "
+                    f"(meta device: {name!r}; known: {known}); "
+                    f"pass device= explicitly"
+                )
+        return cls(models=models, device=device, **kwargs)
+
+    # -- serving ----------------------------------------------------------------
+
+    def features_for(self, source: str, kernel_name: str | None = None) -> StaticFeatures:
+        """Cached feature extraction with latency accounting."""
+        start = self.clock()
+        features = self.cache.get(source, kernel_name)
+        self.stats.extract_seconds += self.clock() - start
+        return features
+
+    def predict(self, source: str, kernel_name: str | None = None) -> PredictedParetoSet:
+        """One kernel → its predicted Pareto set (single-request path)."""
+        features = self.features_for(source, kernel_name)
+        start = self.clock()
+        result = self.predictor.predict_from_features(features)
+        self.stats.predict_seconds += self.clock() - start
+        self.stats.single_requests += 1
+        self.stats.kernels_served += 1
+        return result
+
+    def predict_batch(self, requests: Sequence) -> list[PredictedParetoSet]:
+        """Many kernels → their Pareto sets via one vectorized model pass.
+
+        ``requests`` items are source strings or ``(source, kernel_name)``
+        pairs.  Results are in request order.
+        """
+        pairs = [_normalize(r) for r in requests]
+        features = [self.features_for(src, name) for src, name in pairs]
+        start = self.clock()
+        results = self.predictor.predict_batch(features)
+        self.stats.predict_seconds += self.clock() - start
+        self.stats.batch_requests += 1
+        self.stats.kernels_served += len(results)
+        return results
+
+    # -- telemetry --------------------------------------------------------------
+
+    def stats_summary(self) -> dict:
+        """Service counters merged with the feature cache's counters."""
+        summary = self.stats.as_dict()
+        summary["feature_cache"] = self.cache.stats.as_dict()
+        summary["candidates"] = len(self.predictor.candidates)
+        return summary

@@ -1,0 +1,223 @@
+"""Artifact store: state round-trips and bit-identical reloads."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.context import quick_context
+from repro.ml import (
+    SVR,
+    LassoRegression,
+    OLSRegression,
+    PolynomialRegression,
+    RidgeRegression,
+    StandardScaler,
+    make_energy_svr,
+    make_kernel,
+    make_speedup_svr,
+    regressor_from_state,
+    scaler_from_state,
+)
+from repro.ml.kernels import kernel_from_state
+from repro.ml.scaling import IdentityScaler, MinMaxScaler
+from repro.serve.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    load_artifact,
+    load_models,
+    load_models_with_meta,
+    save_artifact,
+    save_models,
+)
+from repro.suite import test_benchmarks as suite_benchmarks
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return quick_context()
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(60, 5))
+    y = x @ rng.normal(size=5) + 0.1 * rng.normal(size=60)
+    return x, y
+
+
+def json_round_trip(state: dict) -> dict:
+    """Force the state through actual JSON text, as the store does."""
+    return json.loads(json.dumps(state))
+
+
+class TestScalerRoundTrip:
+    def test_standard_scaler(self, training_data):
+        x, _ = training_data
+        scaler = StandardScaler().fit(x)
+        clone = scaler_from_state(json_round_trip(scaler.to_state()))
+        assert np.array_equal(scaler.transform(x), clone.transform(x))
+
+    def test_minmax_scaler(self, training_data):
+        x, _ = training_data
+        scaler = MinMaxScaler().fit(x)
+        clone = scaler_from_state(json_round_trip(scaler.to_state()))
+        assert np.array_equal(scaler.transform(x), clone.transform(x))
+
+    def test_identity_scaler(self, training_data):
+        x, _ = training_data
+        clone = scaler_from_state(json_round_trip(IdentityScaler().to_state()))
+        assert np.array_equal(clone.transform(x), x)
+
+    def test_unfitted_scaler_round_trips(self):
+        clone = scaler_from_state(StandardScaler().to_state())
+        assert clone.mean_ is None and clone.scale_ is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown scaler"):
+            scaler_from_state({"kind": "nope"})
+
+
+class TestKernelRoundTrip:
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            make_kernel("linear"),
+            make_kernel("rbf", gamma=0.25),
+            make_kernel("poly", degree=3, gamma=0.5, coef0=2.0),
+        ],
+    )
+    def test_round_trip(self, kernel):
+        clone = kernel_from_state(json_round_trip(kernel.to_state()))
+        a = np.arange(12.0).reshape(3, 4)
+        b = np.arange(8.0).reshape(2, 4) * 0.5
+        assert np.array_equal(kernel(a, b), clone(a, b))
+
+
+class TestRegressorRoundTrip:
+    @pytest.mark.parametrize(
+        "make_model",
+        [
+            lambda: OLSRegression(),
+            lambda: RidgeRegression(alpha=0.5),
+            lambda: LassoRegression(alpha=0.01),
+            lambda: PolynomialRegression(degree=2),
+            lambda: make_speedup_svr(),
+            lambda: make_energy_svr(),
+            lambda: SVR(kernel=make_kernel("poly", degree=2), C=10.0),
+        ],
+    )
+    def test_predictions_bit_identical(self, make_model, training_data):
+        x, y = training_data
+        model = make_model().fit(x, y)
+        clone = regressor_from_state(json_round_trip(model.to_state()))
+        assert np.array_equal(model.predict(x), clone.predict(x))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown regressor"):
+            regressor_from_state({"kind": "nope"})
+
+    def test_compact_svr_state_keeps_only_support_vectors(self, training_data):
+        x, y = training_data
+        model = make_energy_svr().fit(x, y)
+        state = model.to_state()
+        assert len(state["beta"]) == model.n_support_
+        assert len(state["x_train"]) == model.n_support_
+        clone = regressor_from_state(json_round_trip(state))
+        assert np.array_equal(model.predict(x), clone.predict(x))
+        with pytest.raises(RuntimeError, match="full training state"):
+            clone.dual_objective()
+
+    def test_primal_svr_state_has_no_training_matrix(self, training_data):
+        x, y = training_data
+        model = make_speedup_svr().fit(x, y)
+        state = model.to_state()
+        assert state["x_train"] is None and state["beta"] is None
+        assert state["coef"] is not None
+
+
+class TestModelBundleRoundTrip:
+    def test_save_load_predictions_bit_identical(self, ctx, tmp_path):
+        path = save_models(tmp_path / "m.json", ctx.models)
+        clone = load_models(path)
+        x = ctx.dataset.x[:50]
+        assert np.array_equal(ctx.models.predict_speedup(x), clone.predict_speedup(x))
+        assert np.array_equal(ctx.models.predict_energy(x), clone.predict_energy(x))
+        assert clone.settings == ctx.models.settings
+        assert clone.n_training_samples == ctx.models.n_training_samples
+        assert clone.interactions == ctx.models.interactions
+
+    def test_reloaded_pareto_fronts_bit_identical_on_suite(self, ctx, tmp_path):
+        """Acceptance: saved+reloaded bundle reproduces every front exactly."""
+        from repro.core.predictor import ParetoPredictor
+
+        path = save_models(tmp_path / "m.json", ctx.models)
+        clone = load_models(path)
+        original = ctx.predictor
+        reloaded = ParetoPredictor(
+            clone, ctx.device, candidates=original.candidates
+        )
+        for spec in suite_benchmarks():
+            a = original.predict_for_spec(spec)
+            b = reloaded.predict_for_spec(spec)
+            assert [
+                (p.config, p.objectives, p.modeled) for p in a.front
+            ] == [(p.config, p.objectives, p.modeled) for p in b.front], spec.name
+
+    def test_artifact_is_compact(self, ctx, tmp_path):
+        """Only support vectors ship — not the whole training matrix."""
+        path = save_models(tmp_path / "m.json", ctx.models)
+        assert path.stat().st_size < 500_000
+
+    def test_meta_round_trips(self, ctx, tmp_path):
+        path = save_models(
+            tmp_path / "m.json", ctx.models, meta={"device": "X", "recipe": "quick"}
+        )
+        _models, meta = load_models_with_meta(path)
+        assert meta == {"device": "X", "recipe": "quick"}
+
+
+class TestEnvelopeValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no artifact"):
+            load_artifact(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_future_format_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": ARTIFACT_FORMAT_VERSION + 1,
+                    "artifact_kind": "trained_models",
+                    "payload": {"kind": "trained_models"},
+                }
+            )
+        )
+        with pytest.raises(ArtifactError, match="not supported"):
+            load_artifact(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = save_artifact(tmp_path / "s.json", {"kind": "standard_scaler"})
+        with pytest.raises(ArtifactError, match="expected a 'trained_models'"):
+            load_artifact(path, expected_kind="trained_models")
+
+    def test_payload_without_kind_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no 'kind'"):
+            save_artifact(tmp_path / "x.json", {"no": "kind"})
+
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        save_artifact(tmp_path / "a.json", {"kind": "standard_scaler"})
+        assert [p.name for p in tmp_path.iterdir()] == ["a.json"]
+
+    def test_overwrite_existing_artifact(self, tmp_path):
+        path = tmp_path / "a.json"
+        save_artifact(path, {"kind": "standard_scaler"})
+        save_artifact(path, {"kind": "identity_scaler"})
+        payload, _meta = load_artifact(path)
+        assert payload["kind"] == "identity_scaler"

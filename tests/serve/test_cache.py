@@ -1,0 +1,106 @@
+"""Kernel-feature cache: identity on hit, invalidation, LRU, stats."""
+
+from repro.features.extractor import ExtractorConfig, FeatureExtractor
+from repro.serve.cache import KernelFeatureCache, source_fingerprint
+
+SAXPY = """
+__kernel void saxpy(__global float* x, __global float* y, float a) {
+  int i = get_global_id(0);
+  y[i] = a * x[i] + y[i];
+}
+"""
+
+SAXPY_EDITED = SAXPY.replace("a * x[i] + y[i]", "a * x[i] - y[i]")
+
+TWO_KERNELS = """
+__kernel void first(__global float* x) {
+  int i = get_global_id(0);
+  x[i] = x[i] + 1.0f;
+}
+__kernel void second(__global float* x) {
+  int i = get_global_id(0);
+  x[i] = x[i] * x[i];
+}
+"""
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert source_fingerprint(SAXPY) == source_fingerprint(SAXPY)
+
+    def test_source_change_changes_fingerprint(self):
+        assert source_fingerprint(SAXPY) != source_fingerprint(SAXPY_EDITED)
+
+    def test_kernel_name_is_part_of_key(self):
+        assert source_fingerprint(TWO_KERNELS, "first") != source_fingerprint(
+            TWO_KERNELS, "second"
+        )
+
+    def test_extractor_config_is_part_of_key(self):
+        assert source_fingerprint(SAXPY) != source_fingerprint(
+            SAXPY, config=ExtractorConfig(default_trip_count=7)
+        )
+
+
+class TestCacheBehaviour:
+    def test_hit_returns_identical_object(self):
+        cache = KernelFeatureCache()
+        first = cache.get(SAXPY)
+        second = cache.get(SAXPY)
+        assert second is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_matches_direct_extraction(self):
+        cache = KernelFeatureCache()
+        cached = cache.get(SAXPY)
+        direct = FeatureExtractor().extract(SAXPY)
+        assert cached.values == direct.values
+        assert cached.kernel_name == direct.kernel_name
+
+    def test_source_edit_invalidates(self):
+        cache = KernelFeatureCache()
+        original = cache.get(SAXPY)
+        edited = cache.get(SAXPY_EDITED)
+        assert edited is not original
+        assert cache.stats.misses == 2
+
+    def test_kernel_name_selects_entry(self):
+        cache = KernelFeatureCache()
+        first = cache.get(TWO_KERNELS, "first")
+        second = cache.get(TWO_KERNELS, "second")
+        assert first.kernel_name == "first"
+        assert second.kernel_name == "second"
+        assert cache.get(TWO_KERNELS, "first") is first
+
+    def test_lru_eviction(self):
+        cache = KernelFeatureCache(capacity=2)
+        a = cache.get(SAXPY)
+        cache.get(SAXPY_EDITED)
+        cache.get(SAXPY)  # refresh a: now SAXPY_EDITED is least recent
+        cache.get(TWO_KERNELS, "first")  # evicts SAXPY_EDITED
+        assert cache.stats.evictions == 1
+        assert cache.get(SAXPY) is a  # still cached
+        assert cache.peek(SAXPY_EDITED) is None
+
+    def test_peek_does_not_mutate(self):
+        cache = KernelFeatureCache()
+        assert cache.peek(SAXPY) is None
+        assert cache.stats.requests == 0
+        cached = cache.get(SAXPY)
+        assert cache.peek(SAXPY) is cached
+        assert cache.stats.requests == 1
+
+    def test_clear(self):
+        cache = KernelFeatureCache()
+        cache.get(SAXPY)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.peek(SAXPY) is None
+
+    def test_stats_hit_rate(self):
+        cache = KernelFeatureCache()
+        cache.get(SAXPY)
+        cache.get(SAXPY)
+        cache.get(SAXPY)
+        assert cache.stats.hit_rate == 2 / 3
+        assert cache.stats.as_dict()["hits"] == 2

@@ -1,0 +1,121 @@
+"""Model registry: lazy training, persistence, instant reload."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import TrainedModels
+from repro.harness.context import quick_context
+from repro.serve.registry import ModelKey, ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return quick_context()
+
+
+@pytest.fixture
+def counting_trainer(ctx):
+    calls = []
+
+    def trainer(key):
+        calls.append(key)
+        return ctx.models
+
+    trainer.calls = calls
+    return trainer
+
+
+class TestModelKey:
+    def test_slug_is_filesystem_safe(self):
+        key = ModelKey(device="NVIDIA GTX Titan X", recipe="paper")
+        assert key.slug == "nvidia-gtx-titan-x__paper__interactions"
+
+    def test_distinct_keys_distinct_slugs(self):
+        assert ModelKey(recipe="paper").slug != ModelKey(recipe="quick").slug
+        assert (
+            ModelKey(features="interactions").slug != ModelKey(features="concat").slug
+        )
+
+    def test_invalid_features_rejected(self):
+        with pytest.raises(ValueError, match="features"):
+            ModelKey(features="everything")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            ModelKey(device="TPU v9").device_spec()
+
+    def test_interactions_flag(self):
+        assert ModelKey(features="interactions").interactions
+        assert not ModelKey(features="concat").interactions
+
+
+class TestRegistry:
+    def test_first_get_trains_and_persists(self, tmp_path, counting_trainer):
+        registry = ModelRegistry(root=tmp_path, trainer=counting_trainer)
+        key = ModelKey(recipe="quick")
+        models = registry.get(key)
+        assert isinstance(models, TrainedModels)
+        assert len(counting_trainer.calls) == 1
+        assert registry.path_for(key).exists()
+        assert registry.stats.trainings == 1
+
+    def test_second_get_hits_memory(self, tmp_path, counting_trainer):
+        registry = ModelRegistry(root=tmp_path, trainer=counting_trainer)
+        key = ModelKey(recipe="quick")
+        first = registry.get(key)
+        second = registry.get(key)
+        assert second is first
+        assert len(counting_trainer.calls) == 1
+        assert registry.stats.memory_hits == 1
+
+    def test_fresh_registry_loads_from_disk(self, tmp_path, counting_trainer, ctx):
+        key = ModelKey(recipe="quick")
+        ModelRegistry(root=tmp_path, trainer=counting_trainer).get(key)
+
+        def failing_trainer(_key):
+            raise AssertionError("should load from disk, not retrain")
+
+        reloaded_registry = ModelRegistry(root=tmp_path, trainer=failing_trainer)
+        reloaded = reloaded_registry.get(key)
+        assert reloaded_registry.stats.disk_loads == 1
+        x = ctx.dataset.x[:10]
+        assert np.array_equal(
+            ctx.models.predict_speedup(x), reloaded.predict_speedup(x)
+        )
+
+    def test_evict_memory_keeps_disk(self, tmp_path, counting_trainer):
+        registry = ModelRegistry(root=tmp_path, trainer=counting_trainer)
+        key = ModelKey(recipe="quick")
+        registry.get(key)
+        registry.evict_memory()
+        registry.get(key)
+        assert len(counting_trainer.calls) == 1  # reloaded, not retrained
+        assert registry.stats.disk_loads == 1
+
+    def test_contains_and_entries(self, tmp_path, counting_trainer):
+        registry = ModelRegistry(root=tmp_path, trainer=counting_trainer)
+        key = ModelKey(recipe="quick")
+        assert key not in registry
+        registry.get(key)
+        assert key in registry
+        assert registry.entries() == [key.slug]
+
+    def test_put_registers_external_bundle(self, tmp_path, ctx):
+        registry = ModelRegistry(root=tmp_path)
+        key = ModelKey(recipe="quick")
+        path = registry.put(key, ctx.models)
+        assert path.exists()
+        assert registry.get(key) is ctx.models
+        assert registry.stats.trainings == 0
+
+    def test_keys_map_to_distinct_files(self, tmp_path, counting_trainer):
+        registry = ModelRegistry(root=tmp_path, trainer=counting_trainer)
+        registry.get(ModelKey(recipe="quick"))
+        registry.get(ModelKey(recipe="quick", features="concat"))
+        assert len(registry.entries()) == 2
+        assert len(counting_trainer.calls) == 2
+
+    def test_unknown_recipe_fails_at_training(self, tmp_path):
+        registry = ModelRegistry(root=tmp_path)
+        with pytest.raises(ValueError, match="unknown recipe"):
+            registry.get(ModelKey(recipe="exotic"))
