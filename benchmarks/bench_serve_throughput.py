@@ -37,10 +37,18 @@ def _best_of(fn, repeats=REPEATS):
 
 
 def measure_feature_cache() -> tuple[float, float]:
-    """Seconds to extract features for all kernels: cold vs warm cache."""
+    """Seconds to extract features for all kernels: cold vs warm cache.
+
+    "Cold" means no caching anywhere: the frontend's lowering memo
+    (``repro.clkernel.lowering``) is cleared each round so the measurement
+    reflects a fresh process parsing unseen sources.
+    """
+    from repro.clkernel.lowering import _lower_source_cached
+
     specs = _specs()
 
     def cold():
+        _lower_source_cached.cache_clear()
         cache = KernelFeatureCache()
         return [cache.get(s.source, s.kernel_name) for s in specs]
 

@@ -20,9 +20,16 @@ Quick start::
 from .core.pipeline import TrainedModels, train_from_specs, train_models
 from .core.predictor import ParetoPredictor, PredictedParetoSet, PredictedPoint
 from .features.extractor import extract_features
-from .gpusim.device import make_tesla_p100, make_titan_x
+from .gpusim.device import make_tesla_p100, make_titan_x, resolve_device
 from .gpusim.executor import GPUSimulator
-from .harness.context import paper_context, quick_context
+from .harness.context import build_context, paper_context, quick_context
+from .measure import (
+    MeasurementBackend,
+    NvmlBackend,
+    RecordingBackend,
+    ReplayBackend,
+    SimulatorBackend,
+)
 from .serve import ModelKey, ModelRegistry, PredictionService
 from .suite.registry import get_benchmark, test_benchmarks
 from .synthetic.generator import generate_micro_benchmarks
@@ -33,14 +40,20 @@ __version__ = "1.0.0"
 __all__ = [
     "GPUSimulator",
     "KernelSpec",
+    "MeasurementBackend",
     "ModelKey",
     "ModelRegistry",
+    "NvmlBackend",
     "ParetoPredictor",
     "PredictedParetoSet",
     "PredictedPoint",
     "PredictionService",
+    "RecordingBackend",
+    "ReplayBackend",
+    "SimulatorBackend",
     "TrainedModels",
     "__version__",
+    "build_context",
     "extract_features",
     "generate_micro_benchmarks",
     "get_benchmark",
@@ -48,6 +61,7 @@ __all__ = [
     "make_titan_x",
     "paper_context",
     "quick_context",
+    "resolve_device",
     "test_benchmarks",
     "train_from_specs",
     "train_models",

@@ -13,6 +13,16 @@ Subcommands:
 * ``characterize <benchmark>`` — sweep one of the twelve suite benchmarks
   and print its per-domain speedup/energy series;
 * ``table2`` — regenerate the paper's Table 2.
+
+``train``, ``predict``, ``predict-batch``, ``characterize`` and ``table2``
+are device- and backend-parameterized: ``--device`` picks any registered
+GPU by name or alias (``titan-x``, ``tesla-p100``), ``--backend`` selects
+the measurement engine (``simulator``, ``nvml``, or ``replay`` with
+``--trace``), and ``--record-trace`` captures every sweep into a versioned
+JSON trace for later replay.  Cross-device workflows are one command each::
+
+    repro-dvfs train --device tesla-p100 --save p100.json
+    repro-dvfs predict kernel.cl --model p100.json
 """
 
 from __future__ import annotations
@@ -20,6 +30,75 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+
+#: Choices for --backend.
+BACKEND_CHOICES = ("simulator", "nvml", "replay")
+
+
+class CLIUsageError(RuntimeError):
+    """Raised for flag combinations argparse cannot express."""
+
+
+def _resolve_device_cli(name: str):
+    """Resolve a --device value, surfacing unknown names as usage errors."""
+    from .gpusim.device import resolve_device
+
+    try:
+        return resolve_device(name)
+    except KeyError as exc:
+        raise CLIUsageError(exc.args[0]) from None
+
+
+def _resolve_setup(args):
+    """Resolve (device, backend, recorder) from the common CLI flags."""
+    from .harness.context import DEFAULT_DEVICE
+    from .measure import (
+        NvmlBackend,
+        RecordingBackend,
+        ReplayBackend,
+        SimulatorBackend,
+    )
+
+    kind = getattr(args, "backend", "simulator") or "simulator"
+    trace = getattr(args, "trace", None)
+    record = getattr(args, "record_trace", None)
+    device = _resolve_device_cli(args.device) if getattr(args, "device", None) else None
+
+    if kind == "replay":
+        if not trace:
+            raise CLIUsageError("--backend replay requires --trace PATH")
+        backend = ReplayBackend(trace, device=device)
+        device = backend.device
+    elif kind == "nvml":
+        backend = NvmlBackend(device)
+        device = backend.device
+    else:
+        device = device or _resolve_device_cli(DEFAULT_DEVICE)
+        backend = SimulatorBackend(device)
+
+    recorder = None
+    if record:
+        backend = recorder = RecordingBackend(backend)
+    return device, backend, recorder
+
+
+def _context_for(args):
+    """Build (or fetch cached) training context for the CLI flags."""
+    from .harness.context import build_context, paper_context, quick_context
+    from .measure import SimulatorBackend
+
+    device, backend, recorder = _resolve_setup(args)
+    recipe = "quick" if getattr(args, "quick", False) else "paper"
+    if recorder is None and isinstance(backend, SimulatorBackend):
+        maker = quick_context if recipe == "quick" else paper_context
+        return maker(device=device.name), None
+    return build_context(device=device, recipe=recipe, backend=backend), recorder
+
+
+def _save_recorded(recorder, args) -> None:
+    if recorder is not None:
+        path = recorder.save(args.record_trace)
+        print(f"recorded measurement trace to {path}")
 
 
 def _cmd_features(args: argparse.Namespace) -> int:
@@ -62,22 +141,35 @@ def _print_front(result) -> None:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from .harness.context import paper_context, quick_context
     from .serve.artifacts import save_models
 
-    ctx = quick_context() if args.quick else paper_context()
+    ctx, recorder = _context_for(args)
     meta = {
         "device": ctx.device.name,
         "recipe": "quick" if args.quick else "paper",
         "features": "interactions",
+        "backend": ctx.backend.capabilities.kind,
     }
     path = save_models(args.save, ctx.models, meta=meta)
     print(
         f"trained on {ctx.models.n_training_samples} samples "
-        f"({ctx.dataset.n_kernels} codes x {len(ctx.settings)} settings)"
+        f"({ctx.dataset.n_kernels} codes x {len(ctx.settings)} settings) "
+        f"for {ctx.device.name}"
     )
     print(f"saved model artifact to {path} ({path.stat().st_size} bytes)")
+    _save_recorded(recorder, args)
     return 0
+
+
+def _reject_backend_flags_with_model(args) -> None:
+    """--backend/--trace select the measurement engine for in-process
+    training; combined with a pre-trained --model artifact they would be
+    silently ignored, so refuse the mix outright."""
+    if getattr(args, "backend", "simulator") != "simulator" or getattr(args, "trace", None):
+        raise CLIUsageError(
+            "--backend/--trace configure in-process training and cannot be "
+            "combined with --model (the artifact is already trained)"
+        )
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -85,12 +177,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if args.model:
         from .serve.service import PredictionService
 
-        service = PredictionService.from_artifact(args.model)
+        _reject_backend_flags_with_model(args)
+        device = _resolve_device_cli(args.device) if args.device else None
+        service = PredictionService.from_artifact(args.model, device=device)
         result = service.predict(source, kernel_name=args.name)
     else:
-        from .harness.context import paper_context, quick_context
-
-        ctx = quick_context() if args.quick else paper_context()
+        ctx, _ = _context_for(args)
         result = ctx.predictor.predict_from_source(source, kernel_name=args.name)
     _print_front(result)
     return 0
@@ -100,11 +192,11 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
     from .serve.service import PredictionService
 
     if args.model:
-        service = PredictionService.from_artifact(args.model)
+        _reject_backend_flags_with_model(args)
+        device = _resolve_device_cli(args.device) if args.device else None
+        service = PredictionService.from_artifact(args.model, device=device)
     else:
-        from .harness.context import paper_context, quick_context
-
-        ctx = quick_context() if args.quick else paper_context()
+        ctx, _ = _context_for(args)
         service = PredictionService(models=ctx.models, device=ctx.device)
 
     requests = []
@@ -144,18 +236,26 @@ def _cmd_devices(_args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .core.config import sample_training_settings
     from .harness.characterize import characterize_kernel
-    from .harness.context import paper_context, quick_context
     from .suite import get_benchmark
 
-    ctx = quick_context() if args.quick else paper_context()
     try:
         spec = get_benchmark(args.benchmark)
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    ch = characterize_kernel(ctx.sim, spec, ctx.settings)
-    print(f"{spec.name}: {ch.classify()}-dominated "
+    # Characterization needs only a sweep, not trained models — build the
+    # backend directly instead of paying for a training context.
+    device, backend, recorder = _resolve_setup(args)
+    budget = 24 if args.quick else None
+    settings = (
+        sample_training_settings(device, total=budget)
+        if budget
+        else sample_training_settings(device)
+    )
+    ch = characterize_kernel(backend, spec, settings)
+    print(f"{spec.name} on {device.name}: {ch.classify()}-dominated "
           f"(memory sensitivity {ch.mem_sensitivity():.2f})")
     for label in sorted(ch.series, key=lambda l: -ch.series[l].mem_mhz):
         series = ch.series[label]
@@ -163,17 +263,17 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         for core, speedup, energy in series.rows():
             print(f"  core {core:6.0f} MHz  speedup {speedup:6.3f}  "
                   f"norm energy {energy:6.3f}")
+    _save_recorded(recorder, args)
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from .harness.context import paper_context, quick_context
     from .harness.evaluation import evaluate_suite
     from .harness.report import format_table
     from .suite import test_benchmarks
 
-    ctx = quick_context() if args.quick else paper_context()
-    evals = evaluate_suite(ctx.sim, ctx.predictor, test_benchmarks(), ctx.settings)
+    ctx, _ = _context_for(args)
+    evals = evaluate_suite(ctx.backend, ctx.predictor, test_benchmarks(), ctx.settings)
     rows = [ev.table_row() for ev in evals]
     print(
         format_table(
@@ -182,6 +282,28 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _add_device_flags(parser: argparse.ArgumentParser, record: bool = False) -> None:
+    """The shared measurement-selection flags."""
+    parser.add_argument(
+        "--device", metavar="NAME",
+        help="target device, full name or alias (titan-x, tesla-p100); "
+             "default: titan-x (or the replay trace's device)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="simulator",
+        help="measurement backend (default: the vectorized simulator)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="measurement trace to serve from (required with --backend replay)",
+    )
+    if record:
+        parser.add_argument(
+            "--record-trace", metavar="PATH", dest="record_trace",
+            help="record every sweep into a JSON trace for later replay",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="use the reduced training setup (faster, less accurate)",
     )
+    _add_device_flags(p_train, record=True)
     p_train.set_defaults(func=_cmd_train)
 
     p_pred = sub.add_parser("predict", help="predict Pareto-optimal clocks")
@@ -224,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", metavar="PATH",
         help="load a saved model artifact instead of training in-process",
     )
+    _add_device_flags(p_pred)
     p_pred.set_defaults(func=_cmd_predict)
 
     p_batch = sub.add_parser(
@@ -250,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print service cache/latency counters after the batch",
     )
+    _add_device_flags(p_batch)
     p_batch.set_defaults(func=_cmd_predict_batch)
 
     p_dev = sub.add_parser("devices", help="list simulated devices")
@@ -258,10 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_char = sub.add_parser("characterize", help="sweep a suite benchmark")
     p_char.add_argument("benchmark", help="benchmark name, e.g. k-NN or MT")
     p_char.add_argument("--quick", action="store_true")
+    _add_device_flags(p_char, record=True)
     p_char.set_defaults(func=_cmd_characterize)
 
     p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p_t2.add_argument("--quick", action="store_true")
+    _add_device_flags(p_t2)
     p_t2.set_defaults(func=_cmd_table2)
 
     return parser
@@ -269,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     from .clkernel.errors import CLFrontendError
+    from .measure.replay import ReplayError
     from .serve.artifacts import ArtifactError
     from .serve.service import ServiceError
 
@@ -276,8 +404,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ArtifactError, CLFrontendError, FileNotFoundError, ServiceError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (
+        ArtifactError,
+        CLFrontendError,
+        CLIUsageError,
+        FileNotFoundError,
+        ReplayError,
+        ServiceError,
+    ) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
         return 2
 
 

@@ -28,6 +28,7 @@ Conventions (documented because they are decisions, not facts):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from .ast_nodes import (
     AddressSpace,
@@ -608,12 +609,10 @@ class Lowerer:
         return CLType(name="int", kind=ScalarKind.INT, lanes=lanes)
 
 
-def lower_source(
-    source: str,
-    kernel_name: str | None = None,
-    branch_probability: float = DEFAULT_BRANCH_PROBABILITY,
+@lru_cache(maxsize=512)
+def _lower_source_cached(
+    source: str, kernel_name: str | None, branch_probability: float
 ) -> KernelIR:
-    """Parse ``source`` and lower its (named or sole) kernel to IR."""
     unit = parse(source)
     kernels = unit.kernels()
     if not kernels:
@@ -626,3 +625,19 @@ def lower_source(
             raise CLLoweringError(f"no kernel named {kernel_name!r}")
         kernel = matches[0]
     return Lowerer(unit, branch_probability=branch_probability).lower_kernel(kernel)
+
+
+def lower_source(
+    source: str,
+    kernel_name: str | None = None,
+    branch_probability: float = DEFAULT_BRANCH_PROBABILITY,
+) -> KernelIR:
+    """Parse ``source`` and lower its (named or sole) kernel to IR.
+
+    Memoized on ``(source, kernel_name, branch_probability)``: lowering is
+    pure and :class:`KernelIR` is treated as immutable everywhere, so
+    repeated lowering of the same kernel — every training pass calls this
+    twice per spec (features + profile), every sweep once more — costs one
+    dict lookup instead of a parse.
+    """
+    return _lower_source_cached(source, kernel_name, branch_probability)

@@ -4,6 +4,13 @@ For every kernel spec × frequency setting we record the measured speedup
 and normalized energy over that kernel's *default-configuration* baseline,
 together with the combined feature vector ``w = (k, f)``.  The resulting
 matrix is what the two regressors train on.
+
+Measurements are **columnar**: :class:`KernelMeasurements` holds one numpy
+array per measured quantity (configuration order), produced in a single
+vectorized pass by whatever :class:`~repro.measure.backend.MeasurementBackend`
+ran the sweep.  The row-wise :class:`MeasuredPoint` view is materialized
+lazily for callers that want per-point objects (characterization, reports);
+the training path never pays for it.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..features.vector import StaticFeatures, build_design_matrix
-from ..gpusim.executor import ExecutionRecord, GPUSimulator
+from ..gpusim.executor import ExecutionRecord, SweepBatch
 from ..workloads import KernelSpec
 
 
@@ -40,42 +47,132 @@ class MeasuredPoint:
 
 @dataclass
 class KernelMeasurements:
-    """All measurements of one kernel, with its baseline."""
+    """All measurements of one kernel, columnar, with its baseline.
+
+    Array fields share the configuration order of the sweep that produced
+    them.  ``speedup`` / ``norm_energy`` are normalized against the
+    baseline (the device's default configuration), per the paper's Fig. 2
+    step 4.
+    """
 
     spec: KernelSpec
     baseline: ExecutionRecord
-    points: list[MeasuredPoint] = field(default_factory=list)
+    core_mhz: np.ndarray
+    mem_mhz: np.ndarray
+    time_ms: np.ndarray
+    power_w: np.ndarray
+    energy_j: np.ndarray
+    speedup: np.ndarray
+    norm_energy: np.ndarray
+    _points: list[MeasuredPoint] | None = field(default=None, repr=False, compare=False)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        spec: KernelSpec,
+        baseline: ExecutionRecord,
+        core_mhz: np.ndarray,
+        mem_mhz: np.ndarray,
+        time_ms: np.ndarray,
+        power_w: np.ndarray,
+        energy_j: np.ndarray,
+    ) -> "KernelMeasurements":
+        """Build from raw measurement columns, normalizing against baseline."""
+        time_ms = np.asarray(time_ms, dtype=np.float64)
+        energy_j = np.asarray(energy_j, dtype=np.float64)
+        return cls(
+            spec=spec,
+            baseline=baseline,
+            core_mhz=np.asarray(core_mhz, dtype=np.float64),
+            mem_mhz=np.asarray(mem_mhz, dtype=np.float64),
+            time_ms=time_ms,
+            power_w=np.asarray(power_w, dtype=np.float64),
+            energy_j=energy_j,
+            speedup=baseline.time_ms / time_ms,
+            norm_energy=energy_j / baseline.energy_j,
+        )
+
+    @classmethod
+    def from_sweep(
+        cls, spec: KernelSpec, baseline: ExecutionRecord, batch: SweepBatch
+    ) -> "KernelMeasurements":
+        """Adopt a simulator :class:`SweepBatch` (no copies)."""
+        return cls.from_arrays(
+            spec=spec,
+            baseline=baseline,
+            core_mhz=batch.requested_core_mhz,
+            mem_mhz=batch.mem_mhz,
+            time_ms=batch.time_ms,
+            power_w=batch.power_w,
+            energy_j=batch.energy_j,
+        )
+
+    # -- views ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.time_ms.size)
+
+    @property
+    def n_points(self) -> int:
+        return len(self)
+
+    @property
+    def configs(self) -> list[tuple[float, float]]:
+        return list(zip(self.core_mhz.tolist(), self.mem_mhz.tolist()))
+
+    @property
+    def points(self) -> list[MeasuredPoint]:
+        """Row-wise view, materialized lazily and cached."""
+        if self._points is None:
+            name = self.spec.name
+            self._points = [
+                MeasuredPoint(
+                    kernel=name,
+                    core_mhz=core,
+                    mem_mhz=mem,
+                    speedup=s,
+                    norm_energy=e,
+                    time_ms=t,
+                    energy_j=j,
+                )
+                for core, mem, s, e, t, j in zip(
+                    self.core_mhz.tolist(),
+                    self.mem_mhz.tolist(),
+                    self.speedup.tolist(),
+                    self.norm_energy.tolist(),
+                    self.time_ms.tolist(),
+                    self.energy_j.tolist(),
+                )
+            ]
+        return self._points
 
     def by_mem(self, mem_mhz: float) -> list[MeasuredPoint]:
         return [p for p in self.points if p.mem_mhz == mem_mhz]
 
     def objective_points(self) -> list[tuple[float, float]]:
-        return [p.objectives for p in self.points]
+        return list(zip(self.speedup.tolist(), self.norm_energy.tolist()))
+
+    def objective_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (speedup, normalized energy) columns — the training targets."""
+        return (self.speedup, self.norm_energy)
 
 
 def measure_kernel(
-    sim: GPUSimulator,
+    backend,
     spec: KernelSpec,
     settings: list[tuple[float, float]],
 ) -> KernelMeasurements:
-    """Run ``spec`` at the default config (baseline) and every setting."""
-    profile = spec.profile()
-    baseline = sim.run_default(profile)
-    out = KernelMeasurements(spec=spec, baseline=baseline)
-    for core, mem in settings:
-        record = sim.run_at(profile, core, mem)
-        out.points.append(
-            MeasuredPoint(
-                kernel=spec.name,
-                core_mhz=core,
-                mem_mhz=mem,
-                speedup=baseline.time_ms / record.time_ms,
-                norm_energy=record.energy_j / baseline.energy_j,
-                time_ms=record.time_ms,
-                energy_j=record.energy_j,
-            )
-        )
-    return out
+    """Run ``spec`` at the default config (baseline) and every setting.
+
+    ``backend`` is a :class:`~repro.measure.backend.MeasurementBackend` or,
+    for backward compatibility, a bare :class:`GPUSimulator` (wrapped in a
+    :class:`~repro.measure.simulator.SimulatorBackend` on the fly).
+    """
+    from ..measure.backend import as_backend
+
+    return as_backend(backend).measure(spec, settings)
 
 
 @dataclass
@@ -108,7 +205,7 @@ class TrainingDataset:
 
 
 def build_training_dataset(
-    sim: GPUSimulator,
+    backend,
     specs: list[KernelSpec],
     settings: list[tuple[float, float]],
     interactions: bool = True,
@@ -117,33 +214,38 @@ def build_training_dataset(
 
     Mirrors Fig. 2: features extracted once per code (step 2), each code
     executed under the sampled settings (step 3), measurements normalized
-    against the code's default-configuration baseline (step 4).
+    against the code's default-configuration baseline (step 4).  Assembly
+    is columnar: each kernel contributes one design-matrix block and one
+    target column per objective, stacked with ``np.vstack`` /
+    ``np.concatenate`` — no per-point Python loop.
     """
+    from ..measure.backend import as_backend
+
     if not specs:
         raise ValueError("need at least one training spec")
     if not settings:
         raise ValueError("need at least one frequency setting")
 
+    backend = as_backend(backend)
     blocks: list[np.ndarray] = []
-    speedups: list[float] = []
-    energies: list[float] = []
+    speedups: list[np.ndarray] = []
+    energies: list[np.ndarray] = []
     groups: list[str] = []
     feats: dict[str, StaticFeatures] = {}
 
     for spec in specs:
         static = spec.static_features()
         feats[spec.name] = static
-        measurements = measure_kernel(sim, spec, settings)
+        measurements = backend.measure(spec, settings)
         blocks.append(build_design_matrix(static, settings, interactions=interactions))
-        for point in measurements.points:
-            speedups.append(point.speedup)
-            energies.append(point.norm_energy)
-            groups.append(spec.name)
+        speedups.append(measurements.speedup)
+        energies.append(measurements.norm_energy)
+        groups.extend([spec.name] * len(measurements))
 
     return TrainingDataset(
         x=np.vstack(blocks),
-        y_speedup=np.asarray(speedups),
-        y_energy=np.asarray(energies),
+        y_speedup=np.concatenate(speedups),
+        y_energy=np.concatenate(energies),
         groups=groups,
         static_features=feats,
     )

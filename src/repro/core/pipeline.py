@@ -21,7 +21,6 @@ from ..features.vector import (
     build_batch_design_matrix,
     build_design_matrix,
 )
-from ..gpusim.executor import GPUSimulator
 from ..ml import regressor_from_state, scaler_from_state
 from ..ml.model_select import Regressor
 from ..ml.scaling import StandardScaler
@@ -147,7 +146,7 @@ def train_models(
 
 
 def train_from_specs(
-    sim: GPUSimulator,
+    backend,
     specs: list[KernelSpec],
     settings: list[tuple[float, float]] | None = None,
     make_speedup: Callable[[], Regressor] | None = None,
@@ -156,12 +155,18 @@ def train_from_specs(
 ) -> tuple[TrainedModels, TrainingDataset]:
     """End-to-end training phase: measure, assemble, fit.
 
-    With paper-default arguments this is: 106 micro-benchmarks × 40 sampled
-    settings = 4240 training samples, linear-SVR speedup model and RBF-SVR
-    energy model.
+    ``backend`` is a :class:`~repro.measure.backend.MeasurementBackend` (or
+    a bare :class:`GPUSimulator`, wrapped on the fly).  With paper-default
+    arguments this is: 106 micro-benchmarks × 40 sampled settings = 4240
+    training samples, linear-SVR speedup model and RBF-SVR energy model.
     """
-    chosen = settings if settings is not None else sample_training_settings(sim.device)
-    dataset = build_training_dataset(sim, specs, chosen, interactions=interactions)
+    from ..measure.backend import as_backend
+
+    backend = as_backend(backend)
+    chosen = (
+        settings if settings is not None else sample_training_settings(backend.device)
+    )
+    dataset = build_training_dataset(backend, specs, chosen, interactions=interactions)
     models = train_models(
         dataset,
         make_speedup=make_speedup,

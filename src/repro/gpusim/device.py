@@ -20,6 +20,7 @@ tunable memory frequency (715 MHz) and a fine-grained core menu.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -145,15 +146,24 @@ class VoltageCurve:
     max_mhz: float = 1392.0
     quadratic_share: float = 0.60
 
-    def voltage(self, core_mhz: float) -> float:
-        if core_mhz <= self.flat_until_mhz:
-            return self.v_min
+    def voltage_array(self, core_mhz: np.ndarray) -> np.ndarray:
+        """V(f) for an ``(M,)`` vector of core clocks, one numpy pass."""
+        core_mhz = np.asarray(core_mhz, dtype=np.float64)
         span = self.max_mhz - self.flat_until_mhz
-        x = min((core_mhz - self.flat_until_mhz) / span, 1.0)
+        x = np.minimum((core_mhz - self.flat_until_mhz) / span, 1.0)
         rise = self.v_max - self.v_min
         linear = (1.0 - self.quadratic_share) * x
         quad = self.quadratic_share * x * x
-        return self.v_min + rise * (linear + quad)
+        return np.where(
+            core_mhz <= self.flat_until_mhz,
+            self.v_min,
+            self.v_min + rise * (linear + quad),
+        )
+
+    def voltage(self, core_mhz: float) -> float:
+        if core_mhz <= self.flat_until_mhz:
+            return self.v_min
+        return float(self.voltage_array(np.asarray([core_mhz], dtype=np.float64))[0])
 
 
 @dataclass(frozen=True)
@@ -275,17 +285,29 @@ def make_tesla_p100() -> DeviceSpec:
     )
 
 
-#: Registry used by the NVML facade and the CLI.
+#: Registry used by the NVML facade, the serving layer and the CLI.
 DEVICE_REGISTRY: dict[str, "DeviceSpec"] = {}
 
+#: Short-name → full-name alias table (filled by :func:`register_device`).
+DEVICE_ALIASES: dict[str, str] = {}
 
-def register_device(spec: DeviceSpec) -> DeviceSpec:
+
+def _alias_slug(name: str) -> str:
+    """Normalized alias form: lowercase, runs of non-alphanumerics → '-'."""
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+
+
+def register_device(spec: DeviceSpec, aliases: tuple[str, ...] = ()) -> DeviceSpec:
+    """Register a device under its full name plus normalized aliases."""
     DEVICE_REGISTRY[spec.name] = spec
+    DEVICE_ALIASES[_alias_slug(spec.name)] = spec.name
+    for alias in aliases:
+        DEVICE_ALIASES[_alias_slug(alias)] = spec.name
     return spec
 
 
-register_device(make_titan_x())
-register_device(make_tesla_p100())
+register_device(make_titan_x(), aliases=("titan-x", "gtx-titan-x", "titanx"))
+register_device(make_tesla_p100(), aliases=("tesla-p100", "p100"))
 
 
 def get_device(name: str) -> DeviceSpec:
@@ -295,3 +317,23 @@ def get_device(name: str) -> DeviceSpec:
     except KeyError:
         known = ", ".join(sorted(DEVICE_REGISTRY))
         raise KeyError(f"unknown device {name!r}; known: {known}") from None
+
+
+def resolve_device(name: str) -> DeviceSpec:
+    """Fetch a device by full name *or* alias (``titan-x``, ``tesla-p100``).
+
+    Full names match exactly; anything else is normalized the same way
+    aliases are, so ``Tesla P100`` and ``tesla_p100`` both resolve.
+    """
+    spec = DEVICE_REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    full = DEVICE_ALIASES.get(_alias_slug(name))
+    if full is not None:
+        return DEVICE_REGISTRY[full]
+    known = sorted(DEVICE_REGISTRY)
+    aliases = sorted(DEVICE_ALIASES)
+    raise KeyError(
+        f"unknown device {name!r}; known devices: {', '.join(known)} "
+        f"(aliases: {', '.join(aliases)})"
+    )

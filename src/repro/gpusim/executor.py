@@ -9,16 +9,26 @@ the semantics of a real DVFS-managed GPU:
 * timing/power readings include deterministic per-configuration noise;
 * energy is produced by the paper's measurement protocol — repeat the kernel
   until the window holds enough 62.5 Hz samples, then mean-power × time.
+
+The measurement engine is **vectorized**: :meth:`GPUSimulator.sweep_batch`
+evaluates one workload against an ``(M,)`` vector of configurations in a
+single numpy pass over the performance model, power model, noise source and
+sampling pipeline, returning a columnar :class:`SweepBatch`.  The scalar
+:meth:`GPUSimulator.run_at` is a thin M=1 wrapper over the same code path,
+so a Python loop of ``run_at`` calls and one ``sweep_batch`` call are
+bit-identical by construction (and asserted so by the equivalence tests).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .device import DeviceSpec, make_titan_x
 from .noise import MeasurementNoise, NoiseConfig
-from .perf_model import PerformanceModel, PhaseBreakdown
-from .power_model import PowerBreakdown, PowerModel
+from .perf_model import PerformanceModel, PhaseBreakdown, PhaseBreakdownBatch
+from .power_model import PowerBreakdown, PowerBreakdownBatch, PowerModel
 from .profile import WorkloadProfile
 from .sampler import PowerSampler
 
@@ -26,10 +36,21 @@ from .sampler import PowerSampler
 #: repeats applications "multiple times" for statistical consistency).
 MIN_POWER_SAMPLES = 24
 
+#: Board power draw of an idle device (W).  Shared by the simulator's
+#: sampling fallback and the NVML facade's idle reading
+#: (:mod:`repro.nvml.api`), so the two measurement surfaces cannot drift.
+IDLE_POWER_W = 15.0
+
 
 @dataclass(frozen=True)
 class ExecutionRecord:
-    """One measured kernel execution at one frequency configuration."""
+    """One measured kernel execution at one frequency configuration.
+
+    ``phases`` / ``power_parts`` carry the simulator's internal breakdowns;
+    they are ``None`` for records reconstructed from a recorded trace
+    (:class:`repro.measure.replay.ReplayBackend`), where only the externally
+    observable measurements were persisted.
+    """
 
     kernel: str
     requested_core_mhz: float
@@ -38,15 +59,64 @@ class ExecutionRecord:
     time_ms: float
     power_w: float
     energy_j: float
-    repeats: int
-    n_power_samples: int
-    phases: PhaseBreakdown
-    power_parts: PowerBreakdown
+    repeats: int = 1
+    n_power_samples: int = 0
+    phases: PhaseBreakdown | None = None
+    power_parts: PowerBreakdown | None = None
 
     @property
     def config(self) -> tuple[float, float]:
         """The *requested* configuration (what a tuner would record)."""
         return (self.requested_core_mhz, self.mem_mhz)
+
+
+@dataclass(frozen=True)
+class SweepBatch:
+    """Columnar measurements of one kernel over ``(M,)`` configurations.
+
+    All array fields share the batch length and configuration order;
+    :meth:`record` recovers the scalar :class:`ExecutionRecord` of one
+    configuration bit-for-bit.
+    """
+
+    kernel: str
+    requested_core_mhz: np.ndarray
+    effective_core_mhz: np.ndarray
+    mem_mhz: np.ndarray
+    time_ms: np.ndarray
+    power_w: np.ndarray
+    energy_j: np.ndarray
+    repeats: np.ndarray
+    n_power_samples: np.ndarray
+    phases: PhaseBreakdownBatch
+    power_parts: PowerBreakdownBatch
+
+    def __len__(self) -> int:
+        return int(self.time_ms.size)
+
+    @property
+    def configs(self) -> list[tuple[float, float]]:
+        """The requested (core, mem) pairs, in batch order."""
+        return list(zip(self.requested_core_mhz.tolist(), self.mem_mhz.tolist()))
+
+    def record(self, i: int) -> ExecutionRecord:
+        """The scalar record of configuration ``i``."""
+        return ExecutionRecord(
+            kernel=self.kernel,
+            requested_core_mhz=float(self.requested_core_mhz[i]),
+            effective_core_mhz=float(self.effective_core_mhz[i]),
+            mem_mhz=float(self.mem_mhz[i]),
+            time_ms=float(self.time_ms[i]),
+            power_w=float(self.power_w[i]),
+            energy_j=float(self.energy_j[i]),
+            repeats=int(self.repeats[i]),
+            n_power_samples=int(self.n_power_samples[i]),
+            phases=self.phases.row(i),
+            power_parts=self.power_parts.row(i),
+        )
+
+    def records(self) -> list[ExecutionRecord]:
+        return [self.record(i) for i in range(len(self))]
 
 
 class ClockError(ValueError):
@@ -60,7 +130,7 @@ class GPUSimulator:
         self,
         device: DeviceSpec | None = None,
         noise: NoiseConfig | None = None,
-        idle_power_w: float = 15.0,
+        idle_power_w: float = IDLE_POWER_W,
     ) -> None:
         self.device = device or make_titan_x()
         self.perf = PerformanceModel(self.device)
@@ -106,47 +176,90 @@ class GPUSimulator:
     def run_at(
         self, profile: WorkloadProfile, core_mhz: float, mem_mhz: float
     ) -> ExecutionRecord:
-        """Run a kernel at an explicit configuration (must be reported)."""
-        domain = self.device.domain(mem_mhz)
-        if not domain.supports_reported(core_mhz):
-            raise ClockError(
-                f"core clock {core_mhz} MHz not in the reported menu for "
-                f"mem {mem_mhz} MHz on {self.device.name}"
-            )
-        effective = domain.effective_core(core_mhz)
+        """Run a kernel at one explicit configuration (must be reported).
 
-        phases = self.perf.execute(profile, effective, mem_mhz)
-        parts = self.power.power(profile, effective, mem_mhz, phases)
+        Thin M=1 wrapper over :meth:`sweep_batch` — identical arithmetic.
+        """
+        return self.sweep_batch(profile, [(core_mhz, mem_mhz)]).record(0)
 
-        mem_rel = mem_mhz / self.device.max_mem_mhz
-        t_factor, p_factor = self.noise.factors(
-            self.device.name, profile.name, effective, mem_mhz, mem_rel
+    def _effective_cores(
+        self, configs: list[tuple[float, float]]
+    ) -> np.ndarray:
+        """Validate every requested pair and apply the clamping rule."""
+        by_mem: dict[float, tuple[frozenset[float], float]] = {}
+        effective = np.empty(len(configs), dtype=np.float64)
+        for i, (core, mem) in enumerate(configs):
+            cached = by_mem.get(mem)
+            if cached is None:
+                domain = self.device.domain(mem)  # KeyError on bad mem clock
+                cached = (frozenset(domain.reported_core_mhz), domain.core_clamp_mhz)
+                by_mem[mem] = cached
+            menu, clamp = cached
+            if core not in menu:
+                raise ClockError(
+                    f"core clock {core} MHz not in the reported menu for "
+                    f"mem {mem} MHz on {self.device.name}"
+                )
+            effective[i] = core if core <= clamp else clamp
+        return effective
+
+    def sweep_batch(
+        self,
+        profile: WorkloadProfile,
+        configs: list[tuple[float, float]] | None = None,
+    ) -> SweepBatch:
+        """Measure ``profile`` at every configuration in one vectorized pass.
+
+        ``configs`` defaults to every reported configuration.  The whole
+        measurement protocol — performance phases, power decomposition,
+        per-configuration noise, 62.5 Hz sample synthesis — runs as numpy
+        array operations over the ``(M,)`` configuration vector; only menu
+        validation walks the configurations in Python.
+        """
+        if configs is None:
+            configs = self.device.reported_configurations()
+        configs = list(configs)
+        effective = self._effective_cores(configs)
+        requested = np.asarray([c for c, _ in configs], dtype=np.float64)
+        mem = np.asarray([m for _, m in configs], dtype=np.float64)
+
+        phases = self.perf.execute_batch(profile, effective, mem)
+        parts = self.power.power_batch(profile, effective, mem, phases)
+
+        mem_rel = mem / self.device.max_mem_mhz
+        t_factor, p_factor = self.noise.factors_array(
+            self.device.name, profile.name, effective, mem, mem_rel
         )
         true_time_s = phases.t_total_s * t_factor
         true_power_w = parts.total_w * p_factor
 
         # Measurement protocol: repeat until the window has enough samples.
-        repeats = self.sampler.repeats_for_min_samples(true_time_s, MIN_POWER_SAMPLES)
+        repeats = self.sampler.repeats_for_min_samples_array(
+            true_time_s, MIN_POWER_SAMPLES
+        )
         window_s = true_time_s * repeats
-        jitter = self.noise.sample_jitter(
-            self.device.name, profile.name, effective, mem_mhz,
-            self.sampler.sample_count(window_s),
+        n_samples = self.sampler.sample_count_array(window_s)
+        jitter = self.noise.sample_jitter_matrix(
+            self.device.name, profile.name, effective, mem, n_samples
         )
-        trace = self.sampler.trace(
-            true_power_w, window_s, jitter=jitter, idle_power_w=self.idle_power_w
+        mean_power_w = self.sampler.mean_power_array(
+            true_power_w, n_samples, jitter, idle_power_w=self.idle_power_w
         )
-        energy_per_run_j = trace.energy_j / repeats
+        energy_per_run_j = (mean_power_w * window_s) / repeats
+        # Windows too short for even one sample report a single idle reading
+        # (the scalar protocol's fallback trace of length 1).
+        n_reported = np.where(n_samples > 0, n_samples, 1)
 
-        return ExecutionRecord(
+        return SweepBatch(
             kernel=profile.name,
-            requested_core_mhz=core_mhz,
+            requested_core_mhz=requested,
             effective_core_mhz=effective,
-            mem_mhz=mem_mhz,
+            mem_mhz=mem,
             time_ms=true_time_s * 1e3,
-            power_w=trace.mean_power_w,
+            power_w=mean_power_w,
             energy_j=energy_per_run_j,
             repeats=repeats,
-            n_power_samples=trace.n_samples,
+            n_power_samples=n_reported,
             phases=phases,
             power_parts=parts,
         )
@@ -159,9 +272,7 @@ class GPUSimulator:
         configs: list[tuple[float, float]] | None = None,
     ) -> list[ExecutionRecord]:
         """Run ``profile`` at every configuration (default: all reported)."""
-        if configs is None:
-            configs = self.device.reported_configurations()
-        return [self.run_at(profile, core, mem) for core, mem in configs]
+        return self.sweep_batch(profile, configs).records()
 
     def run_default(self, profile: WorkloadProfile) -> ExecutionRecord:
         """Run at the device's default configuration (the paper's baseline)."""

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .device import DeviceSpec
 from .profile import WorkloadProfile
 
@@ -57,6 +59,35 @@ class PhaseBreakdown:
         return "compute" if self.t_compute_s >= self.t_dram_s else "memory"
 
 
+@dataclass(frozen=True)
+class PhaseBreakdownBatch:
+    """Columnar :class:`PhaseBreakdown` for an ``(M,)`` configuration vector.
+
+    Every field is a float64 array of the batch length; ``row(i)`` recovers
+    the scalar breakdown of configuration ``i`` bit-for-bit.
+    """
+
+    t_compute_s: np.ndarray
+    t_dram_s: np.ndarray
+    t_l2_s: np.ndarray
+    t_total_s: np.ndarray
+    compute_utilization: np.ndarray
+    memory_utilization: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.t_total_s.size)
+
+    def row(self, i: int) -> PhaseBreakdown:
+        return PhaseBreakdown(
+            t_compute_s=float(self.t_compute_s[i]),
+            t_dram_s=float(self.t_dram_s[i]),
+            t_l2_s=float(self.t_l2_s[i]),
+            t_total_s=float(self.t_total_s[i]),
+            compute_utilization=float(self.compute_utilization[i]),
+            memory_utilization=float(self.memory_utilization[i]),
+        )
+
+
 class PerformanceModel:
     """Maps (profile, core MHz, mem MHz) → runtime breakdown."""
 
@@ -65,8 +96,8 @@ class PerformanceModel:
 
     # -- phase models -----------------------------------------------------------
 
-    def compute_time_s(self, profile: WorkloadProfile, core_mhz: float) -> float:
-        """Time for the compute phase at ``core_mhz``."""
+    def compute_cycles_per_item(self, profile: WorkloadProfile) -> float:
+        """Configuration-independent compute cycles per work-item."""
         arch = self.device.arch
         cycles_per_item = 0.0
         for op in _COMPUTE_OPS:
@@ -80,23 +111,52 @@ class PerformanceModel:
         ilp_speedup = 1.0 + 0.35 * (profile.traits.ilp - 1.0)
         cycles_per_item /= ilp_speedup
         cycles_per_item *= 1.0 + profile.traits.divergence
+        return cycles_per_item
 
+    def compute_time_s_array(
+        self, profile: WorkloadProfile, core_mhz: np.ndarray
+    ) -> np.ndarray:
+        """Time for the compute phase at an ``(M,)`` vector of core clocks."""
+        arch = self.device.arch
+        cycles_per_item = self.compute_cycles_per_item(profile)
         total_cycles = cycles_per_item * profile.work_items / arch.num_sms
         return total_cycles / (core_mhz * 1e6)
 
-    def dram_time_s(self, profile: WorkloadProfile, mem_mhz: float) -> float:
-        """Time for the DRAM phase at ``mem_mhz``."""
-        bandwidth = self.dram_bandwidth_bytes_per_s(mem_mhz)
+    def compute_time_s(self, profile: WorkloadProfile, core_mhz: float) -> float:
+        """Time for the compute phase at ``core_mhz``."""
+        return float(
+            self.compute_time_s_array(profile, np.asarray([core_mhz], dtype=np.float64))[0]
+        )
+
+    def dram_time_s_array(
+        self, profile: WorkloadProfile, mem_mhz: np.ndarray
+    ) -> np.ndarray:
+        """Time for the DRAM phase at an ``(M,)`` vector of memory clocks."""
+        bandwidth = self.dram_bandwidth_bytes_per_s_array(mem_mhz)
         return profile.dram_bytes / bandwidth
 
-    def l2_time_s(self, profile: WorkloadProfile, core_mhz: float) -> float:
-        """Time for L2-served traffic (core-clock domain)."""
+    def dram_time_s(self, profile: WorkloadProfile, mem_mhz: float) -> float:
+        """Time for the DRAM phase at ``mem_mhz``."""
+        return float(
+            self.dram_time_s_array(profile, np.asarray([mem_mhz], dtype=np.float64))[0]
+        )
+
+    def l2_time_s_array(
+        self, profile: WorkloadProfile, core_mhz: np.ndarray
+    ) -> np.ndarray:
+        """Time for L2-served traffic (core-clock domain), vectorized."""
         arch = self.device.arch
         bw = arch.l2_bytes_per_cycle * core_mhz * 1e6
         return profile.l2_bytes / bw
 
-    def dram_bandwidth_bytes_per_s(self, mem_mhz: float) -> float:
-        """Effective DRAM bandwidth at a memory clock.
+    def l2_time_s(self, profile: WorkloadProfile, core_mhz: float) -> float:
+        """Time for L2-served traffic (core-clock domain)."""
+        return float(
+            self.l2_time_s_array(profile, np.asarray([core_mhz], dtype=np.float64))[0]
+        )
+
+    def dram_bandwidth_bytes_per_s_array(self, mem_mhz: np.ndarray) -> np.ndarray:
+        """Effective DRAM bandwidth at an ``(M,)`` vector of memory clocks.
 
         GDDR5 moves data on both edges of a doubled data clock; we fold the
         data-rate multiplier and achievable efficiency into one coefficient.
@@ -109,11 +169,21 @@ class PerformanceModel:
         from the noise model, not from the mean bandwidth.
         """
         arch = self.device.arch
-        efficiency = arch.dram_efficiency
         relative = mem_mhz / self.device.max_mem_mhz
-        if relative < 0.18:
-            efficiency *= 2.4  # idle P-state reports controller clock
+        efficiency = np.where(
+            relative < 0.18,
+            arch.dram_efficiency * 2.4,  # idle P-state reports controller clock
+            arch.dram_efficiency,
+        )
         return arch.bus_bytes * 2.0 * mem_mhz * 1e6 * efficiency
+
+    def dram_bandwidth_bytes_per_s(self, mem_mhz: float) -> float:
+        """Effective DRAM bandwidth at a memory clock (scalar wrapper)."""
+        return float(
+            self.dram_bandwidth_bytes_per_s_array(
+                np.asarray([mem_mhz], dtype=np.float64)
+            )[0]
+        )
 
     # -- combination ------------------------------------------------------------
 
@@ -129,28 +199,43 @@ class PerformanceModel:
         """
         return 1.0 + 2.2 * profile.traits.occupancy
 
+    def execute_batch(
+        self, profile: WorkloadProfile, core_mhz: np.ndarray, mem_mhz: np.ndarray
+    ) -> PhaseBreakdownBatch:
+        """Simulate one launch per configuration in a single numpy pass."""
+        core_mhz = np.asarray(core_mhz, dtype=np.float64)
+        mem_mhz = np.asarray(mem_mhz, dtype=np.float64)
+        if np.any(core_mhz <= 0) or np.any(mem_mhz <= 0):
+            raise ValueError("clocks must be positive")
+        t_l2 = self.l2_time_s_array(profile, core_mhz)
+        t_c = self.compute_time_s_array(profile, core_mhz) + t_l2
+        t_d = self.dram_time_s_array(profile, mem_mhz)
+        p = self.overlap_exponent(profile)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            blended = np.where(
+                (t_c == 0.0) & (t_d == 0.0), 0.0, (t_c**p + t_d**p) ** (1.0 / p)
+            )
+        total = blended + self.device.arch.launch_overhead_s
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            compute_util = np.where(total > 0, t_c / total, 0.0)
+            memory_util = np.where(total > 0, t_d / total, 0.0)
+        return PhaseBreakdownBatch(
+            t_compute_s=t_c,
+            t_dram_s=t_d,
+            t_l2_s=t_l2,
+            t_total_s=total,
+            compute_utilization=np.minimum(compute_util, 1.0),
+            memory_utilization=np.minimum(memory_util, 1.0),
+        )
+
     def execute(
         self, profile: WorkloadProfile, core_mhz: float, mem_mhz: float
     ) -> PhaseBreakdown:
-        """Simulate one launch; returns the timing breakdown."""
-        if core_mhz <= 0 or mem_mhz <= 0:
-            raise ValueError("clocks must be positive")
-        t_c = self.compute_time_s(profile, core_mhz) + self.l2_time_s(profile, core_mhz)
-        t_d = self.dram_time_s(profile, mem_mhz)
-        p = self.overlap_exponent(profile)
-        if t_c == 0.0 and t_d == 0.0:
-            blended = 0.0
-        else:
-            blended = (t_c**p + t_d**p) ** (1.0 / p)
-        total = blended + self.device.arch.launch_overhead_s
-
-        compute_util = t_c / total if total > 0 else 0.0
-        memory_util = t_d / total if total > 0 else 0.0
-        return PhaseBreakdown(
-            t_compute_s=t_c,
-            t_dram_s=t_d,
-            t_l2_s=self.l2_time_s(profile, core_mhz),
-            t_total_s=total,
-            compute_utilization=min(compute_util, 1.0),
-            memory_utilization=min(memory_util, 1.0),
+        """Simulate one launch; thin M=1 wrapper over :meth:`execute_batch`."""
+        batch = self.execute_batch(
+            profile,
+            np.asarray([core_mhz], dtype=np.float64),
+            np.asarray([mem_mhz], dtype=np.float64),
         )
+        return batch.row(0)

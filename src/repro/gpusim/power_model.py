@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .device import DeviceSpec
-from .perf_model import PhaseBreakdown
+from .perf_model import PhaseBreakdown, PhaseBreakdownBatch
 from .profile import WorkloadProfile
 
 
@@ -45,18 +47,57 @@ class PowerBreakdown:
         )
 
 
+@dataclass(frozen=True)
+class PowerBreakdownBatch:
+    """Columnar :class:`PowerBreakdown` for an ``(M,)`` configuration vector."""
+
+    p_board_w: np.ndarray
+    p_core_static_w: np.ndarray
+    p_core_dynamic_w: np.ndarray
+    p_mem_static_w: np.ndarray
+    p_mem_dynamic_w: np.ndarray
+
+    @property
+    def total_w(self) -> np.ndarray:
+        return (
+            self.p_board_w
+            + self.p_core_static_w
+            + self.p_core_dynamic_w
+            + self.p_mem_static_w
+            + self.p_mem_dynamic_w
+        )
+
+    def __len__(self) -> int:
+        return int(self.p_core_dynamic_w.size)
+
+    def row(self, i: int) -> PowerBreakdown:
+        return PowerBreakdown(
+            p_board_w=float(self.p_board_w[i]),
+            p_core_static_w=float(self.p_core_static_w[i]),
+            p_core_dynamic_w=float(self.p_core_dynamic_w[i]),
+            p_mem_static_w=float(self.p_mem_static_w[i]),
+            p_mem_dynamic_w=float(self.p_mem_dynamic_w[i]),
+        )
+
+
 class PowerModel:
     """Maps (profile, clocks, timing breakdown) → average board power."""
 
     def __init__(self, device: DeviceSpec) -> None:
         self.device = device
 
+    def core_voltage_array(self, core_mhz: np.ndarray) -> np.ndarray:
+        return self.device.vf_curve.voltage_array(core_mhz)
+
     def core_voltage(self, core_mhz: float) -> float:
         return self.device.vf_curve.voltage(core_mhz)
 
-    def compute_activity(
-        self, profile: WorkloadProfile, phases: PhaseBreakdown, mem_rel: float = 1.0
-    ) -> float:
+    def compute_activity_array(
+        self,
+        profile: WorkloadProfile,
+        phases: PhaseBreakdownBatch,
+        mem_rel: np.ndarray,
+    ) -> np.ndarray:
         """Average switching activity of the core datapath in [floor, 1].
 
         Memory-bound kernels still toggle the core heavily — load/store
@@ -74,12 +115,58 @@ class PowerModel:
         # contribution scales with achieved DRAM throughput: at a reduced
         # memory clock the core issues proportionally fewer loads per
         # second and idles (power-gated warp slots) in between.
-        issue += params.mem_issue_activity * phases.memory_utilization * mem_rel
-        return min(1.0, floor + (1.0 - floor) * min(issue, 1.0))
+        issue = issue + params.mem_issue_activity * phases.memory_utilization * mem_rel
+        return np.minimum(1.0, floor + (1.0 - floor) * np.minimum(issue, 1.0))
+
+    def compute_activity(
+        self, profile: WorkloadProfile, phases: PhaseBreakdown, mem_rel: float = 1.0
+    ) -> float:
+        return float(
+            self.compute_activity_array(
+                profile, _phase_batch_of_one(phases), np.asarray([mem_rel])
+            )[0]
+        )
+
+    def memory_activity_array(self, phases: PhaseBreakdownBatch) -> np.ndarray:
+        floor = self.device.power.activity_floor
+        return np.minimum(1.0, floor + (1.0 - floor) * phases.memory_utilization)
 
     def memory_activity(self, phases: PhaseBreakdown) -> float:
-        floor = self.device.power.activity_floor
-        return min(1.0, floor + (1.0 - floor) * phases.memory_utilization)
+        return float(self.memory_activity_array(_phase_batch_of_one(phases))[0])
+
+    def power_batch(
+        self,
+        profile: WorkloadProfile,
+        core_mhz: np.ndarray,
+        mem_mhz: np.ndarray,
+        phases: PhaseBreakdownBatch,
+    ) -> PowerBreakdownBatch:
+        """Board power for an ``(M,)`` configuration vector, one numpy pass."""
+        params = self.device.power
+        core_mhz = np.asarray(core_mhz, dtype=np.float64)
+        mem_mhz = np.asarray(mem_mhz, dtype=np.float64)
+        volts = self.core_voltage_array(core_mhz)
+        mem_rel = mem_mhz / self.device.max_mem_mhz
+
+        p_core_static = params.core_leakage_w_per_v * volts * volts
+        activity = self.compute_activity_array(profile, phases, mem_rel)
+        p_core_dyn = params.core_dynamic_w * volts * volts * (core_mhz / 1000.0) * activity
+        # GDDR5 I/O and PLL power scale steeply with the memory P-state;
+        # the idle state keeps only a small fraction of the static draw.
+        p_mem_static = params.mem_static_w * (0.12 + 0.88 * mem_rel)
+        p_mem_dyn = (
+            params.mem_dynamic_w_per_ghz
+            * (mem_mhz / 1000.0)
+            * self.memory_activity_array(phases)
+        )
+
+        return PowerBreakdownBatch(
+            p_board_w=np.full_like(volts, params.p_board_w),
+            p_core_static_w=p_core_static,
+            p_core_dynamic_w=p_core_dyn,
+            p_mem_static_w=p_mem_static,
+            p_mem_dynamic_w=p_mem_dyn,
+        )
 
     def power(
         self,
@@ -88,24 +175,23 @@ class PowerModel:
         mem_mhz: float,
         phases: PhaseBreakdown,
     ) -> PowerBreakdown:
-        params = self.device.power
-        volts = self.core_voltage(core_mhz)
-        mem_rel = mem_mhz / self.device.max_mem_mhz
-
-        p_core_static = params.core_leakage_w_per_v * volts * volts
-        activity = self.compute_activity(profile, phases, mem_rel)
-        p_core_dyn = params.core_dynamic_w * volts * volts * (core_mhz / 1000.0) * activity
-        # GDDR5 I/O and PLL power scale steeply with the memory P-state;
-        # the idle state keeps only a small fraction of the static draw.
-        p_mem_static = params.mem_static_w * (0.12 + 0.88 * mem_rel)
-        p_mem_dyn = (
-            params.mem_dynamic_w_per_ghz * (mem_mhz / 1000.0) * self.memory_activity(phases)
+        """Scalar wrapper: one configuration through :meth:`power_batch`."""
+        batch = self.power_batch(
+            profile,
+            np.asarray([core_mhz], dtype=np.float64),
+            np.asarray([mem_mhz], dtype=np.float64),
+            _phase_batch_of_one(phases),
         )
+        return batch.row(0)
 
-        return PowerBreakdown(
-            p_board_w=params.p_board_w,
-            p_core_static_w=p_core_static,
-            p_core_dynamic_w=p_core_dyn,
-            p_mem_static_w=p_mem_static,
-            p_mem_dynamic_w=p_mem_dyn,
-        )
+
+def _phase_batch_of_one(phases: PhaseBreakdown) -> PhaseBreakdownBatch:
+    """Lift a scalar breakdown into an M=1 batch (for the scalar wrappers)."""
+    return PhaseBreakdownBatch(
+        t_compute_s=np.asarray([phases.t_compute_s]),
+        t_dram_s=np.asarray([phases.t_dram_s]),
+        t_l2_s=np.asarray([phases.t_l2_s]),
+        t_total_s=np.asarray([phases.t_total_s]),
+        compute_utilization=np.asarray([phases.compute_utilization]),
+        memory_utilization=np.asarray([phases.memory_utilization]),
+    )

@@ -54,6 +54,13 @@ class PowerSampler:
             raise ValueError("sampling_hz must be positive")
         self.sampling_hz = sampling_hz
 
+    def sample_count_array(self, duration_s: np.ndarray) -> np.ndarray:
+        """Poller readings per window, for an ``(M,)`` vector of windows."""
+        duration_s = np.asarray(duration_s, dtype=np.float64)
+        return np.maximum(
+            np.floor(duration_s * self.sampling_hz).astype(np.int64), 0
+        )
+
     def sample_count(self, duration_s: float) -> int:
         """Number of poller readings falling inside a window of ``duration_s``."""
         return max(int(np.floor(duration_s * self.sampling_hz)), 0)
@@ -98,3 +105,55 @@ class PowerSampler:
             raise ValueError("single_run_s must be positive")
         needed_s = min_samples / self.sampling_hz
         return max(int(np.ceil(needed_s / single_run_s)), 1)
+
+    def repeats_for_min_samples_array(
+        self, single_run_s: np.ndarray, min_samples: int = 20
+    ) -> np.ndarray:
+        """Vectorized :meth:`repeats_for_min_samples` over run-time vectors."""
+        single_run_s = np.asarray(single_run_s, dtype=np.float64)
+        if np.any(single_run_s <= 0):
+            raise ValueError("single_run_s must be positive")
+        needed_s = min_samples / self.sampling_hz
+        return np.maximum(np.ceil(needed_s / single_run_s).astype(np.int64), 1)
+
+    def mean_power_array(
+        self,
+        true_power_w: np.ndarray,
+        n_samples: np.ndarray,
+        jitter: np.ndarray,
+        idle_power_w: float,
+    ) -> np.ndarray:
+        """Mean of each configuration's synthesized sample stream, vectorized.
+
+        ``jitter`` is the ``(M, n_max)`` matrix from
+        :meth:`MeasurementNoise.sample_jitter_matrix
+        <repro.gpusim.noise.MeasurementNoise.sample_jitter_matrix>`; row
+        ``i`` contributes only its first ``n_samples[i]`` entries.  Windows
+        too short for even one sample fall back to the idle reading, exactly
+        like :meth:`trace`.
+
+        Rows are reduced **grouped by sample count**, never zero-padded:
+        numpy's pairwise summation adds the ``n % 8`` tail elements after
+        combining its unrolled accumulators, so padding a row to a longer
+        length regroups the sum and changes the low bits.  Reducing an
+        exact-width contiguous ``(k, n)`` block per distinct ``n`` runs the
+        same pairwise reduction as the scalar path's 1-D ``np.mean``,
+        keeping the batch bit-identical to the ``run_at`` loop even when
+        sample counts vary across the sweep.
+        """
+        true_power_w = np.asarray(true_power_w, dtype=np.float64)
+        n_samples = np.asarray(n_samples, dtype=np.int64)
+        means = np.full_like(true_power_w, idle_power_w)
+        if jitter.ndim != 2 or jitter.shape[1] == 0:
+            return means
+        for n in np.unique(n_samples):
+            n = int(n)
+            if n <= 0:
+                continue
+            rows = np.flatnonzero(n_samples == n)
+            # Fresh ufunc output → C-contiguous (k, n) block; the scalar
+            # path multiplies then means the same n values in the same
+            # order.
+            block = true_power_w[rows, None] * jitter[rows][:, :n]
+            means[rows] = block.mean(axis=1)
+        return means

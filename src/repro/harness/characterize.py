@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.dataset import MeasuredPoint
-from ..gpusim.executor import GPUSimulator
 from ..workloads import KernelSpec
 from .runner import SweepResult, sweep_kernel
 
@@ -84,12 +83,15 @@ class Characterization:
 
 
 def characterize_kernel(
-    sim: GPUSimulator,
+    backend,
     spec: KernelSpec,
     configs: list[tuple[float, float]] | None = None,
 ) -> Characterization:
-    """Sweep and fold the measurements into per-domain series."""
-    sweep = sweep_kernel(sim, spec, configs)
+    """Sweep and fold the measurements into per-domain series.
+
+    ``backend`` is any measurement backend (or a bare ``GPUSimulator``).
+    """
+    sweep = sweep_kernel(backend, spec, configs)
     series: dict[str, DomainSeries] = {}
     for label, points in sweep.by_domain().items():
         mem = points[0].mem_mhz

@@ -2,12 +2,25 @@
 
 Training the two SVRs on 106 micro-benchmarks × 40 settings is the
 expensive step of every evaluation bench.  :func:`paper_context` builds the
-whole paper setup once per process (simulator, training data, fitted
-models, predictor) and memoizes it, so benches and examples can share it.
+whole paper setup once per process (backend, training data, fitted models,
+predictor) and memoizes it, so benches and examples can share it.
+
+Contexts are **device-parameterized**: pass a device name or alias
+(``titan-x`` is the default, ``tesla-p100`` the paper's portability target)
+and the whole stack — frequency menus, sampled settings, trained models,
+predictor candidates — follows that device.  :func:`build_context` is the
+uncached general form; it additionally accepts any measurement backend, so
+a context can be trained from a replayed trace as easily as from the
+simulator.
+
+Setting the environment variable ``REPRO_QUICK=1`` makes
+:func:`paper_context` delegate to :func:`quick_context` — the hook CI's
+benchmark smoke step uses to run every bench in quick mode.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -16,10 +29,21 @@ from ..core.config import sample_training_settings
 from ..core.dataset import TrainingDataset
 from ..core.pipeline import TrainedModels, train_from_specs
 from ..core.predictor import ParetoPredictor
-from ..gpusim.device import DeviceSpec, make_titan_x
+from ..gpusim.device import DeviceSpec, resolve_device
 from ..gpusim.executor import GPUSimulator
+from ..measure.backend import MeasurementBackend, as_backend
+from ..measure.simulator import SimulatorBackend
 from ..synthetic.generator import generate_micro_benchmarks
 from ..workloads import KernelSpec
+
+#: Default experiment device (the paper's test platform).
+DEFAULT_DEVICE = "NVIDIA GTX Titan X"
+
+#: (micro-benchmark stride, settings budget) per training recipe.
+CONTEXT_RECIPES: dict[str, tuple[int, int | None]] = {
+    "paper": (1, None),  # None → the paper's 40-setting default
+    "quick": (3, 24),
+}
 
 
 @dataclass
@@ -28,6 +52,7 @@ class PaperContext:
 
     sim: GPUSimulator
     device: DeviceSpec
+    backend: MeasurementBackend
     models: TrainedModels
     dataset: TrainingDataset
     settings: list[tuple[float, float]]
@@ -35,23 +60,54 @@ class PaperContext:
     micro_benchmarks: list[KernelSpec]
 
 
-@lru_cache(maxsize=2)
-def paper_context(seed: int = 0) -> PaperContext:
-    """The paper's full training setup (Titan X, 106 codes, 40 settings).
+def build_context(
+    device: DeviceSpec | str | None = None,
+    recipe: str = "paper",
+    backend: MeasurementBackend | None = None,
+) -> PaperContext:
+    """Train the full setup for one device/backend/recipe (uncached).
 
-    Cached per process; treat the returned object as read-only.
+    ``device`` is a spec, full name or alias; it defaults to the backend's
+    device, or Titan X when neither is given.  ``backend`` defaults to the
+    vectorized simulator for the chosen device.
     """
-    device = make_titan_x()
-    sim = GPUSimulator(device)
-    micro = generate_micro_benchmarks()
-    settings = sample_training_settings(device)
-    models, dataset = train_from_specs(sim, micro, settings)
+    try:
+        stride, budget = CONTEXT_RECIPES[recipe]
+    except KeyError:
+        raise ValueError(
+            f"unknown recipe {recipe!r}; known: {sorted(CONTEXT_RECIPES)}"
+        ) from None
+
+    if device is None:
+        spec = backend.device if backend is not None else resolve_device(DEFAULT_DEVICE)
+    elif isinstance(device, str):
+        spec = resolve_device(device)
+    else:
+        spec = device
+    if backend is None:
+        backend = SimulatorBackend(spec)
+    else:
+        backend = as_backend(backend)
+        if backend.device.name != spec.name:
+            raise ValueError(
+                f"backend measures {backend.device.name!r} "
+                f"but the context is for {spec.name!r}"
+            )
+
+    sim = backend.sim if isinstance(backend, SimulatorBackend) else GPUSimulator(spec)
+    micro = generate_micro_benchmarks()[::stride]
+    if budget is None:
+        settings = sample_training_settings(spec)
+    else:
+        settings = sample_training_settings(spec, total=budget)
+    models, dataset = train_from_specs(backend, micro, settings)
     predictor = ParetoPredictor(
-        models, device, candidates=_modeled_subset(device, settings)
+        models, spec, candidates=_modeled_subset(spec, settings)
     )
     return PaperContext(
         sim=sim,
-        device=device,
+        device=spec,
+        backend=backend,
         models=models,
         dataset=dataset,
         settings=settings,
@@ -60,27 +116,30 @@ def paper_context(seed: int = 0) -> PaperContext:
     )
 
 
-@lru_cache(maxsize=2)
-def quick_context(seed: int = 0) -> PaperContext:
+@lru_cache(maxsize=4)
+def _paper_context_cached(seed: int, device: str) -> PaperContext:
+    return build_context(device=device, recipe="paper")
+
+
+def paper_context(seed: int = 0, device: str = DEFAULT_DEVICE) -> PaperContext:
+    """The paper's full training setup (106 codes, 40 settings).
+
+    Cached per process; treat the returned object as read-only.  With
+    ``REPRO_QUICK=1`` in the environment, delegates to
+    :func:`quick_context` (CI's fast-bench hook).  The env check lives
+    outside the cache, so toggling the variable mid-process can never
+    serve a quick context under the paper key (or vice versa).
+    """
+    if os.environ.get("REPRO_QUICK"):
+        return quick_context(seed, device)
+    return _paper_context_cached(seed, device)
+
+
+@lru_cache(maxsize=4)
+def quick_context(seed: int = 0, device: str = DEFAULT_DEVICE) -> PaperContext:
     """A reduced setup (subset of codes/settings) for fast tests.
 
     Training uses every third micro-benchmark and a 24-setting sample;
     model quality is lower but the pipeline is identical.
     """
-    device = make_titan_x()
-    sim = GPUSimulator(device)
-    micro = generate_micro_benchmarks()[::3]
-    settings = sample_training_settings(device, total=24)
-    models, dataset = train_from_specs(sim, micro, settings)
-    predictor = ParetoPredictor(
-        models, device, candidates=_modeled_subset(device, settings)
-    )
-    return PaperContext(
-        sim=sim,
-        device=device,
-        models=models,
-        dataset=dataset,
-        settings=settings,
-        predictor=predictor,
-        micro_benchmarks=micro,
-    )
+    return build_context(device=device, recipe="quick")

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 
 from ..core.dataset import MeasuredPoint
 from ..core.predictor import ParetoPredictor, PredictedParetoSet
-from ..gpusim.executor import GPUSimulator
 from ..pareto.algorithms import pareto_set_sort
 from ..pareto.extrema import ExtremaDistance, extrema_distance
 from ..pareto.hypervolume import PAPER_REFERENCE_POINT, coverage_difference
@@ -55,14 +54,17 @@ class ParetoEvaluation:
 
 
 def evaluate_pareto_prediction(
-    sim: GPUSimulator,
+    backend,
     predictor: ParetoPredictor,
     spec: KernelSpec,
     settings: list[tuple[float, float]],
     reference: tuple[float, float] = PAPER_REFERENCE_POINT,
 ) -> ParetoEvaluation:
-    """Evaluate the predicted Pareto set of one benchmark against truth."""
-    sweep = sweep_kernel(sim, spec, settings)
+    """Evaluate the predicted Pareto set of one benchmark against truth.
+
+    ``backend`` is any measurement backend (or a bare ``GPUSimulator``).
+    """
+    sweep = sweep_kernel(backend, spec, settings)
     measured_points = sweep.points
 
     true_idx = pareto_set_sort([p.objectives for p in measured_points])
@@ -71,7 +73,7 @@ def evaluate_pareto_prediction(
 
     predicted = predictor.predict_for_spec(spec)
     # Measure the predicted configurations (they may lie outside `settings`).
-    pred_measured_map = measure_configs(sim, spec, predicted.configs)
+    pred_measured_map = measure_configs(backend, spec, predicted.configs)
     predicted_measured = [pred_measured_map[c] for c in predicted.configs]
     pred_objs = [p.objectives for p in predicted_measured]
 
@@ -92,14 +94,14 @@ def evaluate_pareto_prediction(
 
 
 def evaluate_suite(
-    sim: GPUSimulator,
+    backend,
     predictor: ParetoPredictor,
     specs: list[KernelSpec],
     settings: list[tuple[float, float]],
 ) -> list[ParetoEvaluation]:
     """Table 2 for a whole suite, sorted by coverage difference (paper order)."""
     rows = [
-        evaluate_pareto_prediction(sim, predictor, spec, settings) for spec in specs
+        evaluate_pareto_prediction(backend, predictor, spec, settings) for spec in specs
     ]
     rows.sort(key=lambda r: r.coverage_diff)
     return rows

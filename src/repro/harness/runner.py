@@ -1,17 +1,20 @@
 """Measurement sweeps over benchmarks (the experimental backbone).
 
-Thin orchestration over :mod:`repro.core.dataset`'s measurement helpers:
-sweep a kernel over a configuration list, group results by memory domain,
-and locate baselines — the raw material for Figs. 1, 5, 8 and Table 2.
+Thin orchestration over the measurement-backend protocol: sweep a kernel
+over a configuration list, group results by memory domain, and locate
+baselines — the raw material for Figs. 1, 5, 8 and Table 2.  Every entry
+point accepts either a :class:`~repro.measure.backend.MeasurementBackend`
+or a bare :class:`~repro.gpusim.executor.GPUSimulator` (wrapped on the
+fly), so harness code is backend-agnostic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..core.dataset import KernelMeasurements, MeasuredPoint, measure_kernel
+from ..core.dataset import KernelMeasurements, MeasuredPoint
 from ..gpusim.device import DeviceSpec
-from ..gpusim.executor import GPUSimulator
+from ..measure.backend import as_backend
 from ..workloads import KernelSpec
 
 
@@ -21,6 +24,9 @@ class SweepResult:
 
     measurements: KernelMeasurements
     device: DeviceSpec
+    _index: dict[tuple[float, float], MeasuredPoint] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def kernel(self) -> str:
@@ -40,32 +46,40 @@ class SweepResult:
                 grouped[domain.label] = pts
         return grouped
 
+    @property
+    def index(self) -> dict[tuple[float, float], MeasuredPoint]:
+        """Config-keyed view of the sweep, built once (O(1) lookups)."""
+        if self._index is None:
+            self._index = {p.config: p for p in self.points}
+        return self._index
+
     def lookup(self, config: tuple[float, float]) -> MeasuredPoint | None:
-        for p in self.points:
-            if p.config == config:
-                return p
-        return None
+        return self.index.get(config)
+
+    def as_dict(self) -> dict[tuple[float, float], MeasuredPoint]:
+        """A copy of the config-keyed index (callers may mutate it)."""
+        return dict(self.index)
 
     def objective_points(self) -> list[tuple[float, float]]:
         return self.measurements.objective_points()
 
 
 def sweep_kernel(
-    sim: GPUSimulator,
+    backend,
     spec: KernelSpec,
     configs: list[tuple[float, float]] | None = None,
 ) -> SweepResult:
     """Measure ``spec`` at ``configs`` (default: every real configuration)."""
-    chosen = configs if configs is not None else sim.device.real_configurations()
-    measurements = measure_kernel(sim, spec, chosen)
-    return SweepResult(measurements=measurements, device=sim.device)
+    backend = as_backend(backend)
+    chosen = configs if configs is not None else backend.device.real_configurations()
+    measurements = backend.measure(spec, chosen)
+    return SweepResult(measurements=measurements, device=backend.device)
 
 
 def measure_configs(
-    sim: GPUSimulator,
+    backend,
     spec: KernelSpec,
     configs: list[tuple[float, float]],
 ) -> dict[tuple[float, float], MeasuredPoint]:
     """Measured objectives for an explicit config list, keyed by config."""
-    result = sweep_kernel(sim, spec, configs)
-    return {p.config: p for p in result.points}
+    return sweep_kernel(backend, spec, configs).as_dict()

@@ -1,0 +1,41 @@
+"""Pluggable measurement backends (the paper's Fig. 2 steps 3–4 as a port).
+
+Everything above the measurement layer — dataset assembly, the harness,
+serving, the CLI — talks to a :class:`~repro.measure.backend.MeasurementBackend`
+instead of a concrete simulator.  Three implementations ship:
+
+* :class:`~repro.measure.simulator.SimulatorBackend` — the vectorized
+  :class:`~repro.gpusim.executor.GPUSimulator` (one numpy pass per sweep);
+* :class:`~repro.measure.nvml_backend.NvmlBackend` — drives the
+  :mod:`repro.nvml` facade call-for-call like the paper's real-hardware
+  protocol (set clocks → launch → read power);
+* :class:`~repro.measure.replay.ReplayBackend` — serves recorded sweeps
+  from versioned JSON traces for deterministic CI and offline experiments,
+  with :class:`~repro.measure.replay.RecordingBackend` producing the traces.
+"""
+
+from .backend import BackendCapabilities, MeasurementBackend, as_backend
+from .nvml_backend import NvmlBackend
+from .replay import (
+    RecordingBackend,
+    ReplayBackend,
+    ReplayError,
+    SweepTrace,
+    load_trace,
+    save_trace,
+)
+from .simulator import SimulatorBackend
+
+__all__ = [
+    "BackendCapabilities",
+    "MeasurementBackend",
+    "NvmlBackend",
+    "RecordingBackend",
+    "ReplayBackend",
+    "ReplayError",
+    "SimulatorBackend",
+    "SweepTrace",
+    "as_backend",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,92 @@
+"""Measurement over the NVML facade — the real-hardware call pattern.
+
+This backend exists to prove the :class:`MeasurementBackend` protocol fits
+how the paper actually measured (§4.1): disable auto-boost, set application
+clocks, launch the kernel, read back power — one NVML round-trip per
+configuration.  It is necessarily scalar (hardware has one clock state at
+a time), which also makes it the reference for what the vectorized
+simulator backend must reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from typing import Sequence
+
+from ..core.dataset import KernelMeasurements
+from ..gpusim.device import DeviceSpec
+from ..nvml.api import NVML, DeviceHandle
+from ..workloads import KernelSpec
+from .backend import BackendCapabilities
+
+
+class NvmlBackend:
+    """Drives :class:`repro.nvml.api.NVML` the way the paper drove hardware.
+
+    Owns (or adopts) an NVML library instance.  Every sweep follows the
+    experimental protocol: reset clocks for the baseline run, then
+    ``SetApplicationsClocks`` → launch → read, configuration by
+    configuration, and reset clocks afterwards.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        nvml: NVML | None = None,
+        index: int = 0,
+    ) -> None:
+        self._nvml = nvml if nvml is not None else NVML()
+        if nvml is None:
+            self._nvml.nvmlInit([device] if device is not None else None)
+        self._handle: DeviceHandle = self._nvml.nvmlDeviceGetHandleByIndex(index)
+        # The paper disables auto-boost for all experiments (§4.1).
+        self._nvml.nvmlDeviceSetAutoBoostedClocksEnabled(self._handle, False)
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self._handle.sim.device
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            device=self.device.name,
+            kind="nvml",
+            vectorized=False,
+            deterministic=True,
+            online=True,
+        )
+
+    def measure(
+        self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
+    ) -> KernelMeasurements:
+        nvml, handle = self._nvml, self._handle
+        profile = spec.profile()
+
+        nvml.nvmlDeviceResetApplicationsClocks(handle)
+        baseline = nvml.run_kernel(handle, profile)
+
+        configs = list(configs)
+        time_ms = np.empty(len(configs))
+        power_w = np.empty(len(configs))
+        energy_j = np.empty(len(configs))
+        try:
+            for i, (core, mem) in enumerate(configs):
+                nvml.nvmlDeviceSetApplicationsClocks(handle, mem, core)
+                record = nvml.run_kernel(handle, profile)
+                time_ms[i] = record.time_ms
+                power_w[i] = record.power_w
+                energy_j[i] = record.energy_j
+        finally:
+            nvml.nvmlDeviceResetApplicationsClocks(handle)
+
+        cores = np.asarray([c for c, _ in configs], dtype=np.float64)
+        mems = np.asarray([m for _, m in configs], dtype=np.float64)
+        return KernelMeasurements.from_arrays(
+            spec=spec,
+            baseline=baseline,
+            core_mhz=cores,
+            mem_mhz=mems,
+            time_ms=time_ms,
+            power_w=power_w,
+            energy_j=energy_j,
+        )

@@ -1,0 +1,298 @@
+"""Record/replay measurement: versioned JSON traces of sweeps.
+
+Recording a sweep once and replaying it later gives deterministic CI runs,
+offline experiments without a simulator (or hardware), and a shareable
+measurement-dataset format.  The trace stores exactly the externally
+observable measurements — per-configuration time/power/energy plus the
+baseline run — as JSON numbers, whose ``repr``-based serialization
+round-trips float64 bit-for-bit.  Replaying therefore reproduces the same
+:class:`~repro.core.dataset.TrainingDataset` matrices *exactly*.
+
+Format (``repro.measurement-trace``, version 1)::
+
+    {
+      "format": "repro.measurement-trace",
+      "version": 1,
+      "device": "<full device name>",
+      "kernels": {
+        "<kernel name>": {
+          "baseline": {"core_mhz": .., "mem_mhz": .., "time_ms": ..,
+                        "power_w": .., "energy_j": ..},
+          "configs":  [[core_mhz, mem_mhz], ...],
+          "time_ms":  [...], "power_w": [...], "energy_j": [...]
+        }, ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import KernelMeasurements
+from ..gpusim.device import DEVICE_REGISTRY, DeviceSpec
+from ..gpusim.executor import ExecutionRecord
+from ..workloads import KernelSpec
+from .backend import BackendCapabilities, MeasurementBackend
+
+TRACE_FORMAT = "repro.measurement-trace"
+TRACE_VERSION = 1
+
+
+class ReplayError(RuntimeError):
+    """Raised when a trace cannot serve a replay request."""
+
+
+@dataclass
+class KernelTrace:
+    """Recorded sweep of one kernel: baseline + per-configuration columns."""
+
+    baseline_core_mhz: float
+    baseline_mem_mhz: float
+    baseline_time_ms: float
+    baseline_power_w: float
+    baseline_energy_j: float
+    configs: list[tuple[float, float]] = field(default_factory=list)
+    time_ms: list[float] = field(default_factory=list)
+    power_w: list[float] = field(default_factory=list)
+    energy_j: list[float] = field(default_factory=list)
+
+    def to_state(self) -> dict:
+        return {
+            "baseline": {
+                "core_mhz": self.baseline_core_mhz,
+                "mem_mhz": self.baseline_mem_mhz,
+                "time_ms": self.baseline_time_ms,
+                "power_w": self.baseline_power_w,
+                "energy_j": self.baseline_energy_j,
+            },
+            "configs": [list(c) for c in self.configs],
+            "time_ms": self.time_ms,
+            "power_w": self.power_w,
+            "energy_j": self.energy_j,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KernelTrace":
+        base = state["baseline"]
+        return cls(
+            baseline_core_mhz=float(base["core_mhz"]),
+            baseline_mem_mhz=float(base["mem_mhz"]),
+            baseline_time_ms=float(base["time_ms"]),
+            baseline_power_w=float(base["power_w"]),
+            baseline_energy_j=float(base["energy_j"]),
+            configs=[(float(c), float(m)) for c, m in state["configs"]],
+            time_ms=[float(v) for v in state["time_ms"]],
+            power_w=[float(v) for v in state["power_w"]],
+            energy_j=[float(v) for v in state["energy_j"]],
+        )
+
+    def record(self, config: tuple[float, float], time_ms: float, power_w: float, energy_j: float) -> None:
+        """Add or overwrite one configuration's measurements."""
+        try:
+            i = self.configs.index(config)
+        except ValueError:
+            self.configs.append(config)
+            self.time_ms.append(time_ms)
+            self.power_w.append(power_w)
+            self.energy_j.append(energy_j)
+        else:
+            self.time_ms[i] = time_ms
+            self.power_w[i] = power_w
+            self.energy_j[i] = energy_j
+
+
+@dataclass
+class SweepTrace:
+    """A versioned bundle of recorded kernel sweeps for one device."""
+
+    device: str
+    kernels: dict[str, KernelTrace] = field(default_factory=dict)
+
+    def to_state(self) -> dict:
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "device": self.device,
+            "kernels": {name: k.to_state() for name, k in self.kernels.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SweepTrace":
+        if state.get("format") != TRACE_FORMAT:
+            raise ReplayError(
+                f"not a measurement trace (format: {state.get('format')!r})"
+            )
+        version = state.get("version")
+        if version != TRACE_VERSION:
+            raise ReplayError(
+                f"unsupported trace version {version!r} "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        try:
+            return cls(
+                device=str(state["device"]),
+                kernels={
+                    name: KernelTrace.from_state(k)
+                    for name, k in state.get("kernels", {}).items()
+                },
+            )
+        except KeyError as exc:
+            raise ReplayError(f"trace is missing required key {exc.args[0]!r}") from None
+
+
+def save_trace(path, trace: SweepTrace) -> pathlib.Path:
+    """Write a trace as JSON; float64 values round-trip bit-for-bit."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace.to_state(), indent=1))
+    return path
+
+
+def load_trace(path) -> SweepTrace:
+    path = pathlib.Path(path)
+    try:
+        state = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReplayError(f"trace {path} is not valid JSON: {exc}") from None
+    return SweepTrace.from_state(state)
+
+
+class ReplayBackend:
+    """Serves recorded sweeps; refuses anything that was not recorded."""
+
+    def __init__(
+        self,
+        trace: SweepTrace | str | pathlib.Path,
+        device: DeviceSpec | None = None,
+    ) -> None:
+        if not isinstance(trace, SweepTrace):
+            trace = load_trace(trace)
+        self.trace = trace
+        if device is None:
+            device = DEVICE_REGISTRY.get(trace.device)
+            if device is None:
+                known = ", ".join(sorted(DEVICE_REGISTRY))
+                raise ReplayError(
+                    f"trace names unknown device {trace.device!r} "
+                    f"(known: {known}); pass device= explicitly"
+                )
+        elif trace.device in DEVICE_REGISTRY and trace.device != device.name:
+            # An explicit device only overrides traces whose device the
+            # registry does not know; silently re-labelling a known
+            # device's measurements would poison every consumer.
+            raise ReplayError(
+                f"trace was recorded on {trace.device!r}, "
+                f"not {device.name!r}"
+            )
+        self._device = device
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self._device
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            device=self.trace.device,
+            kind="replay",
+            vectorized=True,
+            deterministic=True,
+            online=False,
+        )
+
+    def kernels(self) -> list[str]:
+        return sorted(self.trace.kernels)
+
+    def measure(
+        self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
+    ) -> KernelMeasurements:
+        kernel = self.trace.kernels.get(spec.name)
+        if kernel is None:
+            raise ReplayError(
+                f"kernel {spec.name!r} is not in the trace "
+                f"(recorded: {self.kernels()})"
+            )
+        index = {c: i for i, c in enumerate(kernel.configs)}
+        rows = []
+        for config in configs:
+            i = index.get((float(config[0]), float(config[1])))
+            if i is None:
+                raise ReplayError(
+                    f"configuration {config} of kernel {spec.name!r} "
+                    f"was not recorded"
+                )
+            rows.append(i)
+
+        baseline = ExecutionRecord(
+            kernel=spec.name,
+            requested_core_mhz=kernel.baseline_core_mhz,
+            effective_core_mhz=kernel.baseline_core_mhz,
+            mem_mhz=kernel.baseline_mem_mhz,
+            time_ms=kernel.baseline_time_ms,
+            power_w=kernel.baseline_power_w,
+            energy_j=kernel.baseline_energy_j,
+        )
+        take = np.asarray(rows, dtype=np.intp)
+        return KernelMeasurements.from_arrays(
+            spec=spec,
+            baseline=baseline,
+            core_mhz=np.asarray([c for c, _ in configs], dtype=np.float64),
+            mem_mhz=np.asarray([m for _, m in configs], dtype=np.float64),
+            time_ms=np.asarray(kernel.time_ms, dtype=np.float64)[take],
+            power_w=np.asarray(kernel.power_w, dtype=np.float64)[take],
+            energy_j=np.asarray(kernel.energy_j, dtype=np.float64)[take],
+        )
+
+
+class RecordingBackend:
+    """Wraps another backend and captures everything it measures.
+
+    Pass it anywhere a backend goes, run the workload, then
+    :meth:`save` the accumulated trace for later
+    :class:`ReplayBackend` runs.
+    """
+
+    def __init__(self, inner: MeasurementBackend) -> None:
+        self.inner = inner
+        self.trace = SweepTrace(device=inner.device.name)
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.inner.device
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return self.inner.capabilities
+
+    def measure(
+        self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
+    ) -> KernelMeasurements:
+        result = self.inner.measure(spec, configs)
+        baseline = result.baseline
+        kernel = self.trace.kernels.get(spec.name)
+        if kernel is None:
+            kernel = KernelTrace(
+                baseline_core_mhz=baseline.requested_core_mhz,
+                baseline_mem_mhz=baseline.mem_mhz,
+                baseline_time_ms=baseline.time_ms,
+                baseline_power_w=baseline.power_w,
+                baseline_energy_j=baseline.energy_j,
+            )
+            self.trace.kernels[spec.name] = kernel
+        for i, config in enumerate(result.configs):
+            kernel.record(
+                config,
+                float(result.time_ms[i]),
+                float(result.power_w[i]),
+                float(result.energy_j[i]),
+            )
+        return result
+
+    def save(self, path) -> pathlib.Path:
+        return save_trace(path, self.trace)

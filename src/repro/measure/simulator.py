@@ -1,0 +1,53 @@
+"""The vectorized simulator backend (the default measurement engine)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dataset import KernelMeasurements
+from ..gpusim.device import DeviceSpec
+from ..gpusim.executor import GPUSimulator
+from ..gpusim.noise import NoiseConfig
+from ..workloads import KernelSpec
+from .backend import BackendCapabilities
+
+
+class SimulatorBackend:
+    """Measures through :meth:`GPUSimulator.sweep_batch` — one numpy pass.
+
+    The baseline (default-configuration) run and the configuration sweep
+    both go through the batch engine, so a backend sweep is bit-identical
+    to the equivalent scalar ``run_at`` loop.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        sim: GPUSimulator | None = None,
+        noise: NoiseConfig | None = None,
+    ) -> None:
+        if sim is not None and device is not None and sim.device is not device:
+            raise ValueError("pass either a simulator or a device, not both")
+        self.sim = sim if sim is not None else GPUSimulator(device, noise)
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.sim.device
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            device=self.sim.device.name,
+            kind="simulator",
+            vectorized=True,
+            deterministic=True,
+            online=True,
+        )
+
+    def measure(
+        self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
+    ) -> KernelMeasurements:
+        profile = spec.profile()
+        baseline = self.sim.run_default(profile)
+        batch = self.sim.sweep_batch(profile, list(configs))
+        return KernelMeasurements.from_sweep(spec, baseline, batch)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..gpusim.device import DeviceSpec, make_titan_x
-from ..gpusim.executor import ExecutionRecord, GPUSimulator
+from ..gpusim.executor import IDLE_POWER_W, ExecutionRecord, GPUSimulator
 from ..gpusim.profile import WorkloadProfile
 from .types import NVMLError, NvmlReturn
 
@@ -41,8 +41,10 @@ class DeviceHandle:
     index: int
     sim: GPUSimulator
     auto_boost: bool = True
-    #: Power reading updated by kernel runs; idle draw otherwise.
-    last_power_w: float = field(default=15.0)
+    #: Power reading updated by kernel runs; idle draw otherwise.  The idle
+    #: value is the simulator's shared constant so the NVML facade can't
+    #: drift from the measurement engine.
+    last_power_w: float = field(default=IDLE_POWER_W)
 
 
 class NVML:

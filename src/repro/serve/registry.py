@@ -22,8 +22,8 @@ from typing import Callable
 
 from ..core.config import PAPER_SAMPLE_SIZE, sample_training_settings
 from ..core.pipeline import TrainedModels, train_from_specs
-from ..gpusim.device import DEVICE_REGISTRY, DeviceSpec
-from ..gpusim.executor import GPUSimulator
+from ..gpusim.device import DeviceSpec, resolve_device
+from ..measure.simulator import SimulatorBackend
 from ..synthetic.generator import generate_micro_benchmarks
 from .artifacts import load_models, save_models
 
@@ -61,12 +61,8 @@ class ModelKey:
         )
 
     def device_spec(self) -> DeviceSpec:
-        try:
-            return DEVICE_REGISTRY[self.device]
-        except KeyError:
-            raise KeyError(
-                f"unknown device {self.device!r}; known: {sorted(DEVICE_REGISTRY)}"
-            ) from None
+        """Resolve the key's device (full name or alias like ``tesla-p100``)."""
+        return resolve_device(self.device)
 
     def as_meta(self) -> dict:
         return {"device": self.device, "recipe": self.recipe, "features": self.features}
@@ -81,11 +77,11 @@ def train_for_key(key: ModelKey) -> TrainedModels:
             f"unknown recipe {key.recipe!r}; known: {sorted(TRAINING_RECIPES)}"
         ) from None
     device = key.device_spec()
-    sim = GPUSimulator(device)
+    backend = SimulatorBackend(device)
     micro = generate_micro_benchmarks()[::stride]
     settings = sample_training_settings(device, total=budget)
     models, _dataset = train_from_specs(
-        sim, micro, settings, interactions=key.interactions
+        backend, micro, settings, interactions=key.interactions
     )
     return models
 

@@ -1,0 +1,176 @@
+"""Scalar ↔ vectorized equivalence of the measurement engine.
+
+The contract: ``GPUSimulator.sweep_batch`` over an ``(M,)`` configuration
+vector is **bit-identical** to a Python loop of scalar ``run_at`` calls —
+across the full 219-configuration Titan X reported grid and the P100 menu,
+for compute-bound, memory-bound and divergent workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import make_tesla_p100, make_titan_x
+from repro.gpusim.executor import ClockError, GPUSimulator
+from repro.gpusim.noise import MeasurementNoise
+from repro.gpusim.profile import DynamicTraits, WorkloadProfile
+
+COMPUTE_BOUND = WorkloadProfile(
+    name="compute-bound",
+    ops_per_item={"float_mul": 400.0, "float_add": 300.0, "sf": 20.0, "gl_access": 2.0},
+    work_items=1 << 20,
+    traits=DynamicTraits(ilp=3.0, occupancy=0.9),
+)
+MEMORY_BOUND = WorkloadProfile(
+    name="memory-bound",
+    ops_per_item={"gl_access": 24.0, "float_add": 8.0},
+    work_items=1 << 20,
+    bytes_per_access=16.0,
+    traits=DynamicTraits(cache_hit_rate=0.05, coalescing=0.5),
+)
+DIVERGENT = WorkloadProfile(
+    name="divergent",
+    ops_per_item={"branch": 60.0, "int_add": 120.0, "gl_access": 6.0, "sync": 2.0},
+    work_items=1 << 18,
+    traits=DynamicTraits(divergence=0.6, ilp=1.2, occupancy=0.4),
+)
+PROFILES = [COMPUTE_BOUND, MEMORY_BOUND, DIVERGENT]
+
+SCALAR_FIELDS = (
+    "time_ms",
+    "power_w",
+    "energy_j",
+    "effective_core_mhz",
+    "requested_core_mhz",
+    "mem_mhz",
+    "repeats",
+    "n_power_samples",
+)
+PHASE_FIELDS = (
+    "t_compute_s",
+    "t_dram_s",
+    "t_l2_s",
+    "t_total_s",
+    "compute_utilization",
+    "memory_utilization",
+)
+POWER_FIELDS = (
+    "p_board_w",
+    "p_core_static_w",
+    "p_core_dynamic_w",
+    "p_mem_static_w",
+    "p_mem_dynamic_w",
+)
+
+
+def _assert_batch_matches_scalar_loop(sim, profile, configs):
+    batch = sim.sweep_batch(profile, configs)
+    assert len(batch) == len(configs)
+    for i, (core, mem) in enumerate(configs):
+        record = sim.run_at(profile, core, mem)
+        for name in SCALAR_FIELDS:
+            assert getattr(record, name) == getattr(batch, name)[i], (name, core, mem)
+        for name in PHASE_FIELDS:
+            assert getattr(record.phases, name) == getattr(batch.phases, name)[i]
+        for name in POWER_FIELDS:
+            assert getattr(record.power_parts, name) == getattr(batch.power_parts, name)[i]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    def test_full_titan_x_reported_grid(self, profile):
+        """All 219 reported Titan X configurations, bit-for-bit."""
+        sim = GPUSimulator(make_titan_x())
+        configs = sim.device.reported_configurations()
+        assert len(configs) == 219
+        _assert_batch_matches_scalar_loop(sim, profile, configs)
+
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    def test_full_p100_menu(self, profile):
+        sim = GPUSimulator(make_tesla_p100())
+        configs = sim.device.reported_configurations()
+        _assert_batch_matches_scalar_loop(sim, profile, configs)
+
+    def test_varying_sample_counts_stay_bit_identical(self):
+        """Long runs → per-config sample counts differ across the sweep.
+
+        Regression guard: zero-padding rows to a common width would
+        regroup numpy's pairwise summation (the ``n % 8`` tail is added
+        after the unrolled accumulators combine), flipping low bits of the
+        mean power.  The engine must reduce exact-width groups instead.
+        """
+        sim = GPUSimulator(make_titan_x())
+        long_profile = WorkloadProfile(
+            name="long-running",
+            ops_per_item={"float_add": 200.0, "float_mul": 200.0, "gl_access": 4.0},
+            work_items=(1 << 20) * 3000,
+        )
+        configs = sim.device.reported_configurations()
+        batch = sim.sweep_batch(long_profile, configs)
+        counts = set(batch.n_power_samples.tolist())
+        assert len(counts) > 1, "profile too short to vary sample counts"
+        assert any(n % 8 for n in counts), "need a non-multiple-of-8 count"
+        _assert_batch_matches_scalar_loop(sim, long_profile, configs)
+
+    def test_records_match_run_at(self):
+        """SweepBatch.record(i) reconstructs the scalar ExecutionRecord."""
+        sim = GPUSimulator()
+        configs = sim.device.real_configurations()[:20]
+        batch = sim.sweep_batch(COMPUTE_BOUND, configs)
+        for i, (core, mem) in enumerate(configs):
+            assert batch.record(i) == sim.run_at(COMPUTE_BOUND, core, mem)
+
+    def test_sweep_equals_batch_records(self):
+        sim = GPUSimulator()
+        configs = sim.device.real_configurations()[:10]
+        assert sim.sweep(COMPUTE_BOUND, configs) == sim.sweep_batch(
+            COMPUTE_BOUND, configs
+        ).records()
+
+
+class TestBatchValidation:
+    def test_unreported_config_rejected(self):
+        sim = GPUSimulator()
+        with pytest.raises(ClockError):
+            sim.sweep_batch(COMPUTE_BOUND, [(700.0, 405.0)])
+
+    def test_unknown_mem_clock_rejected(self):
+        sim = GPUSimulator()
+        with pytest.raises(KeyError):
+            sim.sweep_batch(COMPUTE_BOUND, [(1001.0, 1234.0)])
+
+    def test_empty_batch(self):
+        sim = GPUSimulator()
+        batch = sim.sweep_batch(COMPUTE_BOUND, [])
+        assert len(batch) == 0
+        assert batch.records() == []
+
+    def test_configs_property_round_trips(self):
+        sim = GPUSimulator()
+        configs = sim.device.real_configurations()[:7]
+        assert sim.sweep_batch(COMPUTE_BOUND, configs).configs == configs
+
+
+class TestNoiseArrayEntryPoints:
+    def test_factors_array_matches_scalar(self):
+        noise = MeasurementNoise()
+        cores = np.asarray([135.0, 405.0, 810.0, 1001.0, 1202.0])
+        mems = np.asarray([405.0, 405.0, 810.0, 3505.0, 3505.0])
+        rel = mems / 3505.0
+        t_arr, p_arr = noise.factors_array("dev", "kern", cores, mems, rel)
+        for i in range(cores.size):
+            t, p = noise.factors("dev", "kern", cores[i], mems[i], rel[i])
+            assert t == t_arr[i]
+            assert p == p_arr[i]
+
+    def test_jitter_matrix_matches_scalar(self):
+        noise = MeasurementNoise()
+        cores = np.asarray([500.0, 1001.0, 1202.0])
+        mems = np.asarray([3505.0, 3505.0, 810.0])
+        counts = np.asarray([24, 31, 26])
+        matrix = noise.sample_jitter_matrix("dev", "kern", cores, mems, counts)
+        assert matrix.shape == (3, 31)
+        for i in range(3):
+            row = noise.sample_jitter("dev", "kern", cores[i], mems[i], int(counts[i]))
+            assert np.array_equal(matrix[i, : counts[i]], row[: counts[i]])
+        # Padding beyond a row's sample count is inert (exact 1.0).
+        assert np.all(matrix[0, 24:] == 1.0)

@@ -1,0 +1,209 @@
+"""The measurement-backend protocol and its three implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_training_dataset, measure_kernel
+from repro.gpusim.device import make_tesla_p100, make_titan_x, resolve_device
+from repro.gpusim.executor import GPUSimulator
+from repro.measure import (
+    MeasurementBackend,
+    NvmlBackend,
+    RecordingBackend,
+    ReplayBackend,
+    ReplayError,
+    SimulatorBackend,
+    as_backend,
+    load_trace,
+    save_trace,
+)
+from repro.core.config import sample_training_settings
+from repro.suite import get_benchmark
+from repro.synthetic.generator import generate_micro_benchmarks
+
+#: A small sample spanning all four Titan X memory domains.
+SETTINGS = sample_training_settings(make_titan_x(), total=10)
+
+
+@pytest.fixture()
+def spec():
+    return get_benchmark("MT")
+
+
+class TestProtocol:
+    def test_all_backends_satisfy_protocol(self, tmp_path, spec):
+        sim_b = SimulatorBackend()
+        rec = RecordingBackend(sim_b)
+        rec.measure(spec, SETTINGS)
+        path = rec.save(tmp_path / "t.json")
+        backends = [sim_b, NvmlBackend(), ReplayBackend(path), rec]
+        for backend in backends:
+            assert isinstance(backend, MeasurementBackend)
+            caps = backend.capabilities
+            assert caps.device == backend.device.name
+
+    def test_capability_kinds(self, tmp_path, spec):
+        sim_b = SimulatorBackend()
+        assert sim_b.capabilities.kind == "simulator"
+        assert sim_b.capabilities.vectorized
+        assert NvmlBackend().capabilities.kind == "nvml"
+        rec = RecordingBackend(sim_b)
+        rec.measure(spec, SETTINGS)
+        rep = ReplayBackend(rec.save(tmp_path / "t.json"))
+        assert rep.capabilities.kind == "replay"
+        assert not rep.capabilities.online
+
+    def test_as_backend_wraps_simulator(self):
+        sim = GPUSimulator()
+        backend = as_backend(sim)
+        assert isinstance(backend, SimulatorBackend)
+        assert backend.sim is sim
+
+    def test_as_backend_passes_backends_through(self):
+        backend = SimulatorBackend()
+        assert as_backend(backend) is backend
+
+    def test_as_backend_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_backend(42)
+
+
+class TestSimulatorBackend:
+    def test_matches_measure_kernel_on_bare_simulator(self, spec):
+        sim = GPUSimulator()
+        via_backend = SimulatorBackend(sim=sim).measure(spec, SETTINGS)
+        via_shim = measure_kernel(sim, spec, SETTINGS)
+        assert np.array_equal(via_backend.speedup, via_shim.speedup)
+        assert np.array_equal(via_backend.norm_energy, via_shim.norm_energy)
+        assert via_backend.baseline == via_shim.baseline
+
+    def test_device_parameterized(self, spec):
+        p100 = SimulatorBackend(make_tesla_p100())
+        m = p100.measure(spec, [(1328.0, 715.0), (544.0, 715.0)])
+        assert m.baseline.config == (1328.0, 715.0)
+        assert len(m) == 2
+
+    def test_rejects_device_and_simulator(self):
+        with pytest.raises(ValueError):
+            SimulatorBackend(device=make_titan_x(), sim=GPUSimulator())
+
+    def test_points_view_matches_columns(self, spec):
+        m = SimulatorBackend().measure(spec, SETTINGS)
+        assert [p.config for p in m.points] == SETTINGS
+        assert [p.speedup for p in m.points] == m.speedup.tolist()
+
+
+class TestNvmlBackend:
+    def test_identical_to_simulator_backend(self, spec):
+        """The real-hardware call pattern reproduces the vectorized sweep."""
+        sim_m = SimulatorBackend().measure(spec, SETTINGS)
+        nvml_m = NvmlBackend().measure(spec, SETTINGS)
+        for field in ("time_ms", "power_w", "energy_j", "speedup", "norm_energy"):
+            assert np.array_equal(getattr(sim_m, field), getattr(nvml_m, field)), field
+        assert sim_m.baseline.time_ms == nvml_m.baseline.time_ms
+        assert sim_m.baseline.energy_j == nvml_m.baseline.energy_j
+
+    def test_resets_clocks_after_sweep(self, spec):
+        backend = NvmlBackend()
+        backend.measure(spec, SETTINGS)
+        assert backend._handle.sim.clocks == backend.device.default_config
+
+    def test_p100(self, spec):
+        backend = NvmlBackend(make_tesla_p100())
+        m = backend.measure(spec, [(544.0, 715.0)])
+        assert len(m) == 1
+        assert m.baseline.config == (1328.0, 715.0)
+
+
+class TestReplay:
+    def test_round_trip_training_dataset_exact(self, tmp_path):
+        """Recorded → saved → replayed training matrices are exact."""
+        specs = generate_micro_benchmarks()[::20]
+        rec = RecordingBackend(SimulatorBackend())
+        direct = build_training_dataset(rec, specs, SETTINGS)
+        path = rec.save(tmp_path / "trace.json")
+
+        replayed = build_training_dataset(ReplayBackend(path), specs, SETTINGS)
+        assert np.array_equal(direct.x, replayed.x)
+        assert np.array_equal(direct.y_speedup, replayed.y_speedup)
+        assert np.array_equal(direct.y_energy, replayed.y_energy)
+        assert direct.groups == replayed.groups
+
+    def test_trace_json_round_trip(self, tmp_path, spec):
+        rec = RecordingBackend(SimulatorBackend())
+        rec.measure(spec, SETTINGS)
+        path = save_trace(tmp_path / "t.json", rec.trace)
+        loaded = load_trace(path)
+        assert loaded.device == rec.trace.device
+        kernel = loaded.kernels[spec.name]
+        assert kernel.configs == SETTINGS
+        assert kernel.time_ms == rec.trace.kernels[spec.name].time_ms
+
+    def test_subset_and_reordered_replay(self, tmp_path, spec):
+        rec = RecordingBackend(SimulatorBackend())
+        rec.measure(spec, SETTINGS)
+        rep = ReplayBackend(rec.save(tmp_path / "t.json"))
+        subset = [SETTINGS[3], SETTINGS[0]]
+        m = rep.measure(spec, subset)
+        assert m.configs == subset
+        full = rec.measure(spec, SETTINGS)
+        assert m.time_ms[1] == full.time_ms[0]
+
+    def test_unknown_kernel_rejected(self, tmp_path, spec):
+        rec = RecordingBackend(SimulatorBackend())
+        rec.measure(spec, SETTINGS)
+        rep = ReplayBackend(rec.save(tmp_path / "t.json"))
+        with pytest.raises(ReplayError):
+            rep.measure(get_benchmark("k-NN"), SETTINGS)
+
+    def test_unrecorded_config_rejected(self, tmp_path, spec):
+        rec = RecordingBackend(SimulatorBackend())
+        rec.measure(spec, SETTINGS[:2])
+        rep = ReplayBackend(rec.save(tmp_path / "t.json"))
+        with pytest.raises(ReplayError):
+            rep.measure(spec, [SETTINGS[4]])
+
+    def test_bad_version_rejected(self, tmp_path, spec):
+        rec = RecordingBackend(SimulatorBackend())
+        rec.measure(spec, SETTINGS[:1])
+        state = rec.trace.to_state()
+        state["version"] = 99
+        path = tmp_path / "bad.json"
+        path.write_text(__import__("json").dumps(state))
+        with pytest.raises(ReplayError):
+            ReplayBackend(path)
+
+    def test_device_mismatch_rejected(self, tmp_path, spec):
+        rec = RecordingBackend(SimulatorBackend())
+        rec.measure(spec, SETTINGS[:1])
+        path = rec.save(tmp_path / "t.json")
+        with pytest.raises(ReplayError, match="recorded on"):
+            ReplayBackend(path, device=make_tesla_p100())
+
+    def test_non_trace_json_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(ReplayError):
+            ReplayBackend(path)
+
+    def test_replay_baseline_has_no_breakdowns(self, tmp_path, spec):
+        rec = RecordingBackend(SimulatorBackend())
+        rec.measure(spec, SETTINGS[:1])
+        rep = ReplayBackend(rec.save(tmp_path / "t.json"))
+        m = rep.measure(spec, SETTINGS[:1])
+        assert m.baseline.phases is None
+        assert m.baseline.power_parts is None
+
+
+class TestDeviceAliases:
+    def test_full_name_and_aliases_resolve(self):
+        titan = resolve_device("NVIDIA GTX Titan X")
+        assert resolve_device("titan-x") is titan
+        assert resolve_device("Titan X") is titan
+        assert resolve_device("tesla-p100").name == "NVIDIA Tesla P100"
+        assert resolve_device("p100").name == "NVIDIA Tesla P100"
+        assert resolve_device("nvidia-tesla-p100").name == "NVIDIA Tesla P100"
+
+    def test_unknown_alias_raises_with_listing(self):
+        with pytest.raises(KeyError, match="aliases"):
+            resolve_device("gtx-9999")

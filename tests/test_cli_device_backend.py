@@ -1,0 +1,94 @@
+"""CLI device/backend threading: --device, --backend, --trace, --record-trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SAXPY = """
+__kernel void saxpy(__global float* x, __global float* y, float a) {
+    int i = get_global_id(0);
+    y[i] = a * x[i] + y[i];
+}
+"""
+
+
+@pytest.fixture()
+def kernel_file(tmp_path):
+    path = tmp_path / "saxpy.cl"
+    path.write_text(SAXPY)
+    return path
+
+
+def test_train_p100_then_predict_end_to_end(tmp_path, kernel_file, capsys):
+    artifact = tmp_path / "p100.json"
+    assert main(["train", "--quick", "--device", "tesla-p100",
+                 "--save", str(artifact)]) == 0
+    meta = json.loads(artifact.read_text())["meta"]
+    assert meta["device"] == "NVIDIA Tesla P100"
+
+    assert main(["predict", str(kernel_file), "--model", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "saxpy" in out
+    # Every predicted point sits on the P100's single memory clock.
+    assert "715" in out
+
+
+def test_characterize_device_flag(capsys):
+    assert main(["characterize", "MT", "--quick", "--device", "tesla-p100"]) == 0
+    out = capsys.readouterr().out
+    assert "NVIDIA Tesla P100" in out
+    assert "mem-M" in out
+
+
+def test_record_then_replay_characterize(tmp_path, capsys):
+    trace = tmp_path / "mt.json"
+    assert main(["characterize", "MT", "--quick",
+                 "--record-trace", str(trace)]) == 0
+    recorded = capsys.readouterr().out
+    assert trace.exists()
+
+    assert main(["characterize", "MT", "--quick",
+                 "--backend", "replay", "--trace", str(trace)]) == 0
+    replayed = capsys.readouterr().out
+    # The replayed sweep prints the exact same series.
+    strip = lambda text: [l for l in text.splitlines() if "recorded" not in l]  # noqa: E731
+    assert strip(recorded) == strip(replayed)
+
+
+def test_replay_requires_trace(capsys):
+    assert main(["characterize", "MT", "--quick", "--backend", "replay"]) == 2
+    assert "--trace" in capsys.readouterr().err
+
+
+def test_unknown_device_reports_known_aliases(capsys):
+    assert main(["characterize", "MT", "--quick", "--device", "gtx-9999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown device" in err
+    assert "tesla-p100" in err
+
+
+def test_nvml_backend_characterize(capsys):
+    assert main(["characterize", "MT", "--quick", "--backend", "nvml"]) == 0
+    assert "MT" in capsys.readouterr().out
+
+
+def test_model_with_backend_flags_rejected(tmp_path, kernel_file, capsys):
+    artifact = tmp_path / "m.json"
+    assert main(["train", "--quick", "--save", str(artifact)]) == 0
+    capsys.readouterr()
+    assert main(["predict", str(kernel_file), "--model", str(artifact),
+                 "--backend", "nvml"]) == 2
+    assert "cannot be combined with --model" in capsys.readouterr().err
+    assert main(["predict-batch", str(kernel_file), "--model", str(artifact),
+                 "--trace", "t.json"]) == 2
+    assert "cannot be combined with --model" in capsys.readouterr().err
+
+
+def test_malformed_trace_missing_key_reports_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"format": "repro.measurement-trace", "version": 1}))
+    assert main(["characterize", "MT", "--quick",
+                 "--backend", "replay", "--trace", str(bad)]) == 2
+    assert "missing required key 'device'" in capsys.readouterr().err
