@@ -1,12 +1,17 @@
-"""Measurement-engine throughput: scalar run_at loop vs vectorized backend.
+"""Measurement-engine throughput: scalar loop vs vectorized vs campaign.
 
 The paper's experimental backbone is "run every code at every sampled
 (core, mem) setting" — 106 codes × 40 settings = 4240 measurements per
-training pass.  The vectorized measurement engine
-(:meth:`GPUSimulator.sweep_batch` behind :class:`SimulatorBackend`) turns
-each per-point scalar loop into one numpy pass.  This bench measures
-training-dataset assembly both ways, verifies the outputs are
-**bit-identical**, and asserts the vectorized path is ≥10× faster.
+training pass.  Two engine generations are measured here:
+
+* **vectorized** — :meth:`GPUSimulator.sweep_batch` behind
+  :class:`SimulatorBackend` turns each per-point scalar loop into one
+  numpy pass (≥10× over the scalar ``run_at`` loop, bit-identical);
+* **campaign mode** — :class:`ParallelBackend` fans the kernel list
+  across worker processes on top of the vectorized engine, the way
+  ``repro campaign`` sweeps a device.  Also bit-identical (the noise is
+  counter-based, never call-order-based); the wall-clock win scales with
+  available cores, asserted ≥2× at 4 workers on machines with ≥4 CPUs.
 
 Quick mode (``REPRO_BENCH_QUICK=1`` or ``REPRO_QUICK=1``) shrinks the
 workload so CI's smoke step stays fast.
@@ -16,6 +21,7 @@ import os
 import time
 
 import numpy as np
+import pytest
 from _common import write_artifact
 
 from repro.core.config import sample_training_settings
@@ -23,7 +29,7 @@ from repro.core.dataset import TrainingDataset, build_training_dataset
 from repro.features.vector import build_design_matrix
 from repro.gpusim.executor import GPUSimulator
 from repro.harness.report import format_heading, format_table
-from repro.measure import SimulatorBackend
+from repro.measure import ParallelBackend, SimulatorBackend, simulator_factory
 from repro.synthetic import generate_micro_benchmarks
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK") or os.environ.get("REPRO_QUICK"))
@@ -34,6 +40,14 @@ REPEATS = 1 if QUICK else 3
 #: dominate the 16-setting batches, so the bar is lower there; the paper-
 #: scale workload must clear 10x.
 MIN_SPEEDUP = 5.0 if QUICK else 10.0
+
+#: Campaign-mode fan-out width (the acceptance setup: 4 workers).
+CAMPAIGN_WORKERS = 4
+#: The parallel win is physical — it needs the cores to exist.  CI smoke
+#: runners and 1-core containers still *run* campaign mode (and verify
+#: bit-identity); only the wall-clock assertion requires ≥4 CPUs.
+HAVE_CAMPAIGN_CORES = (os.cpu_count() or 1) >= CAMPAIGN_WORKERS
+MIN_CAMPAIGN_SPEEDUP = 2.0
 
 
 def _workload():
@@ -95,14 +109,49 @@ def measure_assembly():
     return t_scalar, t_vector, ds_scalar, ds_vector
 
 
+def measure_campaign(workers: int = CAMPAIGN_WORKERS, baseline=None):
+    """(serial seconds, campaign seconds, datasets) for the multi-kernel sweep.
+
+    Serial is the vectorized single-process backend; campaign fans the same
+    kernel list over ``workers`` processes (feature extraction included),
+    exactly as ``repro campaign --workers N`` drives a device sweep.
+    ``baseline=(seconds, dataset)`` reuses an already-timed serial pass
+    instead of re-running one.
+    """
+    specs, settings = _workload()
+    if baseline is None:
+        serial_backend = SimulatorBackend()
+        serial_backend.measure(specs[0], settings[:2])  # warm paths
+        baseline = _best_of(
+            lambda: build_training_dataset(serial_backend, specs, settings)
+        )
+    t_serial, ds_serial = baseline
+    with ParallelBackend(simulator_factory(), workers=workers) as parallel:
+        list(parallel.imap_measure(specs[:1], settings[:2]))  # warm the pool
+        t_campaign, ds_campaign = _best_of(
+            lambda: build_training_dataset(parallel, specs, settings)
+        )
+    return t_serial, t_campaign, ds_serial, ds_campaign
+
+
 def regenerate_throughput() -> str:
     t_scalar, t_vector, ds_scalar, ds_vector = measure_assembly()
+    # The vectorized pass just timed IS the campaign's serial baseline.
+    t_serial, t_campaign, ds_serial, ds_campaign = measure_campaign(
+        baseline=(t_vector, ds_vector)
+    )
     n_points = ds_scalar.n_samples
+    campaign_label = (
+        f"campaign ParallelBackend ({CAMPAIGN_WORKERS} workers, "
+        f"{os.cpu_count() or 1} cores)"
+    )
     rows = [
         ("scalar run_at loop", f"{t_scalar * 1e3:9.1f}",
          f"{n_points / t_scalar:12.0f}", "1.0x"),
         ("vectorized sweep_batch backend", f"{t_vector * 1e3:9.1f}",
          f"{n_points / t_vector:12.0f}", f"{t_scalar / t_vector:.1f}x"),
+        (campaign_label, f"{t_campaign * 1e3:9.1f}",
+         f"{n_points / t_campaign:12.0f}", f"{t_scalar / t_campaign:.1f}x"),
     ]
     table = format_table(
         ["training-dataset assembly", "ms / pass", "points/sec", "speedup"], rows
@@ -112,6 +161,11 @@ def regenerate_throughput() -> str:
         and np.array_equal(ds_scalar.y_speedup, ds_vector.y_speedup)
         and np.array_equal(ds_scalar.y_energy, ds_vector.y_energy)
     )
+    campaign_identical = (
+        np.array_equal(ds_serial.x, ds_campaign.x)
+        and np.array_equal(ds_serial.y_speedup, ds_campaign.y_speedup)
+        and np.array_equal(ds_serial.y_energy, ds_campaign.y_energy)
+    )
     return (
         format_heading(
             f"measurement engine — {N_SPECS} codes x {N_SETTINGS} settings "
@@ -119,6 +173,10 @@ def regenerate_throughput() -> str:
         )
         + "\n" + table
         + f"\nscalar and vectorized datasets bit-identical: {identical}"
+        + "\nserial and campaign-parallel datasets bit-identical: "
+        + f"{campaign_identical}"
+        + f"\ncampaign vs vectorized serial: {t_serial / t_campaign:.2f}x "
+        + f"at {CAMPAIGN_WORKERS} workers on {os.cpu_count() or 1} core(s)"
     )
 
 
@@ -126,6 +184,7 @@ def test_measurement_throughput():
     text = regenerate_throughput()
     write_artifact("measurement_throughput", text)
     assert "bit-identical: True" in text
+    assert "campaign-parallel datasets bit-identical: True" in text
 
 
 def test_vectorized_at_least_10x_faster():
@@ -139,3 +198,25 @@ def test_vectorized_matches_scalar_bitwise():
     assert np.array_equal(ds_scalar.y_speedup, ds_vector.y_speedup)
     assert np.array_equal(ds_scalar.y_energy, ds_vector.y_energy)
     assert ds_scalar.groups == ds_vector.groups
+
+
+def test_campaign_matches_serial_bitwise():
+    """Fanning the kernel sweep over processes changes nothing, bit for bit."""
+    _, _, ds_serial, ds_campaign = measure_campaign(workers=2)
+    assert np.array_equal(ds_serial.x, ds_campaign.x)
+    assert np.array_equal(ds_serial.y_speedup, ds_campaign.y_speedup)
+    assert np.array_equal(ds_serial.y_energy, ds_campaign.y_energy)
+    assert ds_serial.groups == ds_campaign.groups
+
+
+@pytest.mark.skipif(
+    not HAVE_CAMPAIGN_CORES,
+    reason=f"campaign speedup needs >= {CAMPAIGN_WORKERS} CPUs "
+    f"(have {os.cpu_count() or 1})",
+)
+@pytest.mark.skipif(
+    QUICK, reason="quick mode exercises campaign mode but does not time it"
+)
+def test_campaign_at_least_2x_faster_at_4_workers():
+    t_serial, t_campaign, _, _ = measure_campaign(workers=CAMPAIGN_WORKERS)
+    assert t_serial / t_campaign >= MIN_CAMPAIGN_SPEEDUP, (t_serial, t_campaign)

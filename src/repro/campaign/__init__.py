@@ -1,0 +1,45 @@
+"""repro.campaign — multi-device measurement campaigns in one call.
+
+The paper's training stack is a measurement *campaign*: sweep every
+benchmark kernel over the sampled frequency grid on each device (§4.1),
+then train and evaluate portability across GPUs (Fig. 4b).  This package
+turns that into a declarative plan executed by an engine::
+
+    from repro.campaign import CampaignPlan, run_campaign
+
+    report = run_campaign(
+        CampaignPlan(devices=("titan-x", "tesla-p100"), workers=4),
+        store_root="repro-store",
+    )
+    print(report.format())
+
+Afterwards every device has a JSONL trace in the
+:class:`~repro.measure.trace_registry.TraceRegistry` and a trained bundle
+in the :class:`~repro.serve.registry.ModelRegistry`, and
+``repro train --backend replay --trace-key titan-x/default`` reproduces
+the campaign's training dataset bit-for-bit.
+"""
+
+from .engine import (
+    MODELS_SUBDIR,
+    TRACES_SUBDIR,
+    CampaignReport,
+    DeviceCampaignResult,
+    campaign_backend,
+    run_campaign,
+    run_device_campaign,
+)
+from .plan import CAMPAIGN_RECIPES, RECIPE_SUITES, CampaignPlan
+
+__all__ = [
+    "CAMPAIGN_RECIPES",
+    "CampaignPlan",
+    "CampaignReport",
+    "DeviceCampaignResult",
+    "MODELS_SUBDIR",
+    "RECIPE_SUITES",
+    "TRACES_SUBDIR",
+    "campaign_backend",
+    "run_campaign",
+    "run_device_campaign",
+]

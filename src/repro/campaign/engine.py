@@ -1,0 +1,187 @@
+"""The campaign engine: plan → parallel sweeps → registered artifacts.
+
+One :func:`run_campaign` call executes the paper's whole experimental
+backbone for every device in the plan (§4.1: sweep every benchmark kernel
+over the sampled frequency grid, then train the models):
+
+1. build the device's measurement backend — a
+   :class:`~repro.measure.parallel.ParallelBackend` fan-out when the plan
+   asks for workers, the vectorized simulator otherwise;
+2. stream every kernel sweep through a recording backend whose
+   :class:`~repro.measure.trace.TraceWriter` appends each record to the
+   :class:`~repro.measure.trace_registry.TraceRegistry` file *as it is
+   measured* (a crash loses at most one sweep);
+3. fold the same stream into training matrices incrementally
+   (:func:`~repro.core.dataset.assemble_training_dataset`) — the campaign
+   never holds a whole trace in memory;
+4. fit the two models and register the bundle in the
+   :class:`~repro.serve.registry.ModelRegistry` under the matching
+   (device, recipe) key.
+
+Because every backend is deterministic per (device, kernel, config), the
+parallel path is bit-identical to serial, repeat passes merge into
+identical trace records, and `repro train --backend replay --trace-key
+<device>/<suite>` reproduces the campaign's dataset exactly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass
+
+from ..core.dataset import (
+    TrainingDataset,
+    assemble_training_dataset,
+    iter_kernel_measurements,
+)
+from ..core.pipeline import TrainedModels, train_models
+from ..gpusim.device import DeviceSpec
+from ..harness.report import format_table
+from ..measure.backend import MeasurementBackend
+from ..measure.parallel import ParallelBackend, simulator_factory
+from ..measure.replay import RecordingBackend
+from ..measure.simulator import SimulatorBackend
+from ..measure.trace_registry import TraceRegistry
+from ..serve.registry import ModelRegistry
+from .plan import CampaignPlan
+
+#: Store layout: traces and models live side by side under one root.
+TRACES_SUBDIR = "traces"
+MODELS_SUBDIR = "models"
+
+
+@dataclass(frozen=True)
+class DeviceCampaignResult:
+    """Everything one device's leg of a campaign produced."""
+
+    device: str
+    n_kernels: int
+    n_settings: int
+    n_samples: int
+    repeats: int
+    trace_key: str
+    trace_path: pathlib.Path
+    model_slug: str
+    model_path: pathlib.Path
+    seconds: float
+
+    def table_row(self) -> tuple[str, str, str, str, str, str]:
+        return (
+            self.device,
+            str(self.n_kernels),
+            str(self.n_settings),
+            str(self.n_samples),
+            f"{self.seconds:8.2f}",
+            self.trace_key,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """The full campaign outcome, ready to print or assert on."""
+
+    plan: CampaignPlan
+    store_root: pathlib.Path
+    results: tuple[DeviceCampaignResult, ...]
+    seconds: float
+
+    @property
+    def n_samples(self) -> int:
+        return sum(r.n_samples for r in self.results)
+
+    def format(self) -> str:
+        table = format_table(
+            ["device", "codes", "settings", "samples", "seconds", "trace key"],
+            [r.table_row() for r in self.results],
+        )
+        return (
+            f"campaign: {self.plan.describe()}\n"
+            + table
+            + f"\ntotal: {self.n_samples} samples in {self.seconds:.2f}s; "
+            f"artifacts under {self.store_root}"
+        )
+
+
+def campaign_backend(plan: CampaignPlan, device: DeviceSpec) -> MeasurementBackend:
+    """The measurement engine for one device leg of a plan."""
+    if plan.workers > 1:
+        return ParallelBackend(simulator_factory(device), workers=plan.workers)
+    return SimulatorBackend(device)
+
+
+def run_device_campaign(
+    plan: CampaignPlan,
+    device: DeviceSpec,
+    trace_registry: TraceRegistry,
+    model_registry: ModelRegistry,
+) -> tuple[DeviceCampaignResult, TrainingDataset, TrainedModels]:
+    """One device: sweep, stream-record, assemble, train, register."""
+    start = time.perf_counter()
+    specs = plan.kernel_specs()
+    settings = plan.settings_for(device)
+    trace_key = plan.trace_key(device)
+
+    with ExitStack() as stack:
+        backend = campaign_backend(plan, device)
+        if isinstance(backend, ParallelBackend):
+            stack.enter_context(backend)
+        writer = stack.enter_context(trace_registry.writer(trace_key))
+        recorder = RecordingBackend(backend, stream=writer)
+
+        # Repeat passes re-measure the full grid; deterministic noise means
+        # they merge into identical records (and double as a determinism
+        # check for real-hardware backends, which overwrite in place).
+        for _ in range(plan.repeats - 1):
+            for _triple in iter_kernel_measurements(recorder, specs, settings):
+                pass
+        dataset = assemble_training_dataset(
+            iter_kernel_measurements(recorder, specs, settings),
+            settings,
+            interactions=plan.interactions,
+        )
+
+    models = train_models(
+        dataset, settings=settings, interactions=plan.interactions
+    )
+    model_key = plan.model_key(device)
+    model_path = model_registry.put(model_key, models)
+
+    result = DeviceCampaignResult(
+        device=device.name,
+        n_kernels=len(specs),
+        n_settings=len(settings),
+        n_samples=dataset.n_samples,
+        repeats=plan.repeats,
+        trace_key=trace_key.display(),
+        trace_path=trace_registry.path_for(trace_key),
+        model_slug=model_key.slug,
+        model_path=model_path,
+        seconds=time.perf_counter() - start,
+    )
+    return result, dataset, models
+
+
+def run_campaign(
+    plan: CampaignPlan, store_root: str | pathlib.Path
+) -> CampaignReport:
+    """Execute a whole plan against one artifact store root."""
+    start = time.perf_counter()
+    store_root = pathlib.Path(store_root).expanduser()
+    trace_registry = TraceRegistry(store_root / TRACES_SUBDIR)
+    model_registry = ModelRegistry(store_root / MODELS_SUBDIR)
+
+    results = []
+    for device in plan.device_specs():
+        result, _dataset, _models = run_device_campaign(
+            plan, device, trace_registry, model_registry
+        )
+        results.append(result)
+
+    return CampaignReport(
+        plan=plan,
+        store_root=store_root,
+        results=tuple(results),
+        seconds=time.perf_counter() - start,
+    )

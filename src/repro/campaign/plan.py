@@ -1,0 +1,89 @@
+"""Declarative campaign plans: devices × kernels × repeats.
+
+A plan names *what* to measure — the device list, the kernel corpus and
+settings budget (via the training recipe), how many repeat passes — and
+the execution parameters (worker processes).  The engine
+(:mod:`repro.campaign.engine`) turns a plan into registered traces and
+trained model bundles; the plan itself owns no I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import TRAINING_RECIPES, sample_training_settings
+from ..gpusim.device import DeviceSpec, resolve_device
+from ..measure.trace_registry import TraceKey
+from ..serve.registry import ModelKey
+from ..synthetic.generator import generate_micro_benchmarks
+from ..workloads import KernelSpec
+
+#: recipe → (micro-benchmark stride, settings budget) — the shared table
+#: from :mod:`repro.core.config`.  One table on purpose: the exact-replay
+#: guarantee (`train --backend replay --trace-key <key>` == a campaign's
+#: dataset) holds because contexts and campaigns derive the same specs
+#: and settings from the same recipe.
+CAMPAIGN_RECIPES: dict[str, tuple[int, int]] = TRAINING_RECIPES
+
+#: recipe → trace-registry suite label.  The paper recipe records under
+#: the plain "default" suite (`--trace-key titan-x/default`); other
+#: recipes are namespaced by their own name.
+RECIPE_SUITES: dict[str, str] = {"paper": "default", "quick": "quick"}
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """One campaign: sweep every kernel over every device's settings."""
+
+    devices: tuple[str, ...]
+    recipe: str = "paper"
+    repeats: int = 1
+    workers: int = 1
+    interactions: bool = True
+    suite: str | None = None  # trace suite label override
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a campaign needs at least one device")
+        if self.recipe not in CAMPAIGN_RECIPES:
+            raise ValueError(
+                f"unknown recipe {self.recipe!r}; known: {sorted(CAMPAIGN_RECIPES)}"
+            )
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        for name in self.devices:
+            resolve_device(name)  # fail fast on typos, before any sweep runs
+
+    # -- derived workload -------------------------------------------------------
+
+    @property
+    def suite_label(self) -> str:
+        return self.suite if self.suite is not None else RECIPE_SUITES[self.recipe]
+
+    def device_specs(self) -> list[DeviceSpec]:
+        return [resolve_device(name) for name in self.devices]
+
+    def kernel_specs(self) -> list[KernelSpec]:
+        stride, _budget = CAMPAIGN_RECIPES[self.recipe]
+        return generate_micro_benchmarks()[::stride]
+
+    def settings_for(self, device: DeviceSpec) -> list[tuple[float, float]]:
+        _stride, budget = CAMPAIGN_RECIPES[self.recipe]
+        return sample_training_settings(device, total=budget)
+
+    def trace_key(self, device: DeviceSpec) -> TraceKey:
+        return TraceKey(device=device.name, suite=self.suite_label)
+
+    def model_key(self, device: DeviceSpec) -> ModelKey:
+        features = "interactions" if self.interactions else "concat"
+        return ModelKey(device=device.name, recipe=self.recipe, features=features)
+
+    def describe(self) -> str:
+        stride, budget = CAMPAIGN_RECIPES[self.recipe]
+        return (
+            f"{len(self.devices)} device(s) x "
+            f"{len(self.kernel_specs())} codes x {budget} settings, "
+            f"{self.repeats} pass(es), {self.workers} worker(s)"
+        )

@@ -9,7 +9,10 @@ Subcommands:
   settings, training in-process or loading a saved artifact (``--model``);
 * ``predict-batch <kernel.cl>...`` — predict many kernels through the
   serving path (one vectorized model pass) and print per-kernel fronts;
-* ``devices`` — list the simulated devices and their frequency menus;
+* ``devices`` — list registered devices, aliases, and frequency grids;
+* ``campaign --devices a,b`` — run a multi-device measurement campaign:
+  process-parallel sweeps, JSONL traces registered in the trace registry,
+  per-device models trained and registered, all in one command;
 * ``characterize <benchmark>`` — sweep one of the twelve suite benchmarks
   and print its per-domain speedup/energy series;
 * ``table2`` — regenerate the paper's Table 2.
@@ -34,6 +37,9 @@ import sys
 #: Choices for --backend.
 BACKEND_CHOICES = ("simulator", "nvml", "replay")
 
+#: Default artifact-store root (traces/ and models/ live under it).
+DEFAULT_STORE = "repro-store"
+
 
 class CLIUsageError(RuntimeError):
     """Raised for flag combinations argparse cannot express."""
@@ -57,17 +63,31 @@ def _resolve_setup(args):
         RecordingBackend,
         ReplayBackend,
         SimulatorBackend,
+        TraceRegistry,
     )
 
     kind = getattr(args, "backend", "simulator") or "simulator"
     trace = getattr(args, "trace", None)
+    trace_key = getattr(args, "trace_key", None)
     record = getattr(args, "record_trace", None)
     device = _resolve_device_cli(args.device) if getattr(args, "device", None) else None
 
     if kind == "replay":
-        if not trace:
-            raise CLIUsageError("--backend replay requires --trace PATH")
-        backend = ReplayBackend(trace, device=device)
+        if trace and trace_key:
+            raise CLIUsageError("pass either --trace PATH or --trace-key KEY, not both")
+        if trace:
+            backend = ReplayBackend(trace, device=device)
+        elif trace_key:
+            from .campaign.engine import TRACES_SUBDIR
+
+            registry = TraceRegistry(_store_root(args) / TRACES_SUBDIR)
+            # Resolve to the file and construct directly so an explicit
+            # --device gets the same mismatch check as --trace PATH.
+            backend = ReplayBackend(registry.resolve(trace_key), device=device)
+        else:
+            raise CLIUsageError(
+                "--backend replay requires --trace PATH or --trace-key KEY"
+            )
         device = backend.device
     elif kind == "nvml":
         backend = NvmlBackend(device)
@@ -80,6 +100,10 @@ def _resolve_setup(args):
     if record:
         backend = recorder = RecordingBackend(backend)
     return device, backend, recorder
+
+
+def _store_root(args) -> pathlib.Path:
+    return pathlib.Path(getattr(args, "store", None) or DEFAULT_STORE)
 
 
 def _context_for(args):
@@ -165,10 +189,14 @@ def _reject_backend_flags_with_model(args) -> None:
     """--backend/--trace select the measurement engine for in-process
     training; combined with a pre-trained --model artifact they would be
     silently ignored, so refuse the mix outright."""
-    if getattr(args, "backend", "simulator") != "simulator" or getattr(args, "trace", None):
+    if (
+        getattr(args, "backend", "simulator") != "simulator"
+        or getattr(args, "trace", None)
+        or getattr(args, "trace_key", None)
+    ):
         raise CLIUsageError(
-            "--backend/--trace configure in-process training and cannot be "
-            "combined with --model (the artifact is already trained)"
+            "--backend/--trace/--trace-key configure in-process training and "
+            "cannot be combined with --model (the artifact is already trained)"
         )
 
 
@@ -218,20 +246,66 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_devices(_args: argparse.Namespace) -> int:
-    from .gpusim.device import DEVICE_REGISTRY
+    from .gpusim.device import DEVICE_REGISTRY, device_aliases
 
     for name, dev in sorted(DEVICE_REGISTRY.items()):
         print(f"{name} (CC {dev.compute_capability})")
+        aliases = device_aliases(name)
+        if aliases:
+            print(f"  aliases: {', '.join(aliases)}")
         for domain in dev.domains:
             real = domain.real_core_mhz
+            reported = domain.reported_core_mhz
+            clamp = (
+                f", {len(reported) - len(real)} clamped"
+                if len(reported) != len(real)
+                else ""
+            )
             print(
                 f"  mem-{domain.label} {domain.mem_mhz:6.0f} MHz: "
                 f"{len(real)} real core clocks ({min(real):.0f}-{max(real):.0f})"
+                f"{clamp}"
             )
+        print(
+            f"  grid: {len(dev.reported_configurations())} reported / "
+            f"{len(dev.real_configurations())} real configurations"
+        )
         print(
             f"  default: core {dev.default_core_mhz:.0f} / "
             f"mem {dev.default_mem_mhz:.0f} MHz"
         )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
+    from .campaign import CampaignPlan, run_campaign
+
+    devices = tuple(d.strip() for d in args.devices.split(",") if d.strip())
+    if not devices:
+        raise CLIUsageError("--devices needs at least one device name or alias")
+    for name in devices:
+        _resolve_device_cli(name)  # surface typos as usage errors
+    quick = args.quick or bool(os.environ.get("REPRO_QUICK"))
+    try:
+        plan = CampaignPlan(
+            devices=devices,
+            recipe="quick" if quick else "paper",
+            repeats=args.repeats,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        raise CLIUsageError(exc.args[0]) from None
+    report = run_campaign(plan, store_root=_store_root(args))
+    print(report.format())
+    example = report.results[0]
+    print(
+        "replay a device's training set exactly:\n"
+        f"  repro train --backend replay --trace-key {example.trace_key} "
+        f"--store {report.store_root}{' --quick' if quick else ''} "
+        f"--save models.json"
+    )
     return 0
 
 
@@ -297,7 +371,16 @@ def _add_device_flags(parser: argparse.ArgumentParser, record: bool = False) -> 
     )
     parser.add_argument(
         "--trace", metavar="PATH",
-        help="measurement trace to serve from (required with --backend replay)",
+        help="measurement trace file to serve from (with --backend replay)",
+    )
+    parser.add_argument(
+        "--trace-key", metavar="KEY", dest="trace_key",
+        help="registered trace to serve from, as device/suite[/noise-hash] "
+             "(with --backend replay; e.g. titan-x/default)",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=f"artifact store root for --trace-key (default: {DEFAULT_STORE})",
     )
     if record:
         parser.add_argument(
@@ -377,8 +460,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_device_flags(p_batch)
     p_batch.set_defaults(func=_cmd_predict_batch)
 
-    p_dev = sub.add_parser("devices", help="list simulated devices")
+    p_dev = sub.add_parser(
+        "devices", help="list registered devices, aliases, and frequency grids"
+    )
     p_dev.set_defaults(func=_cmd_devices)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a multi-device measurement campaign: parallel sweeps -> "
+             "registered traces -> trained, registered models",
+    )
+    p_camp.add_argument(
+        "--devices", required=True, metavar="NAMES",
+        help="comma-separated device names/aliases, e.g. titan-x,tesla-p100",
+    )
+    p_camp.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="measurement worker processes per device sweep (default: 1)",
+    )
+    p_camp.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help="measurement passes over the grid (default: 1)",
+    )
+    p_camp.add_argument(
+        "--quick", action="store_true",
+        help="use the reduced training setup (also implied by REPRO_QUICK=1)",
+    )
+    p_camp.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=f"artifact store root (default: {DEFAULT_STORE})",
+    )
+    p_camp.set_defaults(func=_cmd_campaign)
 
     p_char = sub.add_parser("characterize", help="sweep a suite benchmark")
     p_char.add_argument("benchmark", help="benchmark name, e.g. k-NN or MT")

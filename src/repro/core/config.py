@@ -24,6 +24,16 @@ from ..gpusim.device import DeviceSpec, MemoryDomain
 #: The paper's training sample size per code.
 PAPER_SAMPLE_SIZE = 40
 
+#: Training recipes shared by experiment contexts, the model registry and
+#: the campaign engine: name → (micro-benchmark stride, settings budget).
+#: One table on purpose — `train --backend replay --trace-key <key>` only
+#: reproduces a campaign's dataset because both sides derive the same
+#: specs and settings from the same recipe.
+TRAINING_RECIPES: dict[str, tuple[int, int]] = {
+    "paper": (1, PAPER_SAMPLE_SIZE),
+    "quick": (3, 24),
+}
+
 #: Memory-domain labels the predictive models cover (everything but mem-L).
 MODELED_LABELS: tuple[str, ...] = ("l", "h", "H")
 

@@ -16,6 +16,7 @@ the training path never pays for it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -204,6 +205,76 @@ class TrainingDataset:
         )
 
 
+def iter_kernel_measurements(
+    backend,
+    specs: "Iterable[KernelSpec]",
+    settings: list[tuple[float, float]],
+) -> "Iterator[tuple[KernelSpec, StaticFeatures, KernelMeasurements]]":
+    """Stream ``(spec, static features, measurements)`` per kernel.
+
+    The campaign engine's measurement loop: one triple at a time, so a
+    consumer (dataset assembly, trace recording) never holds more than the
+    kernel in flight.  Backends exposing the fan-out protocol
+    (``imap_measure`` — :class:`~repro.measure.parallel.ParallelBackend`,
+    or :class:`~repro.measure.replay.RecordingBackend` wrapping one) run
+    the sweeps process-parallel and extract features in the workers;
+    plain backends are driven serially, with identical results.
+    """
+    from ..measure.backend import as_backend
+
+    backend = as_backend(backend)
+    specs = list(specs)
+    imap = getattr(backend, "imap_measure", None)
+    if imap is not None:
+        for spec, (measurements, static) in zip(
+            specs, imap(specs, settings, with_features=True)
+        ):
+            if static is None:
+                static = spec.static_features()
+            yield spec, static, measurements
+        return
+    for spec in specs:
+        yield spec, spec.static_features(), backend.measure(spec, settings)
+
+
+def assemble_training_dataset(
+    measured: "Iterable[tuple[KernelSpec, StaticFeatures, KernelMeasurements]]",
+    settings: list[tuple[float, float]],
+    interactions: bool = True,
+) -> TrainingDataset:
+    """Fold a measurement stream into the training matrices, incrementally.
+
+    Consumes any iterable of ``(spec, static, measurements)`` triples —
+    typically :func:`iter_kernel_measurements` — accumulating one
+    design-matrix block and one target column per kernel as they arrive,
+    so the source (a parallel sweep, an out-of-core trace replay) is never
+    materialized whole.  The final stack is columnar (``np.vstack`` /
+    ``np.concatenate``); no per-point Python loop.
+    """
+    blocks: list[np.ndarray] = []
+    speedups: list[np.ndarray] = []
+    energies: list[np.ndarray] = []
+    groups: list[str] = []
+    feats: dict[str, StaticFeatures] = {}
+
+    for spec, static, measurements in measured:
+        feats[spec.name] = static
+        blocks.append(build_design_matrix(static, settings, interactions=interactions))
+        speedups.append(measurements.speedup)
+        energies.append(measurements.norm_energy)
+        groups.extend([spec.name] * len(measurements))
+
+    if not blocks:
+        raise ValueError("need at least one training spec")
+    return TrainingDataset(
+        x=np.vstack(blocks),
+        y_speedup=np.concatenate(speedups),
+        y_energy=np.concatenate(energies),
+        groups=groups,
+        static_features=feats,
+    )
+
+
 def build_training_dataset(
     backend,
     specs: list[KernelSpec],
@@ -214,38 +285,18 @@ def build_training_dataset(
 
     Mirrors Fig. 2: features extracted once per code (step 2), each code
     executed under the sampled settings (step 3), measurements normalized
-    against the code's default-configuration baseline (step 4).  Assembly
-    is columnar: each kernel contributes one design-matrix block and one
-    target column per objective, stacked with ``np.vstack`` /
-    ``np.concatenate`` — no per-point Python loop.
+    against the code's default-configuration baseline (step 4).  The
+    measurement loop is the streaming :func:`iter_kernel_measurements`
+    (which fans out across processes for parallel backends) folded by
+    :func:`assemble_training_dataset`; serial and parallel paths produce
+    bit-identical matrices.
     """
-    from ..measure.backend import as_backend
-
     if not specs:
         raise ValueError("need at least one training spec")
     if not settings:
         raise ValueError("need at least one frequency setting")
-
-    backend = as_backend(backend)
-    blocks: list[np.ndarray] = []
-    speedups: list[np.ndarray] = []
-    energies: list[np.ndarray] = []
-    groups: list[str] = []
-    feats: dict[str, StaticFeatures] = {}
-
-    for spec in specs:
-        static = spec.static_features()
-        feats[spec.name] = static
-        measurements = backend.measure(spec, settings)
-        blocks.append(build_design_matrix(static, settings, interactions=interactions))
-        speedups.append(measurements.speedup)
-        energies.append(measurements.norm_energy)
-        groups.extend([spec.name] * len(measurements))
-
-    return TrainingDataset(
-        x=np.vstack(blocks),
-        y_speedup=np.concatenate(speedups),
-        y_energy=np.concatenate(energies),
-        groups=groups,
-        static_features=feats,
+    return assemble_training_dataset(
+        iter_kernel_measurements(backend, specs, settings),
+        settings,
+        interactions=interactions,
     )

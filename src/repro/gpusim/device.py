@@ -285,6 +285,58 @@ def make_tesla_p100() -> DeviceSpec:
     )
 
 
+def make_tesla_v100() -> DeviceSpec:
+    """Tesla V100 (Volta): three tunable memory clocks, fine core menus.
+
+    Data-only spec exercising the sampler/domain logic harder than the
+    first two devices: a six-entry deep-idle memory state (405 MHz, like
+    Titan X's mem-L), a mid HBM2 state (810 MHz), and the full-rate state
+    (877 MHz) whose reported core menu extends past the 1380 MHz clamp —
+    so the undersized-domain heuristic, the per-domain budget split *and*
+    the clamping rule are all live on a three-domain device.
+    """
+    v100_clamp = 1380.0
+    mid_cores = _snap(_spread(405.0, 1312.0, 48), 1312.0)
+    full_real = _snap(_spread(510.0, v100_clamp, 60), 1312.0)
+    full_fake = _spread(1395.0, 1530.0, 10)
+    domains = (
+        MemoryDomain(
+            mem_mhz=405.0, label="L", reported_core_mhz=_spread(135.0, 405.0, 6)
+        ),
+        MemoryDomain(mem_mhz=810.0, label="l", reported_core_mhz=mid_cores),
+        MemoryDomain(
+            mem_mhz=877.0,
+            label="H",
+            reported_core_mhz=full_real + full_fake,
+            core_clamp_mhz=v100_clamp,
+        ),
+    )
+    arch = ArchParams(
+        num_sms=80,
+        bus_bytes=512.0,  # HBM2: 4096-bit bus
+        dram_efficiency=0.76,
+    )
+    power = PowerParams(
+        p_board_w=25.0,
+        core_leakage_w_per_v=40.0,
+        core_dynamic_w=185.0,
+        mem_static_w=28.0,
+        mem_dynamic_w_per_ghz=20.0,
+    )
+    return DeviceSpec(
+        name="NVIDIA Tesla V100",
+        compute_capability="7.0",
+        domains=domains,
+        default_core_mhz=1312.0,
+        default_mem_mhz=877.0,
+        arch=arch,
+        power=power,
+        vf_curve=VoltageCurve(
+            v_min=0.72, v_max=1.093, flat_until_mhz=690.0, max_mhz=1530.0
+        ),
+    )
+
+
 #: Registry used by the NVML facade, the serving layer and the CLI.
 DEVICE_REGISTRY: dict[str, "DeviceSpec"] = {}
 
@@ -308,6 +360,28 @@ def register_device(spec: DeviceSpec, aliases: tuple[str, ...] = ()) -> DeviceSp
 
 register_device(make_titan_x(), aliases=("titan-x", "gtx-titan-x", "titanx"))
 register_device(make_tesla_p100(), aliases=("tesla-p100", "p100"))
+register_device(make_tesla_v100(), aliases=("tesla-v100", "v100"))
+
+
+def device_aliases(name: str) -> list[str]:
+    """Every registered alias of a device (excluding its full-name slug)."""
+    spec = resolve_device(name)
+    canonical = _alias_slug(spec.name)
+    return sorted(
+        alias
+        for alias, full in DEVICE_ALIASES.items()
+        if full == spec.name and alias != canonical
+    )
+
+
+def device_slug(name: str) -> str:
+    """Canonical filesystem/registry-safe slug of a device (alias-stable).
+
+    Resolves ``name`` first, so every spelling of one device — full name,
+    any alias — maps to the same slug (keys built from it can never split
+    one device's artifacts across spellings).
+    """
+    return _alias_slug(resolve_device(name).name)
 
 
 def get_device(name: str) -> DeviceSpec:

@@ -24,6 +24,7 @@ import os
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ..core.config import TRAINING_RECIPES
 from ..core.config import modeled_subset as _modeled_subset
 from ..core.config import sample_training_settings
 from ..core.dataset import TrainingDataset
@@ -39,11 +40,10 @@ from ..workloads import KernelSpec
 #: Default experiment device (the paper's test platform).
 DEFAULT_DEVICE = "NVIDIA GTX Titan X"
 
-#: (micro-benchmark stride, settings budget) per training recipe.
-CONTEXT_RECIPES: dict[str, tuple[int, int | None]] = {
-    "paper": (1, None),  # None → the paper's 40-setting default
-    "quick": (3, 24),
-}
+#: (micro-benchmark stride, settings budget) per training recipe — the
+#: shared table from :mod:`repro.core.config`, so contexts, the model
+#: registry and the campaign engine can never drift apart.
+CONTEXT_RECIPES: dict[str, tuple[int, int]] = TRAINING_RECIPES
 
 
 @dataclass
@@ -96,10 +96,7 @@ def build_context(
 
     sim = backend.sim if isinstance(backend, SimulatorBackend) else GPUSimulator(spec)
     micro = generate_micro_benchmarks()[::stride]
-    if budget is None:
-        settings = sample_training_settings(spec)
-    else:
-        settings = sample_training_settings(spec, total=budget)
+    settings = sample_training_settings(spec, total=budget)
     models, dataset = train_from_specs(backend, micro, settings)
     predictor = ParetoPredictor(
         models, spec, candidates=_modeled_subset(spec, settings)

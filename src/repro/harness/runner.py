@@ -11,6 +11,7 @@ fly), so harness code is backend-agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..core.dataset import KernelMeasurements, MeasuredPoint
 from ..gpusim.device import DeviceSpec
@@ -74,6 +75,31 @@ def sweep_kernel(
     chosen = configs if configs is not None else backend.device.real_configurations()
     measurements = backend.measure(spec, chosen)
     return SweepResult(measurements=measurements, device=backend.device)
+
+
+def sweep_many(
+    backend,
+    specs: list[KernelSpec],
+    configs: list[tuple[float, float]] | None = None,
+) -> Iterator[SweepResult]:
+    """Sweep many kernels at one config list, streaming one result at a time.
+
+    Backends exposing the fan-out protocol (``imap_measure`` — e.g.
+    :class:`~repro.measure.parallel.ParallelBackend`) run the sweeps
+    process-parallel; results arrive in spec order either way, so the
+    harness never holds a whole campaign's measurements at once.
+    """
+    backend = as_backend(backend)
+    chosen = configs if configs is not None else backend.device.real_configurations()
+    imap = getattr(backend, "imap_measure", None)
+    if imap is not None:
+        for measurements, _static in imap(specs, chosen):
+            yield SweepResult(measurements=measurements, device=backend.device)
+        return
+    for spec in specs:
+        yield SweepResult(
+            measurements=backend.measure(spec, chosen), device=backend.device
+        )
 
 
 def measure_configs(

@@ -2,40 +2,69 @@
 
 Everything above the measurement layer — dataset assembly, the harness,
 serving, the CLI — talks to a :class:`~repro.measure.backend.MeasurementBackend`
-instead of a concrete simulator.  Three implementations ship:
+instead of a concrete simulator.  Implementations:
 
 * :class:`~repro.measure.simulator.SimulatorBackend` — the vectorized
   :class:`~repro.gpusim.executor.GPUSimulator` (one numpy pass per sweep);
+* :class:`~repro.measure.parallel.ParallelBackend` — fans a kernel list
+  across a ``multiprocessing`` pool of inner backends, bit-identical to
+  the serial path (the campaign engine's workhorse);
 * :class:`~repro.measure.nvml_backend.NvmlBackend` — drives the
   :mod:`repro.nvml` facade call-for-call like the paper's real-hardware
   protocol (set clocks → launch → read power);
 * :class:`~repro.measure.replay.ReplayBackend` — serves recorded sweeps
-  from versioned JSON traces for deterministic CI and offline experiments,
-  with :class:`~repro.measure.replay.RecordingBackend` producing the traces.
+  from versioned traces (out-of-core for JSONL streams), with
+  :class:`~repro.measure.replay.RecordingBackend` producing the traces
+  (incrementally, when given a ``stream``).
+
+Trace persistence is :mod:`repro.measure.trace` (append-only JSONL v2,
+v1-JSON read compatibility) and :mod:`repro.measure.trace_registry` keys
+recorded traces the way :class:`repro.serve.registry.ModelRegistry` keys
+model bundles (device × suite × noise-settings hash).
 """
 
 from .backend import BackendCapabilities, MeasurementBackend, as_backend
 from .nvml_backend import NvmlBackend
-from .replay import (
-    RecordingBackend,
-    ReplayBackend,
+from .parallel import ParallelBackend, simulator_factory
+from .replay import RecordingBackend, ReplayBackend
+from .simulator import SimulatorBackend
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TRACE_VERSION_V1,
+    KernelTrace,
     ReplayError,
     SweepTrace,
+    TraceWriter,
+    iter_trace,
     load_trace,
+    read_trace_header,
     save_trace,
 )
-from .simulator import SimulatorBackend
+from .trace_registry import TraceKey, TraceRegistry, noise_settings_hash
 
 __all__ = [
     "BackendCapabilities",
+    "KernelTrace",
     "MeasurementBackend",
     "NvmlBackend",
+    "ParallelBackend",
     "RecordingBackend",
     "ReplayBackend",
     "ReplayError",
     "SimulatorBackend",
     "SweepTrace",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TRACE_VERSION_V1",
+    "TraceKey",
+    "TraceRegistry",
+    "TraceWriter",
     "as_backend",
+    "iter_trace",
     "load_trace",
+    "noise_settings_hash",
+    "read_trace_header",
     "save_trace",
+    "simulator_factory",
 ]

@@ -1,36 +1,27 @@
-"""Record/replay measurement: versioned JSON traces of sweeps.
+"""Record/replay measurement backends over versioned trace files.
 
 Recording a sweep once and replaying it later gives deterministic CI runs,
 offline experiments without a simulator (or hardware), and a shareable
-measurement-dataset format.  The trace stores exactly the externally
-observable measurements — per-configuration time/power/energy plus the
-baseline run — as JSON numbers, whose ``repr``-based serialization
-round-trips float64 bit-for-bit.  Replaying therefore reproduces the same
-:class:`~repro.core.dataset.TrainingDataset` matrices *exactly*.
+measurement-dataset format.  The trace format itself (JSONL streams, v1
+JSON read compatibility) lives in :mod:`repro.measure.trace`; this module
+provides the two backends:
 
-Format (``repro.measurement-trace``, version 1)::
-
-    {
-      "format": "repro.measurement-trace",
-      "version": 1,
-      "device": "<full device name>",
-      "kernels": {
-        "<kernel name>": {
-          "baseline": {"core_mhz": .., "mem_mhz": .., "time_ms": ..,
-                        "power_w": .., "energy_j": ..},
-          "configs":  [[core_mhz, mem_mhz], ...],
-          "time_ms":  [...], "power_w": [...], "energy_j": [...]
-        }, ...
-      }
-    }
+* :class:`ReplayBackend` — serves recorded sweeps.  Given a *path* to a
+  JSONL trace it works **out-of-core**: one scan builds a byte-offset
+  index per kernel, and each requested kernel's records are parsed on
+  demand (and cached in a small LRU), so a long campaign trace is never
+  fully materialized.
+* :class:`RecordingBackend` — wraps any backend and captures everything it
+  measures.  With ``stream=`` it appends each sweep to a
+  :class:`~repro.measure.trace.TraceWriter` the moment it completes, so a
+  crash mid-campaign loses at most the sweep in flight.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
-from dataclasses import dataclass, field
-from typing import Sequence
+from collections import OrderedDict
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -39,128 +30,69 @@ from ..gpusim.device import DEVICE_REGISTRY, DeviceSpec
 from ..gpusim.executor import ExecutionRecord
 from ..workloads import KernelSpec
 from .backend import BackendCapabilities, MeasurementBackend
+from .trace import (  # noqa: F401  (trace symbols re-exported for compat)
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    KernelTrace,
+    ReplayError,
+    SweepTrace,
+    TraceWriter,
+    load_trace,
+    read_kernel_at,
+    save_trace,
+    scan_trace_offsets,
+)
 
-TRACE_FORMAT = "repro.measurement-trace"
-TRACE_VERSION = 1
-
-
-class ReplayError(RuntimeError):
-    """Raised when a trace cannot serve a replay request."""
-
-
-@dataclass
-class KernelTrace:
-    """Recorded sweep of one kernel: baseline + per-configuration columns."""
-
-    baseline_core_mhz: float
-    baseline_mem_mhz: float
-    baseline_time_ms: float
-    baseline_power_w: float
-    baseline_energy_j: float
-    configs: list[tuple[float, float]] = field(default_factory=list)
-    time_ms: list[float] = field(default_factory=list)
-    power_w: list[float] = field(default_factory=list)
-    energy_j: list[float] = field(default_factory=list)
-
-    def to_state(self) -> dict:
-        return {
-            "baseline": {
-                "core_mhz": self.baseline_core_mhz,
-                "mem_mhz": self.baseline_mem_mhz,
-                "time_ms": self.baseline_time_ms,
-                "power_w": self.baseline_power_w,
-                "energy_j": self.baseline_energy_j,
-            },
-            "configs": [list(c) for c in self.configs],
-            "time_ms": self.time_ms,
-            "power_w": self.power_w,
-            "energy_j": self.energy_j,
-        }
-
-    @classmethod
-    def from_state(cls, state: dict) -> "KernelTrace":
-        base = state["baseline"]
-        return cls(
-            baseline_core_mhz=float(base["core_mhz"]),
-            baseline_mem_mhz=float(base["mem_mhz"]),
-            baseline_time_ms=float(base["time_ms"]),
-            baseline_power_w=float(base["power_w"]),
-            baseline_energy_j=float(base["energy_j"]),
-            configs=[(float(c), float(m)) for c, m in state["configs"]],
-            time_ms=[float(v) for v in state["time_ms"]],
-            power_w=[float(v) for v in state["power_w"]],
-            energy_j=[float(v) for v in state["energy_j"]],
-        )
-
-    def record(self, config: tuple[float, float], time_ms: float, power_w: float, energy_j: float) -> None:
-        """Add or overwrite one configuration's measurements."""
-        try:
-            i = self.configs.index(config)
-        except ValueError:
-            self.configs.append(config)
-            self.time_ms.append(time_ms)
-            self.power_w.append(power_w)
-            self.energy_j.append(energy_j)
-        else:
-            self.time_ms[i] = time_ms
-            self.power_w[i] = power_w
-            self.energy_j[i] = energy_j
+#: How many materialized kernels an out-of-core replay keeps in memory.
+DEFAULT_REPLAY_CACHE_KERNELS = 64
 
 
-@dataclass
-class SweepTrace:
-    """A versioned bundle of recorded kernel sweeps for one device."""
+class _StreamedTrace:
+    """Lazy, index-backed view of a JSONL trace file.
 
-    device: str
-    kernels: dict[str, KernelTrace] = field(default_factory=dict)
+    Holds ``{kernel: [byte offsets]}`` from one scan; kernels materialize
+    on first request (merging repeated records in file order) into a
+    bounded LRU, so memory stays O(index + cached kernels) regardless of
+    trace size.  v1 (whole-file JSON) traces cannot be indexed and are
+    materialized eagerly instead — see :class:`ReplayBackend`.
+    """
 
-    def to_state(self) -> dict:
-        return {
-            "format": TRACE_FORMAT,
-            "version": TRACE_VERSION,
-            "device": self.device,
-            "kernels": {name: k.to_state() for name, k in self.kernels.items()},
-        }
+    def __init__(self, path: pathlib.Path, cache_kernels: int) -> None:
+        if cache_kernels < 1:
+            raise ValueError("cache_kernels must be >= 1")
+        self.path = path
+        header, self._offsets = scan_trace_offsets(path)
+        self.device = str(header["device"])
+        self.meta = dict(header.get("meta") or {})
+        self._cache_kernels = cache_kernels
+        self._cache: OrderedDict[str, KernelTrace] = OrderedDict()
 
-    @classmethod
-    def from_state(cls, state: dict) -> "SweepTrace":
-        if state.get("format") != TRACE_FORMAT:
-            raise ReplayError(
-                f"not a measurement trace (format: {state.get('format')!r})"
-            )
-        version = state.get("version")
-        if version != TRACE_VERSION:
-            raise ReplayError(
-                f"unsupported trace version {version!r} "
-                f"(this build reads version {TRACE_VERSION})"
-            )
-        try:
-            return cls(
-                device=str(state["device"]),
-                kernels={
-                    name: KernelTrace.from_state(k)
-                    for name, k in state.get("kernels", {}).items()
-                },
-            )
-        except KeyError as exc:
-            raise ReplayError(f"trace is missing required key {exc.args[0]!r}") from None
+    def kernel_names(self) -> list[str]:
+        return sorted(self._offsets)
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._offsets
 
-def save_trace(path, trace: SweepTrace) -> pathlib.Path:
-    """Write a trace as JSON; float64 values round-trip bit-for-bit."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(trace.to_state(), indent=1))
-    return path
-
-
-def load_trace(path) -> SweepTrace:
-    path = pathlib.Path(path)
-    try:
-        state = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ReplayError(f"trace {path} is not valid JSON: {exc}") from None
-    return SweepTrace.from_state(state)
+    def kernel(self, name: str) -> KernelTrace | None:
+        cached = self._cache.get(name)
+        if cached is not None:
+            self._cache.move_to_end(name)
+            return cached
+        offsets = self._offsets.get(name)
+        if offsets is None:
+            return None
+        merged: KernelTrace | None = None
+        for offset in offsets:
+            record = read_kernel_at(self.path, offset)
+            if merged is None:
+                merged = record
+            else:
+                merged.merge(record)
+        assert merged is not None
+        self._cache[name] = merged
+        if len(self._cache) > self._cache_kernels:
+            self._cache.popitem(last=False)
+        return merged
 
 
 class ReplayBackend:
@@ -170,27 +102,41 @@ class ReplayBackend:
         self,
         trace: SweepTrace | str | pathlib.Path,
         device: DeviceSpec | None = None,
+        cache_kernels: int = DEFAULT_REPLAY_CACHE_KERNELS,
     ) -> None:
-        if not isinstance(trace, SweepTrace):
-            trace = load_trace(trace)
-        self.trace = trace
+        self._stream: _StreamedTrace | None = None
+        self.trace: SweepTrace | None = None
+        if isinstance(trace, SweepTrace):
+            self.trace = trace
+            trace_device = trace.device
+        else:
+            path = pathlib.Path(trace).expanduser()
+            try:
+                self._stream = _StreamedTrace(path, cache_kernels)
+                trace_device = self._stream.device
+            except ReplayError:
+                # Not a JSONL stream — a v1 JSON trace; materialize it.
+                self.trace = load_trace(path)
+                trace_device = self.trace.device
+
         if device is None:
-            device = DEVICE_REGISTRY.get(trace.device)
+            device = DEVICE_REGISTRY.get(trace_device)
             if device is None:
                 known = ", ".join(sorted(DEVICE_REGISTRY))
                 raise ReplayError(
-                    f"trace names unknown device {trace.device!r} "
+                    f"trace names unknown device {trace_device!r} "
                     f"(known: {known}); pass device= explicitly"
                 )
-        elif trace.device in DEVICE_REGISTRY and trace.device != device.name:
+        elif trace_device in DEVICE_REGISTRY and trace_device != device.name:
             # An explicit device only overrides traces whose device the
             # registry does not know; silently re-labelling a known
             # device's measurements would poison every consumer.
             raise ReplayError(
-                f"trace was recorded on {trace.device!r}, "
+                f"trace was recorded on {trace_device!r}, "
                 f"not {device.name!r}"
             )
         self._device = device
+        self._trace_device = trace_device
 
     @property
     def device(self) -> DeviceSpec:
@@ -199,7 +145,7 @@ class ReplayBackend:
     @property
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
-            device=self.trace.device,
+            device=self._trace_device,
             kind="replay",
             vectorized=True,
             deterministic=True,
@@ -207,12 +153,21 @@ class ReplayBackend:
         )
 
     def kernels(self) -> list[str]:
+        if self._stream is not None:
+            return self._stream.kernel_names()
+        assert self.trace is not None
         return sorted(self.trace.kernels)
+
+    def _kernel(self, name: str) -> KernelTrace | None:
+        if self._stream is not None:
+            return self._stream.kernel(name)
+        assert self.trace is not None
+        return self.trace.kernels.get(name)
 
     def measure(
         self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
     ) -> KernelMeasurements:
-        kernel = self.trace.kernels.get(spec.name)
+        kernel = self._kernel(spec.name)
         if kernel is None:
             raise ReplayError(
                 f"kernel {spec.name!r} is not in the trace "
@@ -253,14 +208,41 @@ class ReplayBackend:
 class RecordingBackend:
     """Wraps another backend and captures everything it measures.
 
-    Pass it anywhere a backend goes, run the workload, then
-    :meth:`save` the accumulated trace for later
-    :class:`ReplayBackend` runs.
+    Pass it anywhere a backend goes, run the workload, then :meth:`save`
+    the accumulated trace for later :class:`ReplayBackend` runs — or give
+    it a ``stream`` (path or open :class:`TraceWriter`) and every sweep is
+    appended to the JSONL file the moment it is measured, so long
+    campaigns persist incrementally instead of on a final save.
+
+    When streaming, the in-memory :attr:`trace` is **not** accumulated
+    (``keep_in_memory=True`` restores it): a campaign's recorder stays
+    O(1) in memory no matter how many kernels it sweeps, and the merged
+    view is whatever the stream file says.  :meth:`save` is therefore
+    only available when an in-memory trace exists.
     """
 
-    def __init__(self, inner: MeasurementBackend) -> None:
+    def __init__(
+        self,
+        inner: MeasurementBackend,
+        stream: TraceWriter | str | pathlib.Path | None = None,
+        keep_in_memory: bool | None = None,
+    ) -> None:
         self.inner = inner
         self.trace = SweepTrace(device=inner.device.name)
+        self._keep = keep_in_memory if keep_in_memory is not None else stream is None
+        self._writer: TraceWriter | None = None
+        self._owns_writer = False
+        if stream is not None:
+            if isinstance(stream, TraceWriter):
+                if stream.device != inner.device.name:
+                    raise ReplayError(
+                        f"stream writer records {stream.device!r} but the "
+                        f"backend measures {inner.device.name!r}"
+                    )
+                self._writer = stream
+            else:
+                self._writer = TraceWriter(stream, device=inner.device.name)
+                self._owns_writer = True
 
     @property
     def device(self) -> DeviceSpec:
@@ -270,29 +252,84 @@ class RecordingBackend:
     def capabilities(self) -> BackendCapabilities:
         return self.inner.capabilities
 
+    @property
+    def stream_path(self) -> pathlib.Path | None:
+        return self._writer.path if self._writer is not None else None
+
+    def _record(self, result: KernelMeasurements) -> None:
+        if self._keep:
+            spec_name = result.spec.name
+            baseline = result.baseline
+            kernel = self.trace.kernels.get(spec_name)
+            if kernel is None:
+                kernel = KernelTrace(
+                    baseline_core_mhz=baseline.requested_core_mhz,
+                    baseline_mem_mhz=baseline.mem_mhz,
+                    baseline_time_ms=baseline.time_ms,
+                    baseline_power_w=baseline.power_w,
+                    baseline_energy_j=baseline.energy_j,
+                )
+                self.trace.kernels[spec_name] = kernel
+            for i, config in enumerate(result.configs):
+                kernel.record(
+                    config,
+                    float(result.time_ms[i]),
+                    float(result.power_w[i]),
+                    float(result.energy_j[i]),
+                )
+        if self._writer is not None:
+            self._writer.write_measurements(result)
+
     def measure(
         self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
     ) -> KernelMeasurements:
         result = self.inner.measure(spec, configs)
-        baseline = result.baseline
-        kernel = self.trace.kernels.get(spec.name)
-        if kernel is None:
-            kernel = KernelTrace(
-                baseline_core_mhz=baseline.requested_core_mhz,
-                baseline_mem_mhz=baseline.mem_mhz,
-                baseline_time_ms=baseline.time_ms,
-                baseline_power_w=baseline.power_w,
-                baseline_energy_j=baseline.energy_j,
-            )
-            self.trace.kernels[spec.name] = kernel
-        for i, config in enumerate(result.configs):
-            kernel.record(
-                config,
-                float(result.time_ms[i]),
-                float(result.power_w[i]),
-                float(result.energy_j[i]),
-            )
+        self._record(result)
         return result
 
-    def save(self, path) -> pathlib.Path:
-        return save_trace(path, self.trace)
+    def imap_measure(
+        self,
+        specs: Iterable[KernelSpec],
+        configs: Sequence[tuple[float, float]],
+        with_features: bool = False,
+    ) -> Iterator[tuple[KernelMeasurements, object]]:
+        """Stream the inner backend's fan-out, recording each sweep.
+
+        Present so a :class:`~repro.measure.parallel.ParallelBackend` keeps
+        its parallel fan-out when wrapped for recording; serial inner
+        backends fall back to per-spec :meth:`measure` calls.
+        """
+        inner_imap = getattr(self.inner, "imap_measure", None)
+        if inner_imap is not None:
+            for measurements, static in inner_imap(
+                specs, configs, with_features=with_features
+            ):
+                self._record(measurements)
+                yield measurements, static
+            return
+        for spec in specs:
+            measurements = self.measure(spec, configs)
+            static = spec.static_features() if with_features else None
+            yield measurements, static
+
+    def close(self) -> None:
+        """Close an owned stream writer (pass-through writers stay open)."""
+        if self._writer is not None and self._owns_writer:
+            self._writer.close()
+
+    def __enter__(self) -> "RecordingBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def save(self, path, version: int = TRACE_VERSION) -> pathlib.Path:
+        """Write the accumulated (merged) trace — JSONL by default."""
+        if not self._keep:
+            where = self.stream_path
+            raise ReplayError(
+                "nothing to save: sweeps streamed incrementally to "
+                f"{where} and were not kept in memory "
+                "(pass keep_in_memory=True to keep both)"
+            )
+        return save_trace(path, self.trace, version=version)

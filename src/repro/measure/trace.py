@@ -1,0 +1,480 @@
+"""Measurement-trace format: append-only JSONL streams (v2), JSON (v1) read.
+
+A trace stores exactly the externally observable measurements of a sweep —
+per-configuration time/power/energy plus the baseline run — as JSON
+numbers, whose ``repr``-based serialization round-trips float64
+bit-for-bit.  Replaying a trace therefore reproduces the same
+:class:`~repro.core.dataset.TrainingDataset` matrices *exactly*.
+
+Version 2 (current) is a JSON-Lines stream, built for measurement
+*campaigns*: a header line followed by one self-contained record per
+recorded sweep::
+
+    {"format": "repro.measurement-trace", "version": 2,
+     "device": "<full device name>", "meta": {...}}
+    {"kernel": "<name>", "baseline": {...}, "configs": [[c, m], ...],
+     "time_ms": [...], "power_w": [...], "energy_j": [...]}
+    ...
+
+Records are **append-only**: :class:`TraceWriter` flushes each sweep as it
+completes (a crash loses at most the record being written), repeated
+records for one kernel merge in order on read, and readers can stream the
+file record-by-record (:func:`iter_trace`) instead of materializing the
+whole trace — which is what lets
+:class:`~repro.measure.replay.ReplayBackend` serve long campaign traces
+out-of-core.
+
+Version 1 (the original single-JSON-object format, ``kernels`` keyed by
+name) is still read transparently by every entry point here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING, Iterator
+
+TRACE_FORMAT = "repro.measurement-trace"
+#: Current (JSONL) trace version.
+TRACE_VERSION = 2
+#: The original whole-file-JSON version, still readable.
+TRACE_VERSION_V1 = 1
+
+if TYPE_CHECKING:
+    from ..core.dataset import KernelMeasurements
+
+
+class ReplayError(RuntimeError):
+    """Raised when a trace cannot be read or cannot serve a replay request."""
+
+
+@dataclass
+class KernelTrace:
+    """Recorded sweep of one kernel: baseline + per-configuration columns."""
+
+    baseline_core_mhz: float
+    baseline_mem_mhz: float
+    baseline_time_ms: float
+    baseline_power_w: float
+    baseline_energy_j: float
+    configs: list[tuple[float, float]] = field(default_factory=list)
+    time_ms: list[float] = field(default_factory=list)
+    power_w: list[float] = field(default_factory=list)
+    energy_j: list[float] = field(default_factory=list)
+
+    def to_state(self) -> dict:
+        return {
+            "baseline": {
+                "core_mhz": self.baseline_core_mhz,
+                "mem_mhz": self.baseline_mem_mhz,
+                "time_ms": self.baseline_time_ms,
+                "power_w": self.baseline_power_w,
+                "energy_j": self.baseline_energy_j,
+            },
+            "configs": [list(c) for c in self.configs],
+            "time_ms": self.time_ms,
+            "power_w": self.power_w,
+            "energy_j": self.energy_j,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KernelTrace":
+        base = state["baseline"]
+        return cls(
+            baseline_core_mhz=float(base["core_mhz"]),
+            baseline_mem_mhz=float(base["mem_mhz"]),
+            baseline_time_ms=float(base["time_ms"]),
+            baseline_power_w=float(base["power_w"]),
+            baseline_energy_j=float(base["energy_j"]),
+            configs=[(float(c), float(m)) for c, m in state["configs"]],
+            time_ms=[float(v) for v in state["time_ms"]],
+            power_w=[float(v) for v in state["power_w"]],
+            energy_j=[float(v) for v in state["energy_j"]],
+        )
+
+    @classmethod
+    def from_measurements(cls, measurements: "KernelMeasurements") -> "KernelTrace":
+        """Snapshot one backend sweep (baseline + columns) as a record."""
+        baseline = measurements.baseline
+        return cls(
+            baseline_core_mhz=baseline.requested_core_mhz,
+            baseline_mem_mhz=baseline.mem_mhz,
+            baseline_time_ms=baseline.time_ms,
+            baseline_power_w=baseline.power_w,
+            baseline_energy_j=baseline.energy_j,
+            configs=list(measurements.configs),
+            time_ms=measurements.time_ms.tolist(),
+            power_w=measurements.power_w.tolist(),
+            energy_j=measurements.energy_j.tolist(),
+        )
+
+    def record(self, config: tuple[float, float], time_ms: float, power_w: float, energy_j: float) -> None:
+        """Add or overwrite one configuration's measurements."""
+        try:
+            i = self.configs.index(config)
+        except ValueError:
+            self.configs.append(config)
+            self.time_ms.append(time_ms)
+            self.power_w.append(power_w)
+            self.energy_j.append(energy_j)
+        else:
+            self.time_ms[i] = time_ms
+            self.power_w[i] = power_w
+            self.energy_j[i] = energy_j
+
+    def merge(self, other: "KernelTrace") -> None:
+        """Fold a later record for the same kernel into this one, in order."""
+        for i, config in enumerate(other.configs):
+            self.record(config, other.time_ms[i], other.power_w[i], other.energy_j[i])
+
+
+@dataclass
+class SweepTrace:
+    """A bundle of recorded kernel sweeps for one device (materialized)."""
+
+    device: str
+    kernels: dict[str, KernelTrace] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def to_state(self) -> dict:
+        """The v1 (whole-file JSON) representation."""
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION_V1,
+            "device": self.device,
+            "kernels": {name: k.to_state() for name, k in self.kernels.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SweepTrace":
+        if state.get("format") != TRACE_FORMAT:
+            raise ReplayError(
+                f"not a measurement trace (format: {state.get('format')!r})"
+            )
+        version = state.get("version")
+        if version != TRACE_VERSION_V1:
+            raise ReplayError(
+                f"unsupported trace version {version!r} for a single-JSON "
+                f"trace (this build reads version {TRACE_VERSION_V1}, or "
+                f"version {TRACE_VERSION} JSONL streams)"
+            )
+        try:
+            return cls(
+                device=str(state["device"]),
+                kernels={
+                    name: KernelTrace.from_state(k)
+                    for name, k in state.get("kernels", {}).items()
+                },
+            )
+        except KeyError as exc:
+            raise ReplayError(f"trace is missing required key {exc.args[0]!r}") from None
+
+
+# -- JSONL stream I/O ---------------------------------------------------------
+
+
+def _header_state(device: str, meta: dict | None = None) -> dict:
+    return {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "device": device,
+        "meta": dict(meta or {}),
+    }
+
+
+def _parse_header(line: str, path: pathlib.Path) -> dict:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReplayError(f"trace {path} has a corrupt header line: {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ReplayError(
+            f"not a measurement trace (format: "
+            f"{header.get('format') if isinstance(header, dict) else None!r})"
+        )
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise ReplayError(
+            f"unsupported trace stream version {version!r} "
+            f"(this build reads version {TRACE_VERSION})"
+        )
+    if "device" not in header:
+        raise ReplayError(f"trace {path} header names no device")
+    return header
+
+
+class TraceWriter:
+    """Append-only JSONL trace writer; each record is flushed as written.
+
+    Use as a context manager.  ``append=True`` re-opens an existing stream
+    and keeps extending it (the header must name the same device); the
+    default truncates and writes a fresh header.
+
+    ``atomic=True`` streams into a ``.partial`` sibling and renames it
+    over ``path`` only on a *clean* close — for rewriting a file that may
+    already hold a good artifact (the trace registry's mode): a crash or
+    error mid-campaign leaves the previous trace untouched and the
+    partial stream behind for forensics.  The default writes ``path``
+    directly, so records are externally visible the moment they flush.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        device: str,
+        meta: dict | None = None,
+        append: bool = False,
+        atomic: bool = False,
+    ) -> None:
+        self.path = pathlib.Path(path).expanduser()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.device = device
+        self.n_records = 0
+        self._handle: IO[str] | None = None
+        self._partial: pathlib.Path | None = None
+        if append and atomic:
+            raise ReplayError("append=True and atomic=True cannot be combined")
+        if append and self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("r") as handle:
+                header = _parse_header(handle.readline(), self.path)
+            if header["device"] != device:
+                raise ReplayError(
+                    f"cannot append sweeps of {device!r} to a trace "
+                    f"recorded on {header['device']!r}"
+                )
+            self._handle = self.path.open("a")
+        else:
+            if atomic:
+                self._partial = self.path.with_name(self.path.name + ".partial")
+                self._handle = self._partial.open("w")
+            else:
+                self._handle = self.path.open("w")
+            self._write_line(_header_state(device, meta))
+
+    def _write_line(self, state: dict) -> None:
+        if self._handle is None:
+            raise ReplayError(f"trace writer for {self.path} is closed")
+        self._handle.write(json.dumps(state, indent=None, separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def write_kernel(self, name: str, kernel: KernelTrace) -> None:
+        """Append one kernel-sweep record and flush it to disk."""
+        self._write_line({"kernel": name, **kernel.to_state()})
+        self.n_records += 1
+
+    def write_measurements(self, measurements: "KernelMeasurements") -> None:
+        """Append a backend's :class:`KernelMeasurements` as one record."""
+        self.write_kernel(
+            measurements.spec.name, KernelTrace.from_measurements(measurements)
+        )
+
+    def close(self, success: bool = True) -> None:
+        """Close the stream; atomic writers publish only on success."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            if self._partial is not None and success:
+                os.replace(self._partial, self.path)
+                self._partial = None
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.close(success=exc_type is None)
+
+
+def _is_jsonl_trace(first_line: str) -> bool:
+    """True when the first line alone is a stream header (any version).
+
+    A whole-file v1 trace serialized onto one line also parses here, but
+    carries its ``kernels`` map inline — a stream header never does.
+    Accepting *any* stream version at the detection stage is deliberate:
+    a future-version stream must reach :func:`_parse_header` and fail
+    with "unsupported trace stream version", not fall through to the v1
+    whole-file parser and die with a misleading JSON error.
+    """
+    try:
+        header = json.loads(first_line)
+    except json.JSONDecodeError:
+        return False
+    return (
+        isinstance(header, dict)
+        and header.get("format") == TRACE_FORMAT
+        and "kernels" not in header
+        and header.get("version") != TRACE_VERSION_V1
+    )
+
+
+def read_trace_header(path: str | pathlib.Path) -> dict:
+    """The header of a trace file: ``{format, version, device, meta}``.
+
+    Works for both stream (v2) and whole-file (v1) traces; v1 headers have
+    an empty ``meta``.
+    """
+    p = pathlib.Path(path).expanduser()
+    with p.open("r") as handle:
+        first = handle.readline()
+    if _is_jsonl_trace(first):
+        return _parse_header(first, p)
+    state = _load_v1_state(p)
+    trace = SweepTrace.from_state(state)
+    return {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION_V1,
+        "device": trace.device,
+        "meta": {},
+    }
+
+
+def _load_v1_state(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReplayError(f"trace {path} is not valid JSON: {exc}") from None
+
+
+def iter_trace(path: str | pathlib.Path) -> Iterator[tuple[str, KernelTrace]]:
+    """Stream ``(kernel name, record)`` pairs from a trace file.
+
+    v2 streams are read line-by-line (one record in memory at a time); a
+    kernel recorded more than once yields once per record — merge with
+    :meth:`KernelTrace.merge` if a consolidated view is needed (that is
+    what :func:`load_trace` does).  v1 files yield their kernels in file
+    order.
+    """
+    p = pathlib.Path(path).expanduser()
+    with p.open("r") as handle:
+        first = handle.readline()
+        if not _is_jsonl_trace(first):
+            trace = SweepTrace.from_state(_load_v1_state(p))
+            yield from trace.kernels.items()
+            return
+        _parse_header(first, p)
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                state = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReplayError(
+                    f"trace {p} line {lineno} is corrupt: {exc}"
+                ) from None
+            try:
+                name = state["kernel"]
+                yield str(name), KernelTrace.from_state(state)
+            except KeyError as exc:
+                raise ReplayError(
+                    f"trace {p} line {lineno} is missing key {exc.args[0]!r}"
+                ) from None
+
+
+#: Fast path for the offset scan: records written by :class:`TraceWriter`
+#: lead with the kernel name, so it can be sliced out without parsing the
+#: measurement arrays.  Any record that does not match (different key
+#: order, exotic escapes) falls back to a full parse.
+_RECORD_NAME_PREFIX = re.compile(r'^\{"kernel":"((?:[^"\\]|\\.)*)"')
+
+
+def _record_kernel_name(line: str) -> str:
+    match = _RECORD_NAME_PREFIX.match(line)
+    if match is not None:
+        return json.loads(f'"{match.group(1)}"')
+    return str(json.loads(line)["kernel"])
+
+
+def scan_trace_offsets(path: str | pathlib.Path) -> tuple[dict, dict[str, list[int]]]:
+    """One pass over a v2 stream: header + per-kernel byte offsets.
+
+    The index is what makes out-of-core replay possible: it holds only
+    ``{kernel name: [record offsets]}`` (bytes into the file), never the
+    measurement columns themselves — and the scan reads just each
+    record's leading kernel name, not its arrays, so indexing costs
+    O(names), unlike materializing.  Raises for v1 files — callers fall
+    back to materializing those.
+    """
+    p = pathlib.Path(path).expanduser()
+    offsets: dict[str, list[int]] = {}
+    with p.open("rb") as handle:
+        first = handle.readline()
+        if not _is_jsonl_trace(first.decode("utf-8", errors="replace")):
+            raise ReplayError(f"trace {p} is not a v{TRACE_VERSION} JSONL stream")
+        header = _parse_header(first.decode("utf-8"), p)
+        position = handle.tell()
+        for raw in iter(handle.readline, b""):
+            line = raw.decode("utf-8")
+            if line.strip():
+                try:
+                    name = _record_kernel_name(line)
+                except (json.JSONDecodeError, KeyError) as exc:
+                    raise ReplayError(
+                        f"trace {p} record at byte {position} is corrupt: {exc}"
+                    ) from None
+                offsets.setdefault(name, []).append(position)
+            position = handle.tell()
+    return header, offsets
+
+
+def read_kernel_at(path: str | pathlib.Path, offset: int) -> KernelTrace:
+    """Parse the single record starting at ``offset`` (from the scan index)."""
+    with pathlib.Path(path).expanduser().open("r") as handle:
+        handle.seek(offset)
+        line = handle.readline()
+    try:
+        return KernelTrace.from_state(json.loads(line))
+    except (json.JSONDecodeError, KeyError) as exc:
+        raise ReplayError(
+            f"trace {path} record at byte {offset} is corrupt: {exc}"
+        ) from None
+
+
+# -- whole-trace I/O ----------------------------------------------------------
+
+
+def save_trace(
+    path: str | pathlib.Path,
+    trace: SweepTrace,
+    version: int = TRACE_VERSION,
+) -> pathlib.Path:
+    """Write a materialized trace; float64 values round-trip bit-for-bit.
+
+    ``version=2`` (default) writes the JSONL stream; ``version=1`` writes
+    the legacy whole-file JSON for interchange with older readers.
+    """
+    path = pathlib.Path(path).expanduser()
+    if version == TRACE_VERSION:
+        with TraceWriter(path, device=trace.device, meta=trace.meta) as writer:
+            for name, kernel in trace.kernels.items():
+                writer.write_kernel(name, kernel)
+        return path
+    if version == TRACE_VERSION_V1:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(trace.to_state(), indent=1))
+        return path
+    raise ReplayError(f"cannot write trace version {version!r}")
+
+
+def load_trace(path: str | pathlib.Path) -> SweepTrace:
+    """Materialize a whole trace (v1 or v2), merging repeated records."""
+    p = pathlib.Path(path).expanduser()
+    with p.open("r") as handle:
+        first = handle.readline()
+    if not _is_jsonl_trace(first):
+        return SweepTrace.from_state(_load_v1_state(p))
+    header = _parse_header(first, p)
+    trace = SweepTrace(device=str(header["device"]), meta=dict(header.get("meta") or {}))
+    for name, kernel in iter_trace(p):
+        existing = trace.kernels.get(name)
+        if existing is None:
+            trace.kernels[name] = kernel
+        else:
+            existing.merge(kernel)
+    return trace

@@ -1,0 +1,208 @@
+"""Trace-first dataset registry: recorded sweeps as keyed artifacts.
+
+Mirrors :class:`repro.serve.registry.ModelRegistry`, but for measurement
+traces: a :class:`TraceKey` identifies one recorded campaign by **device**
+(alias-stable slug), **suite** (which kernel set was swept) and the
+**noise-settings hash** (so traces taken under different measurement-noise
+configurations can never be confused), and :class:`TraceRegistry` maps
+keys to JSONL trace files under a root directory through the generic
+:class:`repro.store.ArtifactStore` tiers.
+
+The user-facing spelling of a key is ``device/suite[/noise-hash]`` —
+``train --backend replay --trace-key titan-x/default`` resolves a trace
+without anyone remembering paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..gpusim.device import DeviceSpec, device_slug, resolve_device
+from ..gpusim.noise import NoiseConfig
+from ..store import ArtifactStore, StoreMiss, StoreStats
+from .trace import KernelTrace, ReplayError, SweepTrace, TraceWriter, iter_trace, load_trace, save_trace
+
+if TYPE_CHECKING:
+    from .replay import ReplayBackend
+
+
+def noise_settings_hash(noise: NoiseConfig | None = None) -> str:
+    """Short stable fingerprint of a noise configuration.
+
+    Hashes the dataclass ``repr`` — every field, current and future, is
+    automatically part of the key, so two different noise setups can never
+    share a trace slot.
+    """
+    config = noise if noise is not None else NoiseConfig()
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:10]
+
+
+#: Hash of the default noise configuration (what `device/suite` implies).
+DEFAULT_NOISE_HASH = noise_settings_hash()
+
+#: Suite name used when a campaign sweeps the micro-benchmark corpus.
+DEFAULT_SUITE = "default"
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Identity of one recorded campaign: (device, suite, noise hash)."""
+
+    device: str = "NVIDIA GTX Titan X"
+    suite: str = DEFAULT_SUITE
+    noise: str = DEFAULT_NOISE_HASH
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe identifier, stable across device spellings."""
+        suite = self.suite.strip().lower().replace("/", "-") or DEFAULT_SUITE
+        return f"{device_slug(self.device)}__{suite}__{self.noise}"
+
+    def device_spec(self) -> DeviceSpec:
+        return resolve_device(self.device)
+
+    def as_meta(self) -> dict:
+        return {
+            "device": self.device_spec().name,
+            "suite": self.suite,
+            "noise": self.noise,
+        }
+
+    def display(self) -> str:
+        """The user-facing ``device/suite/noise`` spelling."""
+        return f"{device_slug(self.device)}/{self.suite}/{self.noise}"
+
+    @classmethod
+    def parse(cls, text: str) -> "TraceKey":
+        """Parse ``device/suite[/noise-hash]`` (suite defaults to 'default').
+
+        The device part accepts any registered alias; omitting the noise
+        part means "recorded under the default noise configuration".
+        """
+        parts = [p for p in text.strip().split("/") if p]
+        if not 1 <= len(parts) <= 3:
+            raise ReplayError(
+                f"bad trace key {text!r}; expected device/suite[/noise-hash]"
+            )
+        device = parts[0]
+        suite = parts[1] if len(parts) > 1 else DEFAULT_SUITE
+        noise = parts[2] if len(parts) > 2 else DEFAULT_NOISE_HASH
+        try:
+            resolve_device(device)
+        except KeyError as exc:
+            raise ReplayError(exc.args[0]) from None
+        return cls(device=device, suite=suite, noise=noise)
+
+
+def _write_trace(path: pathlib.Path, trace: SweepTrace, meta: dict) -> pathlib.Path:
+    merged_meta = {**meta, **trace.meta}
+    return save_trace(
+        path,
+        SweepTrace(device=trace.device, kernels=trace.kernels, meta=merged_meta),
+    )
+
+
+@dataclass
+class TraceRegistry:
+    """Keyed store of recorded measurement traces (JSONL files on disk).
+
+    ``get`` materializes a whole trace through the store's memory/disk
+    tiers; for out-of-core access use :meth:`open_backend`, which serves a
+    :class:`~repro.measure.replay.ReplayBackend` straight off the file,
+    and :meth:`writer` streams a campaign's sweeps into the registry
+    (atomically: the key resolves to the new trace on clean close, and to
+    the previous one — if any — until then).
+    """
+
+    root: pathlib.Path
+    memory_capacity: int | None = 4
+    store: ArtifactStore = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.store = ArtifactStore(
+            self.root,
+            write=_write_trace,
+            read=load_trace,
+            suffix=".jsonl",
+            memory_capacity=self.memory_capacity,
+        )
+        self.root = self.store.root
+
+    @property
+    def stats(self) -> StoreStats:
+        return self.store.stats
+
+    def path_for(self, key: TraceKey) -> pathlib.Path:
+        return self.store.path_for(key)
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return key in self.store
+
+    def get(self, key: TraceKey) -> SweepTrace:
+        """Materialize a recorded trace (memory, then disk)."""
+        try:
+            return self.store.get(key)
+        except StoreMiss:
+            raise ReplayError(
+                f"no recorded trace for key {key.display()!r} under "
+                f"{self.root} (recorded: {self.entries() or 'none'})"
+            ) from None
+
+    def put(self, key: TraceKey, trace: SweepTrace) -> pathlib.Path:
+        """Register an already-recorded trace under ``key``."""
+        if trace.device != key.device_spec().name:
+            raise ReplayError(
+                f"trace was recorded on {trace.device!r} but the key names "
+                f"{key.device_spec().name!r}"
+            )
+        return self.store.put(key, trace)
+
+    def resolve(self, key: TraceKey | str) -> pathlib.Path:
+        """The on-disk trace file for a key (or its string spelling)."""
+        if isinstance(key, str):
+            key = TraceKey.parse(key)
+        path = self.path_for(key)
+        if not path.exists():
+            raise ReplayError(
+                f"no recorded trace for key {key.display()!r} under "
+                f"{self.root} (recorded: {self.entries() or 'none'})"
+            )
+        return path
+
+    def open_backend(self, key: TraceKey | str) -> "ReplayBackend":
+        """An out-of-core :class:`ReplayBackend` over the keyed trace file."""
+        from .replay import ReplayBackend
+
+        return ReplayBackend(self.resolve(key))
+
+    def writer(self, key: TraceKey) -> TraceWriter:
+        """A streaming :class:`TraceWriter` registered under ``key``.
+
+        Sweeps stream into a ``.partial`` sibling that is renamed over the
+        registry file only on a clean close (``atomic=True``), so a crash
+        or error mid-campaign can never destroy a previously registered
+        trace — the last good artifact stays resolvable.  Any copy of the
+        key already materialized in the memory tier is invalidated, since
+        the file is rewritten out of band.
+        """
+        self.store.invalidate(key)
+        return TraceWriter(
+            self.path_for(key),
+            device=key.device_spec().name,
+            meta=key.as_meta(),
+            atomic=True,
+        )
+
+    def iter_kernels(self, key: TraceKey | str) -> Iterator[tuple[str, KernelTrace]]:
+        """Stream the keyed trace's records without materializing it."""
+        return iter_trace(self.resolve(key))
+
+    def entries(self) -> list[str]:
+        """Slugs of every recorded trace under the registry root."""
+        return self.store.entries()
+
+    def evict_memory(self) -> None:
+        self.store.evict_memory()

@@ -44,7 +44,13 @@ class StandardScaler:
         self.mean_ = arr.mean(axis=0)
         std = arr.std(axis=0)
         # Constant columns carry no information; dividing by 1 leaves them 0.
-        std[std == 0.0] = 1.0
+        # The threshold is relative: a column of identical values can come
+        # out with std ~1e-17 from float summation (e.g. a single-memory-
+        # clock device's f_mem feature), and dividing by *that* turns any
+        # out-of-distribution input into an ~1e16 feature — which is how a
+        # cross-device transfer once produced 1e14% prediction error.
+        constant = std <= 1e-12 * (np.abs(self.mean_) + 1.0)
+        std[constant] = 1.0
         self.scale_ = std
         return self
 

@@ -1,15 +1,9 @@
-"""Versioned model artifacts: trained bundles as JSON files on disk.
+"""Model artifacts: trained bundles as versioned JSON files on disk.
 
-Every persistable object in the repo implements ``to_state()`` (a JSON-safe
-dict tagged with a ``kind`` discriminator) and ``from_state(state)``; this
-module wraps those states in a versioned envelope and handles file I/O::
-
-    {
-      "format_version": 1,
-      "artifact_kind": "trained_models",
-      "meta": {...},          # caller-provided provenance (device, recipe…)
-      "payload": {...}        # the object's to_state() dict
-    }
+The generic envelope machinery (``format_version`` / ``artifact_kind`` /
+``meta`` / ``payload``, atomic writes) lives in :mod:`repro.store.envelope`
+and is re-exported here for backward compatibility; this module binds it to
+:class:`~repro.core.pipeline.TrainedModels`.
 
 JSON is deliberate: artifacts are diffable, greppable, and portable, and
 Python's float repr round-trips every IEEE-754 double exactly, so a loaded
@@ -18,94 +12,17 @@ model produces **bit-identical** predictions to the one that was saved.
 
 from __future__ import annotations
 
-import json
-import os
 import pathlib
-import tempfile
 
 from ..core.pipeline import TrainedModels
-
-#: Bump when the envelope layout changes incompatibly.
-ARTIFACT_FORMAT_VERSION = 1
-
-
-class ArtifactError(RuntimeError):
-    """Raised for malformed, truncated, or incompatible artifact files."""
-
-
-def make_envelope(payload: dict, meta: dict | None = None) -> dict:
-    """Wrap a ``to_state`` payload in the versioned envelope."""
-    if "kind" not in payload:
-        raise ArtifactError("payload has no 'kind' discriminator")
-    return {
-        "format_version": ARTIFACT_FORMAT_VERSION,
-        "artifact_kind": payload["kind"],
-        "meta": dict(meta or {}),
-        "payload": payload,
-    }
-
-
-def open_envelope(envelope: dict, expected_kind: str | None = None) -> tuple[dict, dict]:
-    """Validate an envelope and return ``(payload, meta)``."""
-    if not isinstance(envelope, dict) or "format_version" not in envelope:
-        raise ArtifactError("not an artifact envelope (missing format_version)")
-    version = envelope["format_version"]
-    if version != ARTIFACT_FORMAT_VERSION:
-        raise ArtifactError(
-            f"artifact format {version} is not supported "
-            f"(this build reads format {ARTIFACT_FORMAT_VERSION})"
-        )
-    payload = envelope.get("payload")
-    if not isinstance(payload, dict):
-        raise ArtifactError("artifact envelope has no payload")
-    kind = envelope.get("artifact_kind")
-    if expected_kind is not None and kind != expected_kind:
-        raise ArtifactError(
-            f"expected a {expected_kind!r} artifact, found {kind!r}"
-        )
-    return payload, envelope.get("meta") or {}
-
-
-def save_artifact(
-    path: str | pathlib.Path, payload: dict, meta: dict | None = None
-) -> pathlib.Path:
-    """Serialize a ``to_state`` payload to ``path`` (parents created).
-
-    The write is atomic (temp file + rename in the target directory), so
-    a crash mid-save can never leave a truncated artifact behind — a
-    half-written file would otherwise poison every later registry load
-    of that key.
-    """
-    out = pathlib.Path(path).expanduser()
-    out.parent.mkdir(parents=True, exist_ok=True)
-    envelope = make_envelope(payload, meta)
-    text = json.dumps(envelope, indent=None, separators=(",", ":"))
-    fd, tmp_name = tempfile.mkstemp(dir=out.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        os.replace(tmp_name, out)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return out
-
-
-def load_artifact(
-    path: str | pathlib.Path, expected_kind: str | None = None
-) -> tuple[dict, dict]:
-    """Read an artifact file, returning ``(payload, meta)``."""
-    p = pathlib.Path(path).expanduser()
-    try:
-        envelope = json.loads(p.read_text())
-    except FileNotFoundError:
-        raise ArtifactError(f"no artifact at {p}") from None
-    except json.JSONDecodeError as exc:
-        raise ArtifactError(f"artifact {p} is not valid JSON: {exc}") from None
-    return open_envelope(envelope, expected_kind)
+from ..store.envelope import (  # noqa: F401  (re-exported API)
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    load_artifact,
+    make_envelope,
+    open_envelope,
+    save_artifact,
+)
 
 
 def save_models(

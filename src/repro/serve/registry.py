@@ -17,21 +17,19 @@ from __future__ import annotations
 
 import pathlib
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
-from ..core.config import PAPER_SAMPLE_SIZE, sample_training_settings
+from ..core.config import TRAINING_RECIPES, sample_training_settings
 from ..core.pipeline import TrainedModels, train_from_specs
 from ..gpusim.device import DeviceSpec, resolve_device
 from ..measure.simulator import SimulatorBackend
+from ..store import ArtifactStore
 from ..synthetic.generator import generate_micro_benchmarks
 from .artifacts import load_models, save_models
 
-#: Known training recipes: name → (micro-benchmark stride, settings budget).
-TRAINING_RECIPES: dict[str, tuple[int, int]] = {
-    "paper": (1, PAPER_SAMPLE_SIZE),
-    "quick": (3, 24),
-}
+# TRAINING_RECIPES now lives in core.config (one shared table for contexts,
+# this registry, and campaigns) and is re-exported here.
 
 
 @dataclass(frozen=True)
@@ -88,7 +86,7 @@ def train_for_key(key: ModelKey) -> TrainedModels:
 
 @dataclass
 class RegistryStats:
-    """Where each ``get`` was satisfied from."""
+    """Where each ``get`` was satisfied from (view over the store stats)."""
 
     memory_hits: int = 0
     disk_loads: int = 0
@@ -102,52 +100,58 @@ class RegistryStats:
         }
 
 
-@dataclass
 class ModelRegistry:
-    """Keyed store of trained bundles backed by a directory of artifacts."""
+    """Keyed store of trained bundles backed by a directory of artifacts.
 
-    root: pathlib.Path
-    trainer: Callable[[ModelKey], TrainedModels] = train_for_key
-    stats: RegistryStats = field(default_factory=RegistryStats)
+    A thin domain binding of the generic :class:`repro.store.ArtifactStore`:
+    JSON-envelope serialization from :mod:`repro.serve.artifacts`, and the
+    training recipe as the store's builder, so a first ``get`` trains and
+    persists while every later one resolves from memory or disk.
+    """
 
-    def __post_init__(self) -> None:
-        self.root = pathlib.Path(self.root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._memory: dict[ModelKey, TrainedModels] = {}
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        trainer: Callable[[ModelKey], TrainedModels] = train_for_key,
+        memory_capacity: int | None = None,
+    ) -> None:
+        self.trainer = trainer
+        self._store = ArtifactStore(
+            root,
+            write=lambda path, models, meta: save_models(path, models, meta=meta),
+            read=load_models,
+            builder=lambda key: self.trainer(key),
+            memory_capacity=memory_capacity,
+        )
+        self.root = self._store.root
+
+    @property
+    def stats(self) -> RegistryStats:
+        s = self._store.stats
+        return RegistryStats(
+            memory_hits=s.memory_hits,
+            disk_loads=s.disk_loads,
+            trainings=s.builds,
+        )
 
     def path_for(self, key: ModelKey) -> pathlib.Path:
-        return self.root / f"{key.slug}.json"
+        return self._store.path_for(key)
 
     def __contains__(self, key: ModelKey) -> bool:
-        return key in self._memory or self.path_for(key).exists()
+        return key in self._store
 
     def get(self, key: ModelKey) -> TrainedModels:
         """Resolve a bundle: memory, then disk, then train-and-persist."""
-        cached = self._memory.get(key)
-        if cached is not None:
-            self.stats.memory_hits += 1
-            return cached
-        path = self.path_for(key)
-        if path.exists():
-            models = load_models(path)
-            self.stats.disk_loads += 1
-        else:
-            models = self.trainer(key)
-            save_models(path, models, meta=key.as_meta())
-            self.stats.trainings += 1
-        self._memory[key] = models
-        return models
+        return self._store.get(key)
 
     def put(self, key: ModelKey, models: TrainedModels) -> pathlib.Path:
         """Register an externally trained bundle under ``key``."""
-        path = save_models(self.path_for(key), models, meta=key.as_meta())
-        self._memory[key] = models
-        return path
+        return self._store.put(key, models)
 
     def entries(self) -> list[str]:
         """Slugs of every persisted bundle under the registry root."""
-        return sorted(p.stem for p in self.root.glob("*.json"))
+        return self._store.entries()
 
     def evict_memory(self) -> None:
         """Drop in-process copies (artifacts on disk are untouched)."""
-        self._memory.clear()
+        self._store.evict_memory()

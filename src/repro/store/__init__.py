@@ -1,0 +1,37 @@
+"""repro.store — the unified artifact-store layer.
+
+Two pieces, both below every subsystem that persists anything:
+
+* :mod:`repro.store.envelope` — versioned JSON envelopes around
+  ``to_state()`` payloads, with atomic writes (previously private to
+  :mod:`repro.serve.artifacts`, which now re-exports them);
+* :mod:`repro.store.artifact_store` — the generic keyed store
+  (slug keys, memory/disk/build tiers, LRU bound, stats) that
+  :class:`repro.serve.registry.ModelRegistry` and
+  :class:`repro.measure.trace_registry.TraceRegistry` are built on.
+"""
+
+from .artifact_store import ArtifactStore, StoreKey, StoreMiss, StoreStats
+from .envelope import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    atomic_write_text,
+    load_artifact,
+    make_envelope,
+    open_envelope,
+    save_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "ArtifactStore",
+    "StoreKey",
+    "StoreMiss",
+    "StoreStats",
+    "atomic_write_text",
+    "load_artifact",
+    "make_envelope",
+    "open_envelope",
+    "save_artifact",
+]

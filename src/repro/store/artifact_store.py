@@ -1,0 +1,176 @@
+"""A generic keyed artifact store: slug keys, memory/disk tiers, stats.
+
+This is the pattern that grew inside :class:`repro.serve.registry.ModelRegistry`
+(train once, persist, reload instantly), extracted so any keyed, versioned
+payload — trained model bundles, measurement traces, future dataset shards —
+can share one resolution discipline:
+
+1. **memory** — already materialized in this process (LRU, optionally
+   capacity-bounded);
+2. **disk** — a file exists under the store root, read it;
+3. **build** — first use anywhere: run the builder, persist the result,
+   and serve from memory thereafter.
+
+The store is serialization-agnostic: callers supply ``write(path, value,
+meta)`` / ``read(path)`` callables, so a JSON-envelope model bundle and an
+append-only JSONL trace live behind the same interface.  Keys are anything
+with a filesystem-safe ``slug`` and an ``as_meta()`` provenance dict.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class StoreKey(Protocol):
+    """Identity of one stored artifact."""
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe identifier, stable across processes."""
+        ...
+
+    def as_meta(self) -> dict:
+        """Provenance recorded next to the payload."""
+        ...
+
+
+@dataclass
+class StoreStats:
+    """Where each ``get`` was satisfied from, plus churn counters."""
+
+    memory_hits: int = 0
+    disk_loads: int = 0
+    builds: int = 0
+    puts: int = 0
+    memory_evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_loads": self.disk_loads,
+            "builds": self.builds,
+            "puts": self.puts,
+            "memory_evictions": self.memory_evictions,
+        }
+
+
+class StoreMiss(KeyError):
+    """Raised by ``get`` when a key has no artifact and no builder."""
+
+
+class ArtifactStore:
+    """Keyed store of artifacts backed by a directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one file per key (created on construction).
+    write:
+        ``write(path, value, meta) -> Path`` — persist ``value`` at ``path``.
+    read:
+        ``read(path) -> value`` — materialize a persisted artifact.
+    suffix:
+        File suffix appended to each key's slug (default ``".json"``).
+    builder:
+        Optional ``builder(key) -> value`` used when a key is neither in
+        memory nor on disk; the result is persisted before being returned.
+    memory_capacity:
+        Optional bound on the in-process tier; least-recently-used values
+        are dropped (their files stay) once the bound is exceeded.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        *,
+        write: Callable[[pathlib.Path, Any, dict], pathlib.Path],
+        read: Callable[[pathlib.Path], Any],
+        suffix: str = ".json",
+        builder: Callable[[Any], Any] | None = None,
+        memory_capacity: int | None = None,
+    ) -> None:
+        if memory_capacity is not None and memory_capacity < 1:
+            raise ValueError("memory_capacity must be >= 1")
+        self.root = pathlib.Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.suffix = suffix
+        self.stats = StoreStats()
+        self._write = write
+        self._read = read
+        self._builder = builder
+        self._memory_capacity = memory_capacity
+        #: slug → value; slug-keyed so alias spellings of one key share an entry.
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+
+    # -- tiers ------------------------------------------------------------------
+
+    def path_for(self, key: StoreKey) -> pathlib.Path:
+        return self.root / f"{key.slug}{self.suffix}"
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return key.slug in self._memory or self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _remember(self, slug: str, value: Any) -> None:
+        self._memory[slug] = value
+        self._memory.move_to_end(slug)
+        if self._memory_capacity is not None:
+            while len(self._memory) > self._memory_capacity:
+                self._memory.popitem(last=False)
+                self.stats.memory_evictions += 1
+
+    def get(self, key: StoreKey) -> Any:
+        """Resolve an artifact: memory, then disk, then build-and-persist."""
+        cached = self._memory.get(key.slug)
+        if cached is not None:
+            self._memory.move_to_end(key.slug)
+            self.stats.memory_hits += 1
+            return cached
+        path = self.path_for(key)
+        if path.exists():
+            value = self._read(path)
+            self.stats.disk_loads += 1
+        elif self._builder is not None:
+            value = self._builder(key)
+            self._write(path, value, key.as_meta())
+            self.stats.builds += 1
+        else:
+            raise StoreMiss(
+                f"no artifact for key {key.slug!r} under {self.root} "
+                f"(and the store has no builder)"
+            )
+        self._remember(key.slug, value)
+        return value
+
+    def put(self, key: StoreKey, value: Any) -> pathlib.Path:
+        """Register an externally built artifact under ``key``."""
+        path = self._write(self.path_for(key), value, key.as_meta())
+        self._remember(key.slug, value)
+        self.stats.puts += 1
+        return path
+
+    # -- maintenance ------------------------------------------------------------
+
+    def invalidate(self, key: StoreKey) -> None:
+        """Drop a key's in-process copy (its file, if any, is untouched).
+
+        For callers that rewrite an artifact's file out of band (e.g. a
+        streaming trace writer) — the next ``get`` re-reads from disk
+        instead of serving a stale memory hit.
+        """
+        self._memory.pop(key.slug, None)
+
+    def entries(self) -> list[str]:
+        """Slugs of every persisted artifact under the store root."""
+        return sorted(p.name[: -len(self.suffix)] for p in self.root.glob(f"*{self.suffix}"))
+
+    def evict_memory(self) -> None:
+        """Drop in-process copies (artifacts on disk are untouched)."""
+        self._memory.clear()

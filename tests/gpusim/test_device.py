@@ -5,9 +5,13 @@ import pytest
 from repro.gpusim.device import (
     TITAN_X_CORE_CLAMP_MHZ,
     VoltageCurve,
+    device_aliases,
+    device_slug,
     get_device,
     make_tesla_p100,
+    make_tesla_v100,
     make_titan_x,
+    resolve_device,
 )
 
 
@@ -89,6 +93,54 @@ class TestTeslaP100:
         assert dev.default_core_mhz == 1328.0
 
 
+class TestTeslaV100:
+    def setup_method(self):
+        self.dev = make_tesla_v100()
+
+    def test_three_memory_domains(self):
+        assert self.dev.mem_clocks_mhz == (405.0, 810.0, 877.0)
+        assert [d.label for d in self.dev.domains] == ["L", "l", "H"]
+
+    def test_undersized_low_domain(self):
+        # Six cores, like Titan X's mem-L — keeps the §4.5 heuristic and
+        # the sampler's take-all-of-the-small-domain rule live.
+        low = self.dev.domain_by_label("L")
+        assert len(low.real_core_mhz) == 6
+        assert max(low.real_core_mhz) == 405.0
+
+    def test_full_rate_domain_clamps(self):
+        full = self.dev.domain_by_label("H")
+        assert max(full.real_core_mhz) == 1380.0
+        fakes = [c for c in full.reported_core_mhz if c > 1380.0]
+        assert len(fakes) == 10
+        assert full.effective_core(1530.0) == 1380.0
+
+    def test_mid_domain_has_no_clamp(self):
+        mid = self.dev.domain_by_label("l")
+        assert mid.real_core_mhz == mid.reported_core_mhz
+
+    def test_default_config_is_settable(self):
+        assert self.dev.default_config == (1312.0, 877.0)
+        assert 1312.0 in self.dev.domain_by_label("H").reported_core_mhz
+        assert 1312.0 in self.dev.domain_by_label("l").reported_core_mhz
+
+    def test_sampler_spreads_budget_across_both_high_domains(self):
+        from repro.core.config import sample_training_settings
+
+        settings = sample_training_settings(self.dev, total=40)
+        assert len(settings) == 40
+        by_mem = {mem: 0 for mem in self.dev.mem_clocks_mhz}
+        for _core, mem in settings:
+            by_mem[mem] += 1
+        assert by_mem[405.0] == 6  # the whole undersized domain
+        assert by_mem[810.0] >= 16 and by_mem[877.0] >= 16
+
+    def test_mem_l_heuristic_point(self):
+        from repro.core.config import mem_l_heuristic_config
+
+        assert mem_l_heuristic_config(self.dev) == (405.0, 405.0)
+
+
 class TestRegistry:
     def test_lookup_by_name(self):
         assert get_device("NVIDIA GTX Titan X").compute_capability == "5.2"
@@ -96,6 +148,18 @@ class TestRegistry:
     def test_unknown_device_raises(self):
         with pytest.raises(KeyError):
             get_device("NVIDIA Imaginary 9000")
+
+    def test_v100_registered_with_aliases(self):
+        assert resolve_device("v100").name == "NVIDIA Tesla V100"
+        assert resolve_device("tesla-v100").compute_capability == "7.0"
+
+    def test_device_slug_is_alias_stable(self):
+        assert device_slug("titan-x") == device_slug("NVIDIA GTX Titan X")
+        assert device_slug("v100") == "nvidia-tesla-v100"
+
+    def test_device_aliases_listing(self):
+        assert device_aliases("NVIDIA Tesla V100") == ["tesla-v100", "v100"]
+        assert "titan-x" in device_aliases("titanx")
 
 
 class TestVoltageCurve:

@@ -1,0 +1,108 @@
+"""ParallelBackend: process-parallel sweeps, bit-identical to serial."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import sample_training_settings
+from repro.core.dataset import build_training_dataset
+from repro.gpusim.device import make_tesla_p100, make_titan_x
+from repro.measure import (
+    MeasurementBackend,
+    ParallelBackend,
+    RecordingBackend,
+    SimulatorBackend,
+    as_backend,
+    simulator_factory,
+)
+from repro.synthetic.generator import generate_micro_benchmarks
+
+SETTINGS = sample_training_settings(make_titan_x(), total=8)
+SPECS = generate_micro_benchmarks()[::30]  # 4 specs, fast
+
+
+@pytest.fixture(params=[1, 2, 3], ids=lambda w: f"workers={w}")
+def parallel(request):
+    backend = ParallelBackend(simulator_factory(), workers=request.param)
+    yield backend
+    backend.close()
+
+
+class TestProtocol:
+    def test_satisfies_protocol(self, parallel):
+        assert isinstance(parallel, MeasurementBackend)
+        assert as_backend(parallel) is parallel
+
+    def test_capabilities_wrap_inner(self, parallel):
+        caps = parallel.capabilities
+        assert caps.kind == "parallel+simulator"
+        assert caps.device == parallel.device.name
+        assert caps.deterministic
+
+    def test_single_measure_matches_serial(self, parallel):
+        serial = SimulatorBackend().measure(SPECS[0], SETTINGS)
+        local = parallel.measure(SPECS[0], SETTINGS)
+        assert np.array_equal(serial.time_ms, local.time_ms)
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelBackend(simulator_factory(), workers=0)
+
+    def test_factory_accepts_alias(self):
+        backend = ParallelBackend(simulator_factory("tesla-p100"), workers=1)
+        assert backend.device.name == "NVIDIA Tesla P100"
+
+
+class TestBitIdentity:
+    def test_dataset_identical_across_worker_counts(self, parallel):
+        """The acceptance bar: parallel assembly == serial, bit for bit."""
+        serial = build_training_dataset(SimulatorBackend(), SPECS, SETTINGS)
+        fanned = build_training_dataset(parallel, SPECS, SETTINGS)
+        assert np.array_equal(serial.x, fanned.x)
+        assert np.array_equal(serial.y_speedup, fanned.y_speedup)
+        assert np.array_equal(serial.y_energy, fanned.y_energy)
+        assert serial.groups == fanned.groups
+        assert set(serial.static_features) == set(fanned.static_features)
+
+    def test_imap_preserves_spec_order(self, parallel):
+        results = list(parallel.imap_measure(SPECS, SETTINGS))
+        assert [m.spec.name for m, _ in results] == [s.name for s in SPECS]
+
+    def test_imap_with_features_matches_parent_extraction(self, parallel):
+        for spec, (_, static) in zip(
+            SPECS, parallel.imap_measure(SPECS, SETTINGS, with_features=True)
+        ):
+            assert static is not None
+            assert static.values == spec.static_features().values
+            assert static.kernel_name == spec.name
+
+    def test_measure_many_matches_serial(self):
+        with ParallelBackend(simulator_factory(make_tesla_p100()), workers=2) as pb:
+            configs = [(1328.0, 715.0), (544.0, 715.0)]
+            many = pb.measure_many(SPECS[:2], configs)
+            for spec, m in zip(SPECS[:2], many):
+                serial = SimulatorBackend(make_tesla_p100()).measure(spec, configs)
+                assert np.array_equal(m.energy_j, serial.energy_j)
+
+
+class TestRecordingOverParallel:
+    def test_recording_captures_parallel_sweeps(self, tmp_path):
+        with ParallelBackend(simulator_factory(), workers=2) as pb:
+            rec = RecordingBackend(pb, stream=tmp_path / "t.jsonl")
+            fanned = build_training_dataset(rec, SPECS, SETTINGS)
+            rec.close()
+        from repro.measure import ReplayBackend
+
+        replayed = build_training_dataset(
+            ReplayBackend(tmp_path / "t.jsonl"), SPECS, SETTINGS
+        )
+        assert np.array_equal(fanned.x, replayed.x)
+        assert np.array_equal(fanned.y_speedup, replayed.y_speedup)
+        assert np.array_equal(fanned.y_energy, replayed.y_energy)
+
+    def test_pool_is_lazy_and_closeable(self):
+        backend = ParallelBackend(simulator_factory(), workers=2)
+        assert backend._pool is None
+        list(backend.imap_measure(SPECS[:2], SETTINGS[:2]))
+        assert backend._pool is not None
+        backend.close()
+        assert backend._pool is None

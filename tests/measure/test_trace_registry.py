@@ -1,0 +1,157 @@
+"""TraceRegistry: keyed traces, alias-stable slugs, streaming writers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import sample_training_settings
+from repro.core.dataset import build_training_dataset
+from repro.gpusim.device import make_titan_x
+from repro.gpusim.noise import NoiseConfig
+from repro.measure import (
+    RecordingBackend,
+    ReplayError,
+    SimulatorBackend,
+    TraceKey,
+    TraceRegistry,
+    noise_settings_hash,
+)
+from repro.measure.trace_registry import DEFAULT_NOISE_HASH
+from repro.synthetic.generator import generate_micro_benchmarks
+
+SETTINGS = sample_training_settings(make_titan_x(), total=8)
+SPECS = generate_micro_benchmarks()[::40]
+
+
+def record_trace():
+    rec = RecordingBackend(SimulatorBackend())
+    for spec in SPECS:
+        rec.measure(spec, SETTINGS)
+    return rec.trace
+
+
+class TestTraceKey:
+    def test_slug_is_alias_stable(self):
+        assert (
+            TraceKey(device="titan-x").slug
+            == TraceKey(device="NVIDIA GTX Titan X").slug
+        )
+        assert TraceKey(device="p100").slug == TraceKey(device="tesla-p100").slug
+
+    def test_parse_shorthand(self):
+        key = TraceKey.parse("titan-x/default")
+        assert key.device_spec().name == "NVIDIA GTX Titan X"
+        assert key.suite == "default"
+        assert key.noise == DEFAULT_NOISE_HASH
+
+    def test_parse_full_and_partial(self):
+        assert TraceKey.parse("p100").suite == "default"
+        key = TraceKey.parse("p100/micro/abc123")
+        assert (key.suite, key.noise) == ("micro", "abc123")
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ReplayError, match="unknown device"):
+            TraceKey.parse("gtx-9999/default")
+        with pytest.raises(ReplayError, match="bad trace key"):
+            TraceKey.parse("a/b/c/d")
+
+    def test_noise_hash_distinguishes_configs(self):
+        assert noise_settings_hash() == DEFAULT_NOISE_HASH
+        assert noise_settings_hash(NoiseConfig(time_sigma=0.5)) != DEFAULT_NOISE_HASH
+
+    def test_display_round_trips_through_parse(self):
+        key = TraceKey(device="tesla-p100", suite="micro")
+        assert TraceKey.parse(key.display()).slug == key.slug
+
+
+class TestRegistry:
+    def test_put_get_and_persistence(self, tmp_path):
+        registry = TraceRegistry(tmp_path)
+        key = TraceKey(device="titan-x")
+        trace = record_trace()
+        path = registry.put(key, trace)
+        assert path.suffix == ".jsonl"
+        assert key in registry
+        assert registry.get(key).kernels.keys() == trace.kernels.keys()
+        assert registry.stats.memory_hits == 1
+
+        fresh = TraceRegistry(tmp_path)
+        assert fresh.get(key).kernels.keys() == trace.kernels.keys()
+        assert fresh.stats.disk_loads == 1
+
+    def test_memory_eviction(self, tmp_path):
+        registry = TraceRegistry(tmp_path, memory_capacity=1)
+        trace = record_trace()
+        registry.put(TraceKey(device="titan-x", suite="a"), trace)
+        registry.put(TraceKey(device="titan-x", suite="b"), trace)
+        assert registry.stats.memory_evictions == 1
+        registry.get(TraceKey(device="titan-x", suite="a"))  # reloaded from disk
+        assert registry.stats.disk_loads == 1
+
+    def test_missing_key_lists_recorded(self, tmp_path):
+        registry = TraceRegistry(tmp_path)
+        with pytest.raises(ReplayError, match="no recorded trace"):
+            registry.get(TraceKey(device="titan-x"))
+
+    def test_device_mismatch_rejected(self, tmp_path):
+        registry = TraceRegistry(tmp_path)
+        with pytest.raises(ReplayError, match="recorded on"):
+            registry.put(TraceKey(device="tesla-p100"), record_trace())
+
+    def test_streaming_writer_lands_in_registry(self, tmp_path):
+        registry = TraceRegistry(tmp_path)
+        key = TraceKey(device="titan-x", suite="stream")
+        backend = SimulatorBackend()
+        with registry.writer(key) as writer:
+            rec = RecordingBackend(backend, stream=writer)
+            direct = build_training_dataset(rec, SPECS, SETTINGS)
+        assert key in registry
+        assert registry.get(key).meta["suite"] == "stream"
+
+        replayed = build_training_dataset(registry.open_backend(key), SPECS, SETTINGS)
+        assert np.array_equal(direct.x, replayed.x)
+        assert np.array_equal(direct.y_speedup, replayed.y_speedup)
+        assert np.array_equal(direct.y_energy, replayed.y_energy)
+
+    def test_writer_invalidates_stale_memory_copy(self, tmp_path):
+        registry = TraceRegistry(tmp_path)
+        key = TraceKey(device="titan-x")
+        registry.put(key, record_trace())
+        assert len(registry.get(key).kernels) == len(SPECS)
+        # Rewrite the keyed file through a streaming writer with fewer
+        # kernels; get() must re-read the file, not serve the old copy.
+        with registry.writer(key) as writer:
+            RecordingBackend(SimulatorBackend(), stream=writer).measure(
+                SPECS[0], SETTINGS
+            )
+        assert list(registry.get(key).kernels) == [SPECS[0].name]
+
+    def test_failed_rewrite_preserves_previous_trace(self, tmp_path):
+        """A crash mid-campaign must not destroy the last good artifact."""
+        registry = TraceRegistry(tmp_path)
+        key = TraceKey(device="titan-x")
+        registry.put(key, record_trace())
+        with pytest.raises(RuntimeError, match="boom"):
+            with registry.writer(key) as writer:
+                RecordingBackend(SimulatorBackend(), stream=writer).measure(
+                    SPECS[0], SETTINGS[:2]
+                )
+                raise RuntimeError("boom")
+        # The registry still serves the complete pre-crash trace; the
+        # partial stream is parked beside it for forensics.
+        assert len(registry.get(key).kernels) == len(SPECS)
+        assert registry.path_for(key).with_name(
+            registry.path_for(key).name + ".partial"
+        ).exists()
+
+    def test_open_backend_accepts_string_keys(self, tmp_path):
+        registry = TraceRegistry(tmp_path)
+        registry.put(TraceKey(device="titan-x"), record_trace())
+        replay = registry.open_backend("titan-x/default")
+        assert replay.device.name == "NVIDIA GTX Titan X"
+        assert len(replay.kernels()) == len(SPECS)
+
+    def test_iter_kernels_streams(self, tmp_path):
+        registry = TraceRegistry(tmp_path)
+        registry.put(TraceKey(device="titan-x"), record_trace())
+        names = [name for name, _ in registry.iter_kernels("titan-x")]
+        assert sorted(names) == sorted(s.name for s in SPECS)

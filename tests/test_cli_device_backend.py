@@ -92,3 +92,57 @@ def test_malformed_trace_missing_key_reports_cleanly(tmp_path, capsys):
     assert main(["characterize", "MT", "--quick",
                  "--backend", "replay", "--trace", str(bad)]) == 2
     assert "missing required key 'device'" in capsys.readouterr().err
+
+
+def test_devices_lists_aliases_and_grids(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "aliases: gtx-titan-x, titan-x, titanx" in out
+    assert "NVIDIA Tesla V100" in out
+    assert "219 reported / 177 real configurations" in out
+
+
+def test_campaign_then_trace_key_replay_train(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["campaign", "--devices", "titan-x,tesla-p100", "--quick",
+                 "--workers", "2", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "nvidia-gtx-titan-x/quick" in out
+    assert (store / "traces").exists() and (store / "models").exists()
+
+    artifact = tmp_path / "replayed.json"
+    assert main(["train", "--quick", "--backend", "replay",
+                 "--trace-key", "titan-x/quick", "--store", str(store),
+                 "--save", str(artifact)]) == 0
+    meta = json.loads(artifact.read_text())["meta"]
+    assert meta["device"] == "NVIDIA GTX Titan X"
+    assert meta["backend"] == "replay"
+
+
+def test_campaign_unknown_device_is_usage_error(capsys):
+    assert main(["campaign", "--devices", "gtx-9999"]) == 2
+    assert "unknown device" in capsys.readouterr().err
+
+
+def test_trace_key_without_store_entry_reports_cleanly(tmp_path, capsys):
+    assert main(["characterize", "MT", "--quick", "--backend", "replay",
+                 "--trace-key", "titan-x/default",
+                 "--store", str(tmp_path / "empty")]) == 2
+    assert "no recorded trace" in capsys.readouterr().err
+
+
+def test_trace_and_trace_key_conflict(tmp_path, capsys):
+    assert main(["characterize", "MT", "--quick", "--backend", "replay",
+                 "--trace", "t.jsonl", "--trace-key", "titan-x/default"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_trace_key_with_mismatched_device_rejected(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["campaign", "--devices", "titan-x", "--quick",
+                 "--store", str(store)]) == 0
+    capsys.readouterr()
+    assert main(["characterize", "MT", "--quick", "--backend", "replay",
+                 "--trace-key", "titan-x/quick", "--store", str(store),
+                 "--device", "tesla-p100"]) == 2
+    assert "recorded on" in capsys.readouterr().err
