@@ -18,12 +18,15 @@ workload so CI's smoke step stays fast.
 """
 
 import os
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 from _common import write_artifact
 
+from repro.campaign import CampaignPlan, run_campaign
 from repro.core.config import sample_training_settings
 from repro.core.dataset import TrainingDataset, build_training_dataset
 from repro.features.vector import build_design_matrix
@@ -43,6 +46,11 @@ MIN_SPEEDUP = 5.0 if QUICK else 10.0
 
 #: Campaign-mode fan-out width (the acceptance setup: 4 workers).
 CAMPAIGN_WORKERS = 4
+#: Whole-campaign comparison: interleaved scheduler vs sequential legs.
+CAMPAIGN_DEVICES = ("titan-x", "tesla-p100")
+#: The scheduler's bar: one shared pool + overlapped training must beat
+#: one-pool-per-leg sequential execution by this much at 4 workers.
+MIN_INTERLEAVE_SPEEDUP = 1.5
 #: The parallel win is physical — it needs the cores to exist.  CI smoke
 #: runners and 1-core containers still *run* campaign mode (and verify
 #: bit-identity); only the wall-clock assertion requires ≥4 CPUs.
@@ -134,6 +142,46 @@ def measure_campaign(workers: int = CAMPAIGN_WORKERS, baseline=None):
     return t_serial, t_campaign, ds_serial, ds_campaign
 
 
+def measure_interleaved_campaign(workers: int = CAMPAIGN_WORKERS, repeats: int = 1):
+    """(sequential-legs seconds, interleaved seconds, identical?) for a
+    whole two-device campaign — sweeps, training, trace + model registry.
+
+    The sequential baseline is PR 3's shape: one single-device
+    ``run_campaign`` per device, each standing up its own pool and
+    training while the pool idles.  The interleaved run is one two-device
+    plan on the shared scheduler.  Every repetition uses fresh stores so
+    the model-reuse fast path can never flatter either side; bit-identity
+    of the registered artifacts is checked on the last repetition.
+    """
+    t_seq = t_int = float("inf")
+    identical = False
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            seq_store, int_store = Path(tmp, "seq"), Path(tmp, "int")
+            start = time.perf_counter()
+            seq_results = []
+            for device in CAMPAIGN_DEVICES:
+                plan = CampaignPlan(
+                    devices=(device,), recipe="quick", workers=workers
+                )
+                seq_results.extend(run_campaign(plan, seq_store).results)
+            t_seq = min(t_seq, time.perf_counter() - start)
+
+            plan = CampaignPlan(
+                devices=CAMPAIGN_DEVICES, recipe="quick", workers=workers
+            )
+            start = time.perf_counter()
+            report = run_campaign(plan, int_store)
+            t_int = min(t_int, time.perf_counter() - start)
+
+            identical = all(
+                a.trace_path.read_bytes() == b.trace_path.read_bytes()
+                and a.model_path.read_bytes() == b.model_path.read_bytes()
+                for a, b in zip(seq_results, report.results)
+            )
+    return t_seq, t_int, identical
+
+
 def regenerate_throughput() -> str:
     t_scalar, t_vector, ds_scalar, ds_vector = measure_assembly()
     # The vectorized pass just timed IS the campaign's serial baseline.
@@ -166,6 +214,7 @@ def regenerate_throughput() -> str:
         and np.array_equal(ds_serial.y_speedup, ds_campaign.y_speedup)
         and np.array_equal(ds_serial.y_energy, ds_campaign.y_energy)
     )
+    t_seq, t_int, store_identical = measure_interleaved_campaign()
     return (
         format_heading(
             f"measurement engine — {N_SPECS} codes x {N_SETTINGS} settings "
@@ -177,6 +226,10 @@ def regenerate_throughput() -> str:
         + f"{campaign_identical}"
         + f"\ncampaign vs vectorized serial: {t_serial / t_campaign:.2f}x "
         + f"at {CAMPAIGN_WORKERS} workers on {os.cpu_count() or 1} core(s)"
+        + "\ninterleaved scheduler vs sequential legs "
+        + f"({len(CAMPAIGN_DEVICES)} devices): {t_seq / t_int:.2f}x "
+        + f"({t_seq * 1e3:.0f}ms -> {t_int * 1e3:.0f}ms), "
+        + f"store artifacts bit-identical: {store_identical}"
     )
 
 
@@ -185,6 +238,13 @@ def test_measurement_throughput():
     write_artifact("measurement_throughput", text)
     assert "bit-identical: True" in text
     assert "campaign-parallel datasets bit-identical: True" in text
+    assert "store artifacts bit-identical: True" in text
+
+
+def test_interleaved_campaign_matches_sequential_bitwise():
+    """Bit-identity is unconditional: any core count, any worker count."""
+    _t_seq, _t_int, identical = measure_interleaved_campaign(workers=2)
+    assert identical
 
 
 def test_vectorized_at_least_10x_faster():
@@ -220,3 +280,19 @@ def test_campaign_matches_serial_bitwise():
 def test_campaign_at_least_2x_faster_at_4_workers():
     t_serial, t_campaign, _, _ = measure_campaign(workers=CAMPAIGN_WORKERS)
     assert t_serial / t_campaign >= MIN_CAMPAIGN_SPEEDUP, (t_serial, t_campaign)
+
+
+@pytest.mark.skipif(
+    not HAVE_CAMPAIGN_CORES,
+    reason=f"interleave speedup needs >= {CAMPAIGN_WORKERS} CPUs "
+    f"(have {os.cpu_count() or 1})",
+)
+@pytest.mark.skipif(
+    QUICK, reason="quick mode exercises the scheduler but does not time it"
+)
+def test_interleaved_campaign_at_least_1_5x_faster():
+    """The PR 4 acceptance bar: a 2-device campaign on one shared pool
+    (sweeps interleaved, leg trainings overlapped) beats sequential legs."""
+    t_seq, t_int, identical = measure_interleaved_campaign(repeats=3)
+    assert identical
+    assert t_seq / t_int >= MIN_INTERLEAVE_SPEEDUP, (t_seq, t_int)

@@ -18,6 +18,16 @@ Afterwards every device has a JSONL trace in the
 in the :class:`~repro.serve.registry.ModelRegistry`, and
 ``repro train --backend replay --trace-key titan-x/default`` reproduces
 the campaign's training dataset bit-for-bit.
+
+Execution is one device-interleaved work queue over a single shared
+process pool (:mod:`repro.campaign.scheduler`): device legs overlap
+instead of serializing, leg trainings ride the same workers, and
+completed sweeps stream into per-device trace writers and incremental
+dataset folds as they land.  ``run_campaign(..., resume=True)`` finishes
+a crashed or interrupted campaign by reusing every already-recorded
+sweep — byte-identical to an uninterrupted run — and
+``on_progress`` feeds a live :class:`~repro.campaign.progress.CampaignProgress`
+(kernels/sec, ETA, worker utilization) to whatever wants to render it.
 """
 
 from .engine import (
@@ -30,16 +40,26 @@ from .engine import (
     run_device_campaign,
 )
 from .plan import CAMPAIGN_RECIPES, RECIPE_SUITES, CampaignPlan
+from .progress import CampaignProgress, LegProgress, ProgressCallback
+from .scheduler import LegRun, SweepTask, interleave, prepare_leg, run_legs
 
 __all__ = [
     "CAMPAIGN_RECIPES",
     "CampaignPlan",
+    "CampaignProgress",
     "CampaignReport",
     "DeviceCampaignResult",
+    "LegProgress",
+    "LegRun",
     "MODELS_SUBDIR",
+    "ProgressCallback",
     "RECIPE_SUITES",
+    "SweepTask",
     "TRACES_SUBDIR",
     "campaign_backend",
+    "interleave",
+    "prepare_leg",
     "run_campaign",
     "run_device_campaign",
+    "run_legs",
 ]

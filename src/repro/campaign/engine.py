@@ -1,60 +1,84 @@
-"""The campaign engine: plan → parallel sweeps → registered artifacts.
+"""The campaign engine: plan → scheduled sweeps → registered artifacts.
 
 One :func:`run_campaign` call executes the paper's whole experimental
 backbone for every device in the plan (§4.1: sweep every benchmark kernel
-over the sampled frequency grid, then train the models):
+over the sampled frequency grid, then train the models).  Since PR 4 the
+engine is thin orchestration over :mod:`repro.campaign.scheduler`:
 
-1. build the device's measurement backend — a
-   :class:`~repro.measure.parallel.ParallelBackend` fan-out when the plan
-   asks for workers, the vectorized simulator otherwise;
-2. stream every kernel sweep through a recording backend whose
-   :class:`~repro.measure.trace.TraceWriter` appends each record to the
-   :class:`~repro.measure.trace_registry.TraceRegistry` file *as it is
-   measured* (a crash loses at most one sweep);
-3. fold the same stream into training matrices incrementally
-   (:func:`~repro.core.dataset.assemble_training_dataset`) — the campaign
-   never holds a whole trace in memory;
-4. fit the two models and register the bundle in the
-   :class:`~repro.serve.registry.ModelRegistry` under the matching
-   (device, recipe) key.
+1. each device leg is prepared (:func:`~repro.campaign.scheduler.prepare_leg`)
+   — on ``--resume`` that means asking the
+   :class:`~repro.measure.trace_registry.TraceRegistry` which sweeps a
+   crashed or earlier run already recorded, reusing them, and reopening
+   the partial stream for append;
+2. every leg's remaining sweeps are flattened into one device-interleaved
+   task queue executed by a single shared
+   :class:`~repro.measure.parallel.DevicePool` (workers cache one backend
+   per device), with completed sweeps streaming straight into per-device
+   :class:`~repro.measure.trace.TraceWriter`\\ s and incremental dataset
+   folds;
+3. the moment a leg's trace publishes, its model training is submitted to
+   the *same* pool, so per-leg trainings run process-parallel to each
+   other rather than serializing in the parent (the pool is FIFO, so a
+   training queues behind sweeps already submitted) — unless the
+   :class:`~repro.serve.registry.ModelRegistry` already holds a bundle
+   recorded against the identical trace hash, in which case training is
+   skipped outright;
+4. trained bundles register under the matching (device, recipe) key with
+   the trace SHA-256 as provenance.
 
 Because every backend is deterministic per (device, kernel, config), the
-parallel path is bit-identical to serial, repeat passes merge into
-identical trace records, and `repro train --backend replay --trace-key
-<device>/<suite>` reproduces the campaign's dataset exactly.
+interleaved schedule is bit-identical to serial legs, a resumed campaign
+is byte-identical to an uninterrupted one, and `repro train --backend
+replay --trace-key <device>/<suite>` reproduces the campaign's dataset
+exactly.  A :class:`~repro.campaign.progress.CampaignProgress` tracker
+(kernels/sec, ETA, worker utilization) feeds an optional callback live and
+rides along in the returned report.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import pathlib
 import time
-from contextlib import ExitStack
-from dataclasses import dataclass
 
-from ..core.dataset import (
-    TrainingDataset,
-    assemble_training_dataset,
-    iter_kernel_measurements,
-)
-from ..core.pipeline import TrainedModels, train_models
+from ..core.dataset import TrainingDataset
+from ..core.pipeline import TrainedModels
 from ..gpusim.device import DeviceSpec
 from ..harness.report import format_table
 from ..measure.backend import MeasurementBackend
-from ..measure.parallel import ParallelBackend, simulator_factory
-from ..measure.replay import RecordingBackend
+from ..measure.parallel import DevicePool, ParallelBackend, simulator_factory
 from ..measure.simulator import SimulatorBackend
 from ..measure.trace_registry import TraceRegistry
 from ..serve.registry import ModelRegistry
 from .plan import CampaignPlan
+from .progress import CampaignProgress, ProgressCallback
+from .scheduler import LegRun, prepare_leg, run_legs, train_leg_task
 
 #: Store layout: traces and models live side by side under one root.
 TRACES_SUBDIR = "traces"
 MODELS_SUBDIR = "models"
 
 
-@dataclass(frozen=True)
+def _file_sha256(path: pathlib.Path, chunk_bytes: int = 1 << 20) -> str:
+    """Chunked file hash: runs inside the scheduler's result-streaming
+    loop, so a campaign-scale trace must never be materialized whole."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(chunk_bytes), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
 class DeviceCampaignResult:
-    """Everything one device's leg of a campaign produced."""
+    """Everything one device's leg of a campaign produced.
+
+    ``seconds`` is wall clock from campaign start until this leg's
+    artifacts were ready.  Legs overlap on one shared pool, so the values
+    are completion times, not per-leg costs — they must not be summed
+    (the report's ``total`` line has the campaign's real wall clock).
+    """
 
     device: str
     n_kernels: int
@@ -66,19 +90,23 @@ class DeviceCampaignResult:
     model_slug: str
     model_path: pathlib.Path
     seconds: float
+    resumed_sweeps: int = 0
+    trained: bool = True
 
-    def table_row(self) -> tuple[str, str, str, str, str, str]:
+    def table_row(self) -> tuple[str, ...]:
         return (
             self.device,
             str(self.n_kernels),
             str(self.n_settings),
             str(self.n_samples),
+            str(self.resumed_sweeps),
+            "trained" if self.trained else "reused",
             f"{self.seconds:8.2f}",
             self.trace_key,
         )
 
 
-@dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True)
 class CampaignReport:
     """The full campaign outcome, ready to print or assert on."""
 
@@ -86,6 +114,7 @@ class CampaignReport:
     store_root: pathlib.Path
     results: tuple[DeviceCampaignResult, ...]
     seconds: float
+    progress: CampaignProgress | None = None
 
     @property
     def n_samples(self) -> int:
@@ -93,22 +122,142 @@ class CampaignReport:
 
     def format(self) -> str:
         table = format_table(
-            ["device", "codes", "settings", "samples", "seconds", "trace key"],
+            [
+                "device",
+                "codes",
+                "settings",
+                "samples",
+                "resumed",
+                "model",
+                "done at s",
+                "trace key",
+            ],
             [r.table_row() for r in self.results],
         )
-        return (
-            f"campaign: {self.plan.describe()}\n"
-            + table
-            + f"\ntotal: {self.n_samples} samples in {self.seconds:.2f}s; "
+        lines = [f"campaign: {self.plan.describe()}", table]
+        if self.progress is not None:
+            lines.append(
+                f"throughput: {self.progress.kernels_per_sec():.1f} kernel "
+                f"sweeps/s, worker utilization "
+                f"{self.progress.utilization() * 100.0:.0f}% "
+                f"({self.progress.completed_label()} sweeps)"
+            )
+        lines.append(
+            f"total: {self.n_samples} samples in {self.seconds:.2f}s; "
             f"artifacts under {self.store_root}"
         )
+        return "\n".join(lines)
 
 
 def campaign_backend(plan: CampaignPlan, device: DeviceSpec) -> MeasurementBackend:
-    """The measurement engine for one device leg of a plan."""
+    """A standalone measurement engine for one device leg of a plan.
+
+    Legacy single-leg entry point (the scheduler now shares one
+    :class:`~repro.measure.parallel.DevicePool` across legs); still the
+    right tool for driving one device's sweep outside a campaign.
+    """
     if plan.workers > 1:
         return ParallelBackend(simulator_factory(device), workers=plan.workers)
     return SimulatorBackend(device)
+
+
+def _execute(
+    plan: CampaignPlan,
+    trace_registry: TraceRegistry,
+    model_registry: ModelRegistry,
+    resume: bool = False,
+    on_progress: ProgressCallback | None = None,
+) -> tuple[list[DeviceCampaignResult], list[LegRun], CampaignProgress]:
+    """Schedule, sweep, train and register every leg of a plan."""
+    start = time.perf_counter()
+    legs = [
+        prepare_leg(plan, device, trace_registry, resume=resume)
+        for device in plan.device_specs()
+    ]
+    progress = CampaignProgress(workers=plan.workers)
+    for leg in legs:
+        progress.add_leg(leg.device.name, total=leg.total_tasks, skipped=leg.reused)
+
+    trainings: dict[str, object] = {}
+    leg_seconds: dict[str, float] = {}
+    pool = DevicePool(workers=plan.workers)
+
+    def on_leg_swept(leg: LegRun) -> None:
+        # The leg's trace just published (or was reused whole): fingerprint
+        # it, then either prove the registered bundle is already current or
+        # hand training to the shared pool while other legs keep sweeping.
+        trace_path = trace_registry.path_for(leg.trace_key)
+        leg.trace_sha256 = _file_sha256(trace_path)
+        key = plan.model_key(leg.device)
+        meta = model_registry.meta_for(key)
+        if meta is not None and meta.get("trace_sha256") == leg.trace_sha256:
+            # Proven current — skip training AND skip materializing the
+            # bundle (leg.models stays None; single-leg callers that want
+            # the models resolve them through the registry lazily).
+            leg.trained = False
+            progress.leg_stage(leg.device.name, "reused")
+            leg_seconds[leg.device.name] = time.perf_counter() - start
+        else:
+            trainings[leg.device.name] = pool.apply_async(
+                train_leg_task, (leg.dataset, leg.settings, plan.interactions)
+            )
+
+    try:
+        run_legs(
+            legs,
+            pool,
+            progress,
+            on_progress=on_progress,
+            on_leg_swept=on_leg_swept,
+        )
+        for leg in legs:
+            pending = trainings.get(leg.device.name)
+            if pending is not None:
+                leg.models = pending.get()
+                progress.leg_stage(leg.device.name, "done")
+                leg_seconds[leg.device.name] = time.perf_counter() - start
+                if on_progress is not None:
+                    on_progress(progress)
+    finally:
+        # A crash must leave each leg's partial stream behind (that is
+        # what --resume recovers), never a dangling pool.
+        for leg in legs:
+            leg.abort_writer()
+        pool.close()
+
+    results = []
+    for leg in legs:
+        key = plan.model_key(leg.device)
+        if leg.trained:
+            assert leg.models is not None
+            model_path = model_registry.put(
+                key, leg.models, extra_meta={"trace_sha256": leg.trace_sha256}
+            )
+        else:
+            model_path = model_registry.path_for(key)
+        assert leg.dataset is not None
+        results.append(
+            DeviceCampaignResult(
+                device=leg.device.name,
+                n_kernels=len(leg.specs),
+                n_settings=len(leg.settings),
+                n_samples=leg.dataset.n_samples,
+                repeats=plan.repeats,
+                trace_key=leg.trace_key.display(),
+                trace_path=trace_registry.path_for(leg.trace_key),
+                model_slug=key.slug,
+                model_path=model_path,
+                seconds=leg_seconds.get(
+                    leg.device.name, time.perf_counter() - start
+                ),
+                resumed_sweeps=leg.reused,
+                trained=leg.trained,
+            )
+        )
+    progress.finish()
+    if on_progress is not None:
+        on_progress(progress)
+    return results, legs, progress
 
 
 def run_device_campaign(
@@ -116,72 +265,56 @@ def run_device_campaign(
     device: DeviceSpec,
     trace_registry: TraceRegistry,
     model_registry: ModelRegistry,
+    resume: bool = False,
 ) -> tuple[DeviceCampaignResult, TrainingDataset, TrainedModels]:
-    """One device: sweep, stream-record, assemble, train, register."""
-    start = time.perf_counter()
-    specs = plan.kernel_specs()
-    settings = plan.settings_for(device)
-    trace_key = plan.trace_key(device)
+    """One device's leg on explicit registries (sweep, train, register).
 
-    with ExitStack() as stack:
-        backend = campaign_backend(plan, device)
-        if isinstance(backend, ParallelBackend):
-            stack.enter_context(backend)
-        writer = stack.enter_context(trace_registry.writer(trace_key))
-        recorder = RecordingBackend(backend, stream=writer)
-
-        # Repeat passes re-measure the full grid; deterministic noise means
-        # they merge into identical records (and double as a determinism
-        # check for real-hardware backends, which overwrite in place).
-        for _ in range(plan.repeats - 1):
-            for _triple in iter_kernel_measurements(recorder, specs, settings):
-                pass
-        dataset = assemble_training_dataset(
-            iter_kernel_measurements(recorder, specs, settings),
-            settings,
-            interactions=plan.interactions,
-        )
-
-    models = train_models(
-        dataset, settings=settings, interactions=plan.interactions
+    A single-leg convenience over the shared scheduler path, kept for
+    callers that manage their own registries.
+    """
+    single = dataclasses.replace(plan, devices=(device.name,))
+    results, legs, _progress = _execute(
+        single, trace_registry, model_registry, resume=resume
     )
-    model_key = plan.model_key(device)
-    model_path = model_registry.put(model_key, models)
-
-    result = DeviceCampaignResult(
-        device=device.name,
-        n_kernels=len(specs),
-        n_settings=len(settings),
-        n_samples=dataset.n_samples,
-        repeats=plan.repeats,
-        trace_key=trace_key.display(),
-        trace_path=trace_registry.path_for(trace_key),
-        model_slug=model_key.slug,
-        model_path=model_path,
-        seconds=time.perf_counter() - start,
-    )
-    return result, dataset, models
+    leg = legs[0]
+    assert leg.dataset is not None
+    models = leg.models
+    if models is None:  # training skipped: bundle proven current on disk
+        models = model_registry.get(single.model_key(leg.device))
+    return results[0], leg.dataset, models
 
 
 def run_campaign(
-    plan: CampaignPlan, store_root: str | pathlib.Path
+    plan: CampaignPlan,
+    store_root: str | pathlib.Path,
+    resume: bool = False,
+    on_progress: ProgressCallback | None = None,
 ) -> CampaignReport:
-    """Execute a whole plan against one artifact store root."""
+    """Execute a whole plan against one artifact store root.
+
+    ``resume=True`` reuses every sweep an interrupted (or completed)
+    earlier run of the same plan recorded under ``store_root``, finishing
+    partial traces in place; the final artifacts are byte-identical to a
+    one-shot run.  ``on_progress`` receives the live
+    :class:`~repro.campaign.progress.CampaignProgress` after every
+    scheduling event.
+    """
     start = time.perf_counter()
     store_root = pathlib.Path(store_root).expanduser()
     trace_registry = TraceRegistry(store_root / TRACES_SUBDIR)
     model_registry = ModelRegistry(store_root / MODELS_SUBDIR)
 
-    results = []
-    for device in plan.device_specs():
-        result, _dataset, _models = run_device_campaign(
-            plan, device, trace_registry, model_registry
-        )
-        results.append(result)
-
+    results, _legs, progress = _execute(
+        plan,
+        trace_registry,
+        model_registry,
+        resume=resume,
+        on_progress=on_progress,
+    )
     return CampaignReport(
         plan=plan,
         store_root=store_root,
         results=tuple(results),
         seconds=time.perf_counter() - start,
+        progress=progress,
     )

@@ -10,6 +10,7 @@ trained model bundles; the plan itself owns no I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.config import TRAINING_RECIPES, sample_training_settings
 from ..gpusim.device import DeviceSpec, resolve_device
@@ -17,6 +18,9 @@ from ..measure.trace_registry import TraceKey
 from ..serve.registry import ModelKey
 from ..synthetic.generator import generate_micro_benchmarks
 from ..workloads import KernelSpec
+
+if TYPE_CHECKING:
+    from .scheduler import SweepTask
 
 #: recipe → (micro-benchmark stride, settings budget) — the shared table
 #: from :mod:`repro.core.config`.  One table on purpose: the exact-replay
@@ -53,8 +57,18 @@ class CampaignPlan:
             raise ValueError("repeats must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        seen: dict[str, str] = {}
         for name in self.devices:
-            resolve_device(name)  # fail fast on typos, before any sweep runs
+            # Fail fast on typos, before any sweep runs — and on two
+            # spellings of one device, which would race two legs onto the
+            # same trace file and collapse in the scheduler's routing.
+            resolved = resolve_device(name).name
+            if resolved in seen:
+                raise ValueError(
+                    f"devices {seen[resolved]!r} and {name!r} are the same "
+                    f"device ({resolved}); list each device once"
+                )
+            seen[resolved] = name
 
     # -- derived workload -------------------------------------------------------
 
@@ -75,6 +89,38 @@ class CampaignPlan:
 
     def trace_key(self, device: DeviceSpec) -> TraceKey:
         return TraceKey(device=device.name, suite=self.suite_label)
+
+    # -- task enumeration -------------------------------------------------------
+
+    @property
+    def tasks_per_leg(self) -> int:
+        """Sweep tasks one device leg flattens into (kernels × passes)."""
+        return len(self.kernel_specs()) * self.repeats
+
+    def leg_tasks(self, device: DeviceSpec) -> "list[SweepTask]":
+        """One device leg as its deterministic sweep-task sequence.
+
+        Pass-major kernel order — exactly the order the serial engine
+        measured and recorded, which is what makes a scheduled leg's trace
+        byte-identical to a serial one and a crash's record prefix
+        checkable against this sequence on ``--resume``.
+        """
+        from .scheduler import SweepTask
+
+        specs = self.kernel_specs()
+        settings = tuple(self.settings_for(device))
+        return [
+            SweepTask(
+                device=device.name,
+                kernel_index=k,
+                pass_index=p,
+                spec=spec,
+                settings=settings,
+                final=p == self.repeats - 1,
+            )
+            for p in range(self.repeats)
+            for k, spec in enumerate(specs)
+        ]
 
     def model_key(self, device: DeviceSpec) -> ModelKey:
         features = "interactions" if self.interactions else "concat"

@@ -1,0 +1,173 @@
+"""Live campaign observability: per-leg throughput, ETA, worker utilization.
+
+The scheduler owns exactly one :class:`CampaignProgress` per run and calls
+its mutators as events happen — a sweep task completing, a leg moving from
+sweeping to training, resume skipping already-recorded kernels.  After
+every event the registered callback receives the (single, mutable) tracker,
+so a consumer renders whatever freshness it wants: the CLI repaints a
+status line, tests assert on the final counters, ``run_campaign`` returns
+the tracker in its report.
+
+Rates are computed from *worker-side* busy seconds (each sweep task reports
+how long its worker spent measuring), which is what makes the utilization
+figure honest: ``busy / (elapsed × workers)`` reads 1.0 only when every
+worker measured the whole time — pool spin-up, result routing and stragglers
+all show up as missing utilization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Stages a device leg moves through (resume may jump straight to "reused").
+LEG_STAGES = ("sweeping", "training", "done", "reused")
+
+
+@dataclass
+class LegProgress:
+    """One device leg's counters: sweep tasks done/skipped, stage, rate."""
+
+    device: str
+    total: int
+    done: int = 0
+    skipped: int = 0
+    busy_seconds: float = 0.0
+    stage: str = "sweeping"
+
+    @property
+    def completed(self) -> int:
+        return self.done + self.skipped
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.completed
+
+    def as_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "total": self.total,
+            "done": self.done,
+            "skipped": self.skipped,
+            "busy_seconds": self.busy_seconds,
+            "stage": self.stage,
+        }
+
+
+@dataclass
+class CampaignProgress:
+    """Whole-campaign view over every leg, with wall-clock derived rates."""
+
+    workers: int
+    legs: dict[str, LegProgress] = field(default_factory=dict)
+    clock: Callable[[], float] = time.perf_counter
+    started: float = field(init=False)
+    finished: float | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.started = self.clock()
+
+    # -- mutators (the scheduler's event feed) ----------------------------------
+
+    def add_leg(self, device: str, total: int, skipped: int = 0) -> LegProgress:
+        leg = LegProgress(device=device, total=total, skipped=skipped)
+        if skipped >= total:
+            leg.stage = "training"
+        self.legs[device] = leg
+        return leg
+
+    def task_done(self, device: str, busy_seconds: float) -> None:
+        leg = self.legs[device]
+        leg.done += 1
+        leg.busy_seconds += busy_seconds
+        if leg.remaining == 0:
+            leg.stage = "training"
+
+    def leg_stage(self, device: str, stage: str) -> None:
+        if stage not in LEG_STAGES:
+            raise ValueError(f"unknown leg stage {stage!r}; known: {LEG_STAGES}")
+        self.legs[device].stage = stage
+
+    def finish(self) -> None:
+        self.finished = self.clock()
+
+    # -- derived rates ----------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished if self.finished is not None else self.clock()
+        return max(end - self.started, 1e-9)
+
+    @property
+    def total(self) -> int:
+        return sum(leg.total for leg in self.legs.values())
+
+    @property
+    def done(self) -> int:
+        return sum(leg.done for leg in self.legs.values())
+
+    @property
+    def skipped(self) -> int:
+        return sum(leg.skipped for leg in self.legs.values())
+
+    @property
+    def remaining(self) -> int:
+        return sum(leg.remaining for leg in self.legs.values())
+
+    def kernels_per_sec(self) -> float:
+        """Sweep tasks measured per wall-clock second (skips excluded)."""
+        return self.done / self.elapsed
+
+    def eta_seconds(self) -> float | None:
+        """Projected seconds until every sweep task is measured."""
+        if self.remaining == 0:
+            return 0.0
+        rate = self.kernels_per_sec()
+        return self.remaining / rate if rate > 0 else None
+
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent measuring so far."""
+        busy = sum(leg.busy_seconds for leg in self.legs.values())
+        return min(busy / (self.elapsed * self.workers), 1.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed,
+            "done": self.done,
+            "skipped": self.skipped,
+            "total": self.total,
+            "kernels_per_sec": self.kernels_per_sec(),
+            "eta_seconds": self.eta_seconds(),
+            "utilization": self.utilization(),
+            "legs": {name: leg.as_dict() for name, leg in self.legs.items()},
+        }
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self) -> str:
+        """One status line, fit for repainting in place (`\\r`)."""
+        parts = [
+            f"sweeps {self.completed_label()}",
+            f"{self.kernels_per_sec():.1f} kernels/s",
+            f"util {self.utilization() * 100.0:.0f}%",
+        ]
+        eta = self.eta_seconds()
+        if eta is not None and self.remaining:
+            parts.append(f"eta {eta:.0f}s")
+        legs = ", ".join(
+            f"{leg.device}: {leg.stage}"
+            if leg.remaining == 0
+            else f"{leg.device}: {leg.completed}/{leg.total}"
+            for leg in self.legs.values()
+        )
+        return " | ".join(parts) + (f" | {legs}" if legs else "")
+
+    def completed_label(self) -> str:
+        base = f"{self.done + self.skipped}/{self.total}"
+        return f"{base} ({self.skipped} resumed)" if self.skipped else base
+
+
+#: What ``run_campaign(on_progress=…)`` calls after every progress event.
+ProgressCallback = Callable[[CampaignProgress], None]

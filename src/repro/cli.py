@@ -11,8 +11,11 @@ Subcommands:
   serving path (one vectorized model pass) and print per-kernel fronts;
 * ``devices`` — list registered devices, aliases, and frequency grids;
 * ``campaign --devices a,b`` — run a multi-device measurement campaign:
-  process-parallel sweeps, JSONL traces registered in the trace registry,
-  per-device models trained and registered, all in one command;
+  device-interleaved sweeps over one shared worker pool, JSONL traces
+  registered in the trace registry, per-device models trained and
+  registered, all in one command — with live progress on stderr
+  (``--progress``/``--no-progress``) and crash recovery (``--resume``
+  finishes an interrupted campaign byte-identically);
 * ``characterize <benchmark>`` — sweep one of the twelve suite benchmarks
   and print its per-domain speedup/energy series;
 * ``table2`` — regenerate the paper's Table 2.
@@ -236,7 +239,7 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
         _print_front(result)
     if args.stats:
         summary = service.stats_summary()
-        cache = summary.pop("feature_cache")
+        cache = summary.pop("feature_cache", {})
         print("-- service stats")
         for name, value in summary.items():
             print(f"  {name}: {value}")
@@ -277,6 +280,26 @@ def _cmd_devices(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_progress_renderer(stream):
+    """A throttled, repaint-in-place renderer for campaign progress."""
+    import time as _time
+
+    last_paint = [0.0]
+
+    def render(progress) -> None:
+        now = _time.monotonic()
+        finished = progress.finished is not None
+        if not finished and now - last_paint[0] < 0.1:
+            return
+        last_paint[0] = now
+        stream.write("\r\x1b[2K" + progress.render())
+        if finished:
+            stream.write("\n")
+        stream.flush()
+
+    return render
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import os
 
@@ -297,7 +320,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise CLIUsageError(exc.args[0]) from None
-    report = run_campaign(plan, store_root=_store_root(args))
+
+    show_progress = (
+        args.progress if args.progress is not None else sys.stderr.isatty()
+    )
+    on_progress = _campaign_progress_renderer(sys.stderr) if show_progress else None
+    report = run_campaign(
+        plan,
+        store_root=_store_root(args),
+        resume=args.resume,
+        on_progress=on_progress,
+    )
     print(report.format())
     example = report.results[0]
     print(
@@ -489,6 +522,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--store", metavar="DIR", default=None,
         help=f"artifact store root (default: {DEFAULT_STORE})",
+    )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="reuse every sweep already recorded under the store (finishes "
+             "a crashed or interrupted campaign; final artifacts are "
+             "byte-identical to a one-shot run)",
+    )
+    p_camp.add_argument(
+        "--progress", action="store_true", default=None,
+        help="render live per-leg progress (kernels/sec, ETA, worker "
+             "utilization) on stderr; default: only when stderr is a TTY",
+    )
+    p_camp.add_argument(
+        "--no-progress", action="store_false", dest="progress",
+        help="never render live progress",
     )
     p_camp.set_defaults(func=_cmd_campaign)
 

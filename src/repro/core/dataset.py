@@ -237,6 +237,61 @@ def iter_kernel_measurements(
         yield spec, spec.static_features(), backend.measure(spec, settings)
 
 
+class DatasetAssembler:
+    """Incremental training-matrix builder: fold sweeps in as they arrive.
+
+    The mutable core of :func:`assemble_training_dataset`, split out so a
+    consumer that routes many interleaved measurement streams (the
+    campaign scheduler, where sweeps of several devices complete on one
+    shared pool) can keep one assembler per stream and :meth:`add` each
+    kernel the moment its sweep lands.  Kernels must be added in the same
+    order a serial pass would produce them for the stacked matrices to be
+    bit-identical to the serial path.
+    """
+
+    def __init__(
+        self, settings: list[tuple[float, float]], interactions: bool = True
+    ) -> None:
+        self.settings = list(settings)
+        self.interactions = interactions
+        self._blocks: list[np.ndarray] = []
+        self._speedups: list[np.ndarray] = []
+        self._energies: list[np.ndarray] = []
+        self._groups: list[str] = []
+        self._feats: dict[str, StaticFeatures] = {}
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self._blocks)
+
+    def add(
+        self,
+        spec: KernelSpec,
+        static: StaticFeatures,
+        measurements: KernelMeasurements,
+    ) -> None:
+        """Fold one kernel's sweep: design-matrix block + target columns."""
+        self._feats[spec.name] = static
+        self._blocks.append(
+            build_design_matrix(static, self.settings, interactions=self.interactions)
+        )
+        self._speedups.append(measurements.speedup)
+        self._energies.append(measurements.norm_energy)
+        self._groups.extend([spec.name] * len(measurements))
+
+    def finish(self) -> TrainingDataset:
+        """Stack everything folded so far into the training matrices."""
+        if not self._blocks:
+            raise ValueError("need at least one training spec")
+        return TrainingDataset(
+            x=np.vstack(self._blocks),
+            y_speedup=np.concatenate(self._speedups),
+            y_energy=np.concatenate(self._energies),
+            groups=list(self._groups),
+            static_features=dict(self._feats),
+        )
+
+
 def assemble_training_dataset(
     measured: "Iterable[tuple[KernelSpec, StaticFeatures, KernelMeasurements]]",
     settings: list[tuple[float, float]],
@@ -251,28 +306,10 @@ def assemble_training_dataset(
     materialized whole.  The final stack is columnar (``np.vstack`` /
     ``np.concatenate``); no per-point Python loop.
     """
-    blocks: list[np.ndarray] = []
-    speedups: list[np.ndarray] = []
-    energies: list[np.ndarray] = []
-    groups: list[str] = []
-    feats: dict[str, StaticFeatures] = {}
-
+    assembler = DatasetAssembler(settings, interactions=interactions)
     for spec, static, measurements in measured:
-        feats[spec.name] = static
-        blocks.append(build_design_matrix(static, settings, interactions=interactions))
-        speedups.append(measurements.speedup)
-        energies.append(measurements.norm_energy)
-        groups.extend([spec.name] * len(measurements))
-
-    if not blocks:
-        raise ValueError("need at least one training spec")
-    return TrainingDataset(
-        x=np.vstack(blocks),
-        y_speedup=np.concatenate(speedups),
-        y_energy=np.concatenate(energies),
-        groups=groups,
-        static_features=feats,
-    )
+        assembler.add(spec, static, measurements)
+    return assembler.finish()
 
 
 def build_training_dataset(

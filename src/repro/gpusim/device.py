@@ -337,6 +337,50 @@ def make_tesla_v100() -> DeviceSpec:
     )
 
 
+def make_gtx_1080_ti() -> DeviceSpec:
+    """GeForce GTX 1080 Ti (Pascal consumer): one memory domain, wide core menu.
+
+    The consumer-Pascal shape: like the P100 there is a single tunable
+    GDDR5X memory clock (5505 MHz), but the core menu is Titan-X-class —
+    a 71-point application-clock ladder (~25 MHz steps) from 139 MHz up
+    to the 1911 MHz boost ceiling, far finer than the P100's coarse grid.
+    Exercises the single-domain code paths (no mem-L heuristic, predictor
+    candidates fall back to the full grid) on a device whose core-clock
+    cardinality rivals the paper's test platform.
+    """
+    domains = (
+        MemoryDomain(
+            mem_mhz=5505.0,
+            label="M",
+            reported_core_mhz=_snap(_spread(139.0, 1911.0, 71), 1481.0),
+        ),
+    )
+    arch = ArchParams(
+        num_sms=28,
+        bus_bytes=44.0,  # GDDR5X: 352-bit bus
+        dram_efficiency=0.78,
+    )
+    power = PowerParams(
+        p_board_w=22.0,
+        core_leakage_w_per_v=36.0,
+        core_dynamic_w=165.0,
+        mem_static_w=26.0,
+        mem_dynamic_w_per_ghz=16.0,
+    )
+    return DeviceSpec(
+        name="NVIDIA GTX 1080 Ti",
+        compute_capability="6.1",
+        domains=domains,
+        default_core_mhz=1481.0,
+        default_mem_mhz=5505.0,
+        arch=arch,
+        power=power,
+        vf_curve=VoltageCurve(
+            v_min=0.80, v_max=1.093, flat_until_mhz=800.0, max_mhz=1911.0
+        ),
+    )
+
+
 #: Registry used by the NVML facade, the serving layer and the CLI.
 DEVICE_REGISTRY: dict[str, "DeviceSpec"] = {}
 
@@ -361,6 +405,7 @@ def register_device(spec: DeviceSpec, aliases: tuple[str, ...] = ()) -> DeviceSp
 register_device(make_titan_x(), aliases=("titan-x", "gtx-titan-x", "titanx"))
 register_device(make_tesla_p100(), aliases=("tesla-p100", "p100"))
 register_device(make_tesla_v100(), aliases=("tesla-v100", "v100"))
+register_device(make_gtx_1080_ti(), aliases=("1080-ti", "gtx-1080-ti", "1080ti"))
 
 
 def device_aliases(name: str) -> list[str]:

@@ -11,7 +11,7 @@ fly), so harness code is backend-agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..core.dataset import KernelMeasurements, MeasuredPoint
 from ..gpusim.device import DeviceSpec
@@ -81,6 +81,7 @@ def sweep_many(
     backend,
     specs: list[KernelSpec],
     configs: list[tuple[float, float]] | None = None,
+    on_sweep: "Callable[[SweepResult], None] | None" = None,
 ) -> Iterator[SweepResult]:
     """Sweep many kernels at one config list, streaming one result at a time.
 
@@ -88,17 +89,28 @@ def sweep_many(
     :class:`~repro.measure.parallel.ParallelBackend`) run the sweeps
     process-parallel; results arrive in spec order either way, so the
     harness never holds a whole campaign's measurements at once.
+
+    ``on_sweep`` fires for each result just before it is yielded — the
+    observability seam for long multi-kernel sweeps (progress meters,
+    logging) that consumers draining the iterator lazily would otherwise
+    have to wrap themselves.
     """
     backend = as_backend(backend)
     chosen = configs if configs is not None else backend.device.real_configurations()
+
+    def emit(result: SweepResult) -> SweepResult:
+        if on_sweep is not None:
+            on_sweep(result)
+        return result
+
     imap = getattr(backend, "imap_measure", None)
     if imap is not None:
         for measurements, _static in imap(specs, chosen):
-            yield SweepResult(measurements=measurements, device=backend.device)
+            yield emit(SweepResult(measurements=measurements, device=backend.device))
         return
     for spec in specs:
-        yield SweepResult(
-            measurements=backend.measure(spec, chosen), device=backend.device
+        yield emit(
+            SweepResult(measurements=backend.measure(spec, chosen), device=backend.device)
         )
 
 

@@ -25,8 +25,13 @@ model bundles (device × suite × noise-settings hash).
 
 from .backend import BackendCapabilities, MeasurementBackend, as_backend
 from .nvml_backend import NvmlBackend
-from .parallel import ParallelBackend, simulator_factory
-from .replay import RecordingBackend, ReplayBackend
+from .parallel import (
+    DevicePool,
+    ParallelBackend,
+    backend_for_device,
+    simulator_factory,
+)
+from .replay import RecordingBackend, ReplayBackend, replay_measurements
 from .simulator import SimulatorBackend
 from .trace import (
     TRACE_FORMAT,
@@ -34,17 +39,25 @@ from .trace import (
     TRACE_VERSION_V1,
     KernelTrace,
     ReplayError,
+    ScannedRecord,
     SweepTrace,
     TraceWriter,
     iter_trace,
     load_trace,
     read_trace_header,
     save_trace,
+    scan_stream_records,
 )
-from .trace_registry import TraceKey, TraceRegistry, noise_settings_hash
+from .trace_registry import (
+    TraceKey,
+    TraceRegistry,
+    TraceResumeState,
+    noise_settings_hash,
+)
 
 __all__ = [
     "BackendCapabilities",
+    "DevicePool",
     "KernelTrace",
     "MeasurementBackend",
     "NvmlBackend",
@@ -52,6 +65,7 @@ __all__ = [
     "RecordingBackend",
     "ReplayBackend",
     "ReplayError",
+    "ScannedRecord",
     "SimulatorBackend",
     "SweepTrace",
     "TRACE_FORMAT",
@@ -59,12 +73,16 @@ __all__ = [
     "TRACE_VERSION_V1",
     "TraceKey",
     "TraceRegistry",
+    "TraceResumeState",
     "TraceWriter",
     "as_backend",
+    "backend_for_device",
     "iter_trace",
     "load_trace",
     "noise_settings_hash",
     "read_trace_header",
+    "replay_measurements",
     "save_trace",
+    "scan_stream_records",
     "simulator_factory",
 ]

@@ -20,7 +20,8 @@ import functools
 import multiprocessing
 import multiprocessing.pool
 import os
-from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+import time
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from ..features.vector import StaticFeatures
 from ..gpusim.device import DeviceSpec
@@ -61,6 +62,173 @@ def _measure_task(
     measurements = _WORKER_BACKEND.measure(spec, configs)
     static = spec.static_features() if with_features else None
     return measurements, static
+
+
+# -- multi-device pool --------------------------------------------------------
+#
+# The campaign scheduler's engine room: ONE process pool serves sweep tasks
+# for *every* device of a campaign, instead of one pool per device leg.
+# Tasks are tagged with a device name; each worker builds the backend for a
+# device the first time it sees a task for it and caches it, so a worker
+# that alternates between devices pays construction once per device, not
+# per task.
+
+#: The worker process's device→backend cache and its factory (set once by
+#: the pool initializer).
+_DEVICE_FACTORY: Callable[[str], MeasurementBackend] | None = None
+_DEVICE_BACKENDS: dict[str, MeasurementBackend] = {}
+
+
+def backend_for_device(device_name: str) -> MeasurementBackend:
+    """The default per-device factory: a vectorized simulator backend."""
+    from ..gpusim.device import resolve_device
+
+    return SimulatorBackend(resolve_device(device_name))
+
+
+def _init_device_worker(factory: Callable[[str], MeasurementBackend]) -> None:
+    global _DEVICE_FACTORY
+    _DEVICE_FACTORY = factory
+    _DEVICE_BACKENDS.clear()
+
+
+def _cached_device_backend(
+    device_name: str,
+    cache: dict[str, MeasurementBackend],
+    factory: Callable[[str], MeasurementBackend],
+) -> MeasurementBackend:
+    backend = cache.get(device_name)
+    if backend is None:
+        backend = as_backend(factory(device_name))
+        cache[device_name] = backend
+    return backend
+
+
+#: One pool task: (device name, spec, configs, extract features?).
+DeviceSweepTask = tuple[str, KernelSpec, Sequence[tuple[float, float]], bool]
+#: Its result: (measurements, features or None, worker-side seconds).
+DeviceSweepResult = tuple["KernelMeasurements", StaticFeatures | None, float]
+
+
+def _run_sweep_task(
+    task: DeviceSweepTask,
+    cache: dict[str, MeasurementBackend],
+    factory: Callable[[str], MeasurementBackend],
+) -> DeviceSweepResult:
+    device_name, spec, configs, with_features = task
+    start = time.perf_counter()
+    backend = _cached_device_backend(device_name, cache, factory)
+    measurements = backend.measure(spec, configs)
+    static = spec.static_features() if with_features else None
+    return measurements, static, time.perf_counter() - start
+
+
+def _device_sweep_task(task: DeviceSweepTask) -> DeviceSweepResult:
+    assert _DEVICE_FACTORY is not None, "device pool initializer did not run"
+    return _run_sweep_task(task, _DEVICE_BACKENDS, _DEVICE_FACTORY)
+
+
+class _ImmediateResult:
+    """`AsyncResult`-shaped wrapper for work done synchronously."""
+
+    def __init__(self, value: Any) -> None:
+        self._value = value
+
+    def get(self, timeout: float | None = None) -> Any:
+        return self._value
+
+
+class DevicePool:
+    """A shared worker pool serving sweep tasks across many devices.
+
+    Parameters
+    ----------
+    backend_factory:
+        Picklable ``factory(device_name) -> backend`` each worker uses to
+        build (and cache) the backend for a device the first time a task
+        names it.  Defaults to :func:`backend_for_device`.
+    workers:
+        Pool size; defaults to the machine's CPU count.  ``workers=1``
+        never forks: tasks run inline in the parent, in order — the
+        bit-identity reference for the fan-out (which holds anyway,
+        because every backend is deterministic per (device, kernel,
+        configuration) and :meth:`imap_sweeps` preserves submission
+        order).
+    mp_context:
+        ``multiprocessing`` start method; None uses the platform default.
+
+    Unlike :class:`ParallelBackend` this is not itself a measurement
+    backend — it is the scheduler's executor, and it also accepts
+    arbitrary picklable function calls via :meth:`apply_async` so CPU-bound
+    follow-up stages (a campaign leg's model training) can ride the same
+    workers while sweeps of other legs continue.
+    """
+
+    def __init__(
+        self,
+        backend_factory: Callable[[str], MeasurementBackend] = backend_for_device,
+        workers: int | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        self.backend_factory = backend_factory
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._mp_context = mp_context
+        self._pool: multiprocessing.pool.Pool | None = None
+        #: Parent-side backend cache for the inline (workers=1) path.
+        self._local_backends: dict[str, MeasurementBackend] = {}
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self._mp_context)
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_device_worker,
+                initargs=(self.backend_factory,),
+            )
+        return self._pool
+
+    def imap_sweeps(
+        self, tasks: Iterable[DeviceSweepTask]
+    ) -> Iterator[DeviceSweepResult]:
+        """Run sweep tasks on the pool, yielding results in task order."""
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) <= 1:
+            for task in tasks:
+                yield _run_sweep_task(task, self._local_backends, self.backend_factory)
+            return
+        yield from self._ensure_pool().imap(_device_sweep_task, tasks, chunksize=1)
+
+    def apply_async(self, fn: Callable[..., Any], *args: Any):
+        """Submit one picklable call; returns an ``AsyncResult``-alike.
+
+        With a live pool the call queues behind in-flight sweep tasks and
+        runs on whichever worker frees up; without one (``workers=1``) it
+        runs synchronously here.
+        """
+        if self.workers == 1:
+            return _ImmediateResult(fn(*args))
+        return self._ensure_pool().apply_async(fn, args)
+
+    def close(self) -> None:
+        """Tear the worker pool down (later submissions recreate it)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "DevicePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class ParallelBackend:

@@ -173,36 +173,52 @@ class ReplayBackend:
                 f"kernel {spec.name!r} is not in the trace "
                 f"(recorded: {self.kernels()})"
             )
-        index = {c: i for i, c in enumerate(kernel.configs)}
-        rows = []
-        for config in configs:
-            i = index.get((float(config[0]), float(config[1])))
-            if i is None:
-                raise ReplayError(
-                    f"configuration {config} of kernel {spec.name!r} "
-                    f"was not recorded"
-                )
-            rows.append(i)
+        return replay_measurements(spec, kernel, configs)
 
-        baseline = ExecutionRecord(
-            kernel=spec.name,
-            requested_core_mhz=kernel.baseline_core_mhz,
-            effective_core_mhz=kernel.baseline_core_mhz,
-            mem_mhz=kernel.baseline_mem_mhz,
-            time_ms=kernel.baseline_time_ms,
-            power_w=kernel.baseline_power_w,
-            energy_j=kernel.baseline_energy_j,
-        )
-        take = np.asarray(rows, dtype=np.intp)
-        return KernelMeasurements.from_arrays(
-            spec=spec,
-            baseline=baseline,
-            core_mhz=np.asarray([c for c, _ in configs], dtype=np.float64),
-            mem_mhz=np.asarray([m for _, m in configs], dtype=np.float64),
-            time_ms=np.asarray(kernel.time_ms, dtype=np.float64)[take],
-            power_w=np.asarray(kernel.power_w, dtype=np.float64)[take],
-            energy_j=np.asarray(kernel.energy_j, dtype=np.float64)[take],
-        )
+
+def replay_measurements(
+    spec: KernelSpec,
+    kernel: KernelTrace,
+    configs: Sequence[tuple[float, float]],
+) -> KernelMeasurements:
+    """Reconstruct a sweep's :class:`KernelMeasurements` from one record.
+
+    The record/backend boundary: :class:`ReplayBackend` resolves which
+    record serves a kernel, this turns the record into the exact columnar
+    measurements the original backend produced (float64 round-trips bit
+    for bit).  Also used directly by campaign resume, which recovers
+    records from a partial stream without standing up a whole backend.
+    """
+    index = {c: i for i, c in enumerate(kernel.configs)}
+    rows = []
+    for config in configs:
+        i = index.get((float(config[0]), float(config[1])))
+        if i is None:
+            raise ReplayError(
+                f"configuration {config} of kernel {spec.name!r} "
+                f"was not recorded"
+            )
+        rows.append(i)
+
+    baseline = ExecutionRecord(
+        kernel=spec.name,
+        requested_core_mhz=kernel.baseline_core_mhz,
+        effective_core_mhz=kernel.baseline_core_mhz,
+        mem_mhz=kernel.baseline_mem_mhz,
+        time_ms=kernel.baseline_time_ms,
+        power_w=kernel.baseline_power_w,
+        energy_j=kernel.baseline_energy_j,
+    )
+    take = np.asarray(rows, dtype=np.intp)
+    return KernelMeasurements.from_arrays(
+        spec=spec,
+        baseline=baseline,
+        core_mhz=np.asarray([c for c, _ in configs], dtype=np.float64),
+        mem_mhz=np.asarray([m for _, m in configs], dtype=np.float64),
+        time_ms=np.asarray(kernel.time_ms, dtype=np.float64)[take],
+        power_w=np.asarray(kernel.power_w, dtype=np.float64)[take],
+        energy_j=np.asarray(kernel.energy_j, dtype=np.float64)[take],
+    )
 
 
 class RecordingBackend:

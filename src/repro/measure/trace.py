@@ -285,6 +285,52 @@ class TraceWriter:
     def closed(self) -> bool:
         return self._handle is None
 
+    @classmethod
+    def resume_partial(
+        cls,
+        path: str | pathlib.Path,
+        device: str,
+        keep_bytes: int,
+    ) -> "TraceWriter":
+        """Reopen an interrupted atomic stream and keep extending it.
+
+        ``path`` is the *published* location; the records live in its
+        ``.partial`` sibling (an atomic writer that never closed cleanly).
+        The partial file is truncated to ``keep_bytes`` — the end of its
+        last intact record, as reported by :func:`scan_stream_records` —
+        so a half-written trailing line is dropped, then appended to.  A
+        clean close publishes the finished stream exactly like a fresh
+        atomic writer; another crash leaves the (longer) partial behind
+        for the next resume.
+        """
+        writer = cls.__new__(cls)
+        writer.path = pathlib.Path(path).expanduser()
+        writer.device = device
+        writer.n_records = 0
+        writer._partial = writer.path.with_name(writer.path.name + ".partial")
+        if not writer._partial.exists():
+            raise ReplayError(f"no partial trace to resume at {writer._partial}")
+        with writer._partial.open("rb") as probe:
+            header_line = probe.readline()
+            header_end = probe.tell()
+        header = _parse_header(header_line.decode("utf-8"), writer._partial)
+        if header["device"] != device:
+            raise ReplayError(
+                f"cannot resume sweeps of {device!r} onto a partial trace "
+                f"recorded on {header['device']!r}"
+            )
+        if keep_bytes < header_end:
+            raise ReplayError(
+                f"cannot truncate {writer._partial} to {keep_bytes} bytes: "
+                f"that cuts into the {header_end}-byte header (start a "
+                f"fresh writer instead)"
+            )
+        handle = writer._partial.open("r+")
+        handle.truncate(keep_bytes)
+        handle.seek(keep_bytes)
+        writer._handle = handle
+        return writer
+
     def __enter__(self) -> "TraceWriter":
         return self
 
@@ -421,6 +467,75 @@ def scan_trace_offsets(path: str | pathlib.Path) -> tuple[dict, dict[str, list[i
                 offsets.setdefault(name, []).append(position)
             position = handle.tell()
     return header, offsets
+
+
+@dataclass
+class ScannedRecord:
+    """One intact record of a stream, with where it ends in the file."""
+
+    name: str
+    kernel: KernelTrace
+    end_offset: int
+
+
+def scan_stream_records(
+    path: str | pathlib.Path, tolerate_truncation: bool = False
+) -> tuple[dict, list[ScannedRecord]]:
+    """Parse a v2 stream's intact record prefix: ``(header, records)``.
+
+    The resume scan: unlike :func:`iter_trace` it reports each record's
+    *end byte offset*, so a caller can truncate the file after any intact
+    prefix and append from there.  With ``tolerate_truncation=True`` a
+    corrupt or half-written **final** line (what a killed campaign leaves
+    behind) silently ends the scan instead of raising; corruption with
+    intact records after it still raises, since that is damage, not a
+    crash tail.
+    """
+    p = pathlib.Path(path).expanduser()
+    records: list[ScannedRecord] = []
+    with p.open("rb") as handle:
+        first = handle.readline()
+        if not _is_jsonl_trace(first.decode("utf-8", errors="replace")):
+            raise ReplayError(f"trace {p} is not a v{TRACE_VERSION} JSONL stream")
+        header = _parse_header(first.decode("utf-8"), p)
+        position = handle.tell()
+        damage: ReplayError | None = None
+        for raw in iter(handle.readline, b""):
+            end = handle.tell()
+            start, position = position, end
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            intact = raw.endswith(b"\n")
+            if intact:
+                try:
+                    state = json.loads(line)
+                    record = ScannedRecord(
+                        name=str(state["kernel"]),
+                        kernel=KernelTrace.from_state(state),
+                        end_offset=end,
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    intact = False
+                    damage = ReplayError(
+                        f"trace {p} record at byte {start} is corrupt: {exc}"
+                    )
+            if not intact:
+                if damage is None:
+                    # An unterminated final line that still parses is the
+                    # flush racing the kill — never counted as intact.
+                    damage = ReplayError(
+                        f"trace {p} record at byte {start} is unterminated"
+                    )
+                continue
+            if damage is not None:
+                # An intact record *after* damage means mid-file corruption,
+                # not a crash tail — never silently reusable.
+                raise damage
+            records.append(record)
+        if damage is not None and not tolerate_truncation:
+            raise damage
+    return header, records
 
 
 def read_kernel_at(path: str | pathlib.Path, offset: int) -> KernelTrace:

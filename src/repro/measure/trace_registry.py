@@ -23,7 +23,17 @@ from typing import TYPE_CHECKING, Iterator
 from ..gpusim.device import DeviceSpec, device_slug, resolve_device
 from ..gpusim.noise import NoiseConfig
 from ..store import ArtifactStore, StoreMiss, StoreStats
-from .trace import KernelTrace, ReplayError, SweepTrace, TraceWriter, iter_trace, load_trace, save_trace
+from .trace import (
+    KernelTrace,
+    ReplayError,
+    ScannedRecord,
+    SweepTrace,
+    TraceWriter,
+    iter_trace,
+    load_trace,
+    save_trace,
+    scan_stream_records,
+)
 
 if TYPE_CHECKING:
     from .replay import ReplayBackend
@@ -95,6 +105,35 @@ class TraceKey:
         except KeyError as exc:
             raise ReplayError(exc.args[0]) from None
         return cls(device=device, suite=suite, noise=noise)
+
+
+@dataclass
+class TraceResumeState:
+    """What a resume scan recovered for one trace key.
+
+    ``source`` says where the intact records came from: ``"published"``
+    (a registered trace from an earlier clean run), ``"partial"`` (the
+    ``.partial`` stream a crashed atomic writer left behind), or
+    ``"none"`` (nothing recoverable — start fresh).  ``keep_bytes`` is
+    the byte offset just past the last intact record of a partial stream;
+    :meth:`TraceRegistry.resume_writer` truncates there before appending.
+    """
+
+    key: TraceKey
+    source: str
+    records: list[ScannedRecord] = field(default_factory=list)
+    keep_bytes: int = 0
+
+    @property
+    def resumable(self) -> bool:
+        return self.source != "none"
+
+    def kernel_names(self) -> list[str]:
+        """Recovered kernels in record order, deduplicated (repeat passes)."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.name, None)
+        return list(seen)
 
 
 def _write_trace(path: pathlib.Path, trace: SweepTrace, meta: dict) -> pathlib.Path:
@@ -199,6 +238,95 @@ class TraceRegistry:
     def iter_kernels(self, key: TraceKey | str) -> Iterator[tuple[str, KernelTrace]]:
         """Stream the keyed trace's records without materializing it."""
         return iter_trace(self.resolve(key))
+
+    # -- resume -----------------------------------------------------------------
+
+    def partial_path_for(self, key: TraceKey) -> pathlib.Path:
+        """Where an interrupted atomic writer's stream for ``key`` lives."""
+        path = self.path_for(key)
+        return path.with_name(path.name + ".partial")
+
+    def scan_resume_sources(self, key: TraceKey) -> list[TraceResumeState]:
+        """Every readable stream a resume of ``key`` could draw on.
+
+        The interrupted ``.partial`` stream (a crashed run's progress,
+        scanned tolerating the half-written trailing line a kill leaves
+        behind) and the published file (a clean earlier run), in that
+        order — callers pick whichever covers more of their expected
+        sequence.  A stream whose header names a different device, or
+        that is damaged beyond a crash tail, is omitted: resume must
+        re-measure rather than trust foreign records.
+        """
+        device_name = key.device_spec().name
+        states = []
+        for source, path, tolerate in (
+            ("partial", self.partial_path_for(key), True),
+            ("published", self.path_for(key), False),
+        ):
+            if not path.exists():
+                continue
+            try:
+                header, records = scan_stream_records(
+                    path, tolerate_truncation=tolerate
+                )
+            except ReplayError:
+                continue
+            if header["device"] != device_name:
+                continue
+            keep = records[-1].end_offset if records else 0
+            states.append(
+                TraceResumeState(
+                    key=key, source=source, records=records, keep_bytes=keep
+                )
+            )
+        return states
+
+    def scan_resume(self, key: TraceKey) -> TraceResumeState:
+        """The single richest recorded stream for ``key`` (most records).
+
+        Convenience over :meth:`scan_resume_sources` for introspection;
+        the campaign engine compares *validated* prefixes across all
+        sources instead, since raw record count ignores plan mismatches.
+        Ties prefer the ``.partial`` stream (it is appendable).
+        """
+        states = self.scan_resume_sources(key)
+        if not states:
+            return TraceResumeState(key=key, source="none")
+        return max(states, key=lambda s: len(s.records))
+
+    def completed_kernels(self, key: TraceKey) -> list[str]:
+        """Kernels ``key``'s trace already holds complete records for.
+
+        Reads the richest of the interrupted ``.partial`` stream and the
+        published trace — the introspection behind ``campaign --resume``
+        deciding which sweeps to skip.
+        """
+        return self.scan_resume(key).kernel_names()
+
+    def discard_partial(self, key: TraceKey) -> None:
+        """Remove a leftover ``.partial`` stream for ``key``, if any.
+
+        For crash debris a resume decided *not* to reuse (e.g. the
+        header-only partial a killed re-run left beside a complete
+        published trace) — once superseded it would otherwise sit in the
+        store forever.
+        """
+        self.partial_path_for(key).unlink(missing_ok=True)
+
+    def resume_writer(self, key: TraceKey, keep_bytes: int) -> TraceWriter:
+        """Reopen ``key``'s interrupted partial stream for appending.
+
+        ``keep_bytes`` comes from :meth:`scan_resume`; everything past it
+        (the crash tail) is truncated away.  Like :meth:`writer`, the key
+        publishes atomically on clean close and the memory tier is
+        invalidated up front.
+        """
+        self.store.invalidate(key)
+        return TraceWriter.resume_partial(
+            self.path_for(key),
+            device=key.device_spec().name,
+            keep_bytes=keep_bytes,
+        )
 
     def entries(self) -> list[str]:
         """Slugs of every recorded trace under the registry root."""

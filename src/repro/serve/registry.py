@@ -25,6 +25,7 @@ from ..core.pipeline import TrainedModels, train_from_specs
 from ..gpusim.device import DeviceSpec, resolve_device
 from ..measure.simulator import SimulatorBackend
 from ..store import ArtifactStore
+from ..store.envelope import read_artifact_meta
 from ..synthetic.generator import generate_micro_benchmarks
 from .artifacts import load_models, save_models
 
@@ -144,9 +145,31 @@ class ModelRegistry:
         """Resolve a bundle: memory, then disk, then train-and-persist."""
         return self._store.get(key)
 
-    def put(self, key: ModelKey, models: TrainedModels) -> pathlib.Path:
-        """Register an externally trained bundle under ``key``."""
-        return self._store.put(key, models)
+    def put(
+        self,
+        key: ModelKey,
+        models: TrainedModels,
+        extra_meta: dict | None = None,
+    ) -> pathlib.Path:
+        """Register an externally trained bundle under ``key``.
+
+        ``extra_meta`` records extra provenance in the artifact (the
+        campaign engine stores the SHA-256 of the trace the bundle was
+        trained from, which is what lets a resumed campaign prove a
+        persisted bundle is still current and skip retraining).
+        """
+        return self._store.put(key, models, extra_meta=extra_meta)
+
+    def meta_for(self, key: ModelKey) -> dict | None:
+        """A persisted bundle's provenance meta, or None when absent.
+
+        Reads only the artifact envelope — no model bundle is
+        materialized, so checking whether a bundle is stale stays cheap.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        return read_artifact_meta(path)
 
     def entries(self) -> list[str]:
         """Slugs of every persisted bundle under the registry root."""

@@ -21,7 +21,7 @@ from ..core.predictor import ParetoPredictor, PredictedParetoSet
 from ..features.vector import StaticFeatures
 from ..gpusim.device import DeviceSpec
 from .artifacts import load_models_with_meta
-from .cache import KernelFeatureCache
+from .cache import CacheStats, KernelFeatureCache
 from .registry import ModelKey, ModelRegistry
 
 
@@ -38,22 +38,33 @@ def _normalize(request) -> tuple[str, str | None]:
 
 @dataclass
 class ServiceStats:
-    """Request counters and cumulative stage latencies (seconds)."""
+    """Request counters and cumulative stage latencies (seconds).
+
+    ``feature_cache`` is wired to the service's live
+    :class:`~repro.serve.cache.CacheStats` so one ``as_dict()`` carries
+    the whole telemetry picture — without the cache's hit/miss counters
+    an operator cannot see the warm-cache effect that dominates serving
+    latency (a hit skips the entire clkernel frontend).
+    """
 
     single_requests: int = 0
     batch_requests: int = 0
     kernels_served: int = 0
     extract_seconds: float = 0.0
     predict_seconds: float = 0.0
+    feature_cache: CacheStats | None = None
 
     def as_dict(self) -> dict:
-        return {
+        stats = {
             "single_requests": self.single_requests,
             "batch_requests": self.batch_requests,
             "kernels_served": self.kernels_served,
             "extract_seconds": self.extract_seconds,
             "predict_seconds": self.predict_seconds,
         }
+        if self.feature_cache is not None:
+            stats["feature_cache"] = self.feature_cache.as_dict()
+        return stats
 
 
 @dataclass
@@ -69,6 +80,9 @@ class PredictionService:
     stats: ServiceStats = field(default_factory=ServiceStats)
 
     def __post_init__(self) -> None:
+        # One telemetry object: the cache's counters ride along in every
+        # ServiceStats.as_dict() (see `repro predict-batch --stats`).
+        self.stats.feature_cache = self.cache.stats
         if self.candidates is None and self.models.settings:
             # Predict over the modeled subset of the settings the bundle
             # was trained on — the paper_context convention.
@@ -158,8 +172,7 @@ class PredictionService:
     # -- telemetry --------------------------------------------------------------
 
     def stats_summary(self) -> dict:
-        """Service counters merged with the feature cache's counters."""
+        """Service counters (cache counters included) plus predictor facts."""
         summary = self.stats.as_dict()
-        summary["feature_cache"] = self.cache.stats.as_dict()
         summary["candidates"] = len(self.predictor.candidates)
         return summary

@@ -19,6 +19,7 @@ from .envelope import (
     load_artifact,
     make_envelope,
     open_envelope,
+    read_artifact_meta,
     save_artifact,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "load_artifact",
     "make_envelope",
     "open_envelope",
+    "read_artifact_meta",
     "save_artifact",
 ]

@@ -149,9 +149,17 @@ class ArtifactStore:
         self._remember(key.slug, value)
         return value
 
-    def put(self, key: StoreKey, value: Any) -> pathlib.Path:
-        """Register an externally built artifact under ``key``."""
-        path = self._write(self.path_for(key), value, key.as_meta())
+    def put(
+        self, key: StoreKey, value: Any, extra_meta: dict | None = None
+    ) -> pathlib.Path:
+        """Register an externally built artifact under ``key``.
+
+        ``extra_meta`` adds provenance beyond the key's own (e.g. the hash
+        of the trace a model bundle was trained from); key fields win on
+        collision, since they *are* the artifact's identity.
+        """
+        meta = {**(extra_meta or {}), **key.as_meta()}
+        path = self._write(self.path_for(key), value, meta)
         self._remember(key.slug, value)
         self.stats.puts += 1
         return path

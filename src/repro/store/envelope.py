@@ -107,3 +107,14 @@ def load_artifact(
     except json.JSONDecodeError as exc:
         raise ArtifactError(f"artifact {p} is not valid JSON: {exc}") from None
     return open_envelope(envelope, expected_kind)
+
+
+def read_artifact_meta(path: str | pathlib.Path) -> dict:
+    """Just an artifact's provenance ``meta``, payload left unmaterialized.
+
+    For provenance checks (does this bundle's recorded ``trace_sha256``
+    still match?) where rebuilding the payload object — a whole model
+    bundle — would be waste.
+    """
+    _payload, meta = load_artifact(path)
+    return meta

@@ -25,6 +25,13 @@ class TestPlan:
         with pytest.raises(KeyError, match="unknown device"):
             CampaignPlan(devices=("gtx-9999",))
 
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(ValueError, match="same device"):
+            CampaignPlan(devices=("titan-x", "titan-x"))
+        # Two *aliases* of one device would race two legs onto one trace.
+        with pytest.raises(ValueError, match="same device"):
+            CampaignPlan(devices=("titan-x", "titanx"))
+
     def test_recipe_drives_suite_label(self):
         assert CampaignPlan(devices=("titan-x",)).suite_label == "default"
         assert CampaignPlan(devices=("titan-x",), recipe="quick").suite_label == "quick"

@@ -1,0 +1,123 @@
+"""CampaignProgress: counters, rates, ETA, utilization, rendering."""
+
+import pytest
+
+from repro.campaign import CampaignProgress
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def progress(clock):
+    p = CampaignProgress(workers=4, clock=clock)
+    p.add_leg("titan", total=10)
+    p.add_leg("p100", total=10, skipped=4)
+    return p
+
+
+class TestCounters:
+    def test_totals_aggregate_legs(self, progress):
+        assert progress.total == 20
+        assert progress.skipped == 4
+        assert progress.done == 0
+        assert progress.remaining == 16
+
+    def test_task_done_advances_one_leg(self, progress):
+        progress.task_done("titan", busy_seconds=0.5)
+        assert progress.done == 1
+        assert progress.legs["titan"].done == 1
+        assert progress.legs["p100"].done == 0
+
+    def test_leg_moves_to_training_when_swept(self, progress):
+        for _ in range(10):
+            progress.task_done("titan", busy_seconds=0.1)
+        assert progress.legs["titan"].stage == "training"
+        assert progress.legs["titan"].remaining == 0
+
+    def test_fully_skipped_leg_starts_past_sweeping(self, clock):
+        p = CampaignProgress(workers=1, clock=clock)
+        leg = p.add_leg("titan", total=6, skipped=6)
+        assert leg.stage == "training"
+
+    def test_unknown_stage_rejected(self, progress):
+        with pytest.raises(ValueError, match="unknown leg stage"):
+            progress.leg_stage("titan", "teleporting")
+
+
+class TestRates:
+    def test_kernels_per_sec_and_eta(self, progress, clock):
+        clock.now += 2.0
+        for _ in range(8):
+            progress.task_done("titan", busy_seconds=0.9)
+        assert progress.kernels_per_sec() == pytest.approx(4.0)
+        # 8 remaining (16 - 8 done) at 4/s -> 2s.
+        assert progress.eta_seconds() == pytest.approx(2.0)
+
+    def test_eta_zero_when_nothing_remains(self, clock):
+        p = CampaignProgress(workers=1, clock=clock)
+        p.add_leg("titan", total=2)
+        clock.now += 1.0
+        p.task_done("titan", 0.1)
+        p.task_done("titan", 0.1)
+        assert p.eta_seconds() == 0.0
+
+    def test_eta_unknown_before_any_completion(self, progress, clock):
+        clock.now += 1.0
+        assert progress.eta_seconds() is None
+
+    def test_utilization_is_busy_over_capacity(self, progress, clock):
+        clock.now += 2.0
+        progress.task_done("titan", busy_seconds=4.0)
+        # 4 busy seconds / (2s elapsed x 4 workers) = 0.5
+        assert progress.utilization() == pytest.approx(0.5)
+
+    def test_utilization_clamped_to_one(self, progress, clock):
+        clock.now += 0.5
+        progress.task_done("titan", busy_seconds=50.0)
+        assert progress.utilization() == 1.0
+
+    def test_finish_freezes_elapsed(self, progress, clock):
+        clock.now += 3.0
+        progress.finish()
+        clock.now += 100.0
+        assert progress.elapsed == pytest.approx(3.0)
+
+
+class TestRendering:
+    def test_render_mentions_every_leg(self, progress, clock):
+        clock.now += 1.0
+        progress.task_done("titan", 0.2)
+        text = progress.render()
+        assert "titan: 1/10" in text
+        assert "p100: 4/10" in text
+        assert "kernels/s" in text
+        assert "util" in text
+
+    def test_render_shows_stage_once_swept(self, progress):
+        for _ in range(6):
+            progress.task_done("p100", 0.1)
+        assert "p100: training" in progress.render()
+
+    def test_resumed_label(self, progress):
+        assert progress.completed_label() == "4/20 (4 resumed)"
+
+    def test_as_dict_round_trip(self, progress, clock):
+        clock.now += 1.0
+        progress.task_done("titan", 0.3)
+        d = progress.as_dict()
+        assert d["workers"] == 4
+        assert d["done"] == 1
+        assert d["skipped"] == 4
+        assert d["legs"]["titan"]["done"] == 1
+        assert 0.0 <= d["utilization"] <= 1.0

@@ -8,6 +8,7 @@ from repro.gpusim.device import (
     device_aliases,
     device_slug,
     get_device,
+    make_gtx_1080_ti,
     make_tesla_p100,
     make_tesla_v100,
     make_titan_x,
@@ -141,6 +142,43 @@ class TestTeslaV100:
         assert mem_l_heuristic_config(self.dev) == (405.0, 405.0)
 
 
+class TestGTX1080Ti:
+    def setup_method(self):
+        self.dev = make_gtx_1080_ti()
+
+    def test_single_memory_domain(self):
+        # Consumer Pascal: one tunable GDDR5X clock, like the P100's HBM2.
+        assert self.dev.mem_clocks_mhz == (5505.0,)
+        assert [d.label for d in self.dev.domains] == ["M"]
+
+    def test_titan_x_class_core_menu(self):
+        domain = self.dev.domains[0]
+        assert len(domain.reported_core_mhz) == 71
+        assert min(domain.reported_core_mhz) == 139.0
+        assert max(domain.reported_core_mhz) == 1911.0
+
+    def test_no_clamping(self):
+        domain = self.dev.domains[0]
+        assert domain.real_core_mhz == domain.reported_core_mhz
+
+    def test_default_config_is_settable(self):
+        assert self.dev.default_config == (1481.0, 5505.0)
+        assert 1481.0 in self.dev.domains[0].reported_core_mhz
+
+    def test_no_mem_l_heuristic_point(self):
+        from repro.core.config import mem_l_heuristic_config
+
+        # No undersized domain → the §4.5 heuristic has nothing to add.
+        assert mem_l_heuristic_config(self.dev) is None
+
+    def test_sampler_budget(self):
+        from repro.core.config import sample_training_settings
+
+        settings = sample_training_settings(self.dev, total=40)
+        assert len(settings) == 40
+        assert all(mem == 5505.0 for _core, mem in settings)
+
+
 class TestRegistry:
     def test_lookup_by_name(self):
         assert get_device("NVIDIA GTX Titan X").compute_capability == "5.2"
@@ -152,6 +190,11 @@ class TestRegistry:
     def test_v100_registered_with_aliases(self):
         assert resolve_device("v100").name == "NVIDIA Tesla V100"
         assert resolve_device("tesla-v100").compute_capability == "7.0"
+
+    def test_1080_ti_registered_with_aliases(self):
+        assert resolve_device("1080-ti").name == "NVIDIA GTX 1080 Ti"
+        assert resolve_device("gtx-1080-ti").compute_capability == "6.1"
+        assert resolve_device("1080ti") is resolve_device("NVIDIA GTX 1080 Ti")
 
     def test_device_slug_is_alias_stable(self):
         assert device_slug("titan-x") == device_slug("NVIDIA GTX Titan X")

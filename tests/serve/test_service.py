@@ -63,6 +63,21 @@ class TestServicePredictions:
         assert stats["feature_cache"]["misses"] == 1
         assert stats["feature_cache"]["hits"] == 2
 
+    def test_service_stats_dict_carries_cache_counters(self, service):
+        """ServiceStats.as_dict() alone must show the warm-cache effect —
+        operators read it via `repro predict-batch --stats`."""
+        service.predict(SAXPY)
+        service.predict(SAXPY)
+        stats = service.stats.as_dict()
+        assert stats["feature_cache"]["hits"] == 1
+        assert stats["feature_cache"]["misses"] == 1
+        assert stats["feature_cache"]["hit_rate"] == 0.5
+
+    def test_standalone_service_stats_omit_absent_cache(self):
+        from repro.serve.service import ServiceStats
+
+        assert "feature_cache" not in ServiceStats().as_dict()
+
     def test_stats_accounting(self, service):
         service.predict(SAXPY)
         service.predict_batch([SAXPY, SAXPY, SAXPY])
