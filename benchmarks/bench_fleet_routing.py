@@ -1,0 +1,123 @@
+"""Fleet routing overhead: the multi-device front door vs direct services.
+
+`repro.serve.fleet.FleetService` puts one routing layer (alias resolution
++ LRU bookkeeping) in front of per-device `PredictionService`s.  For that
+to be a deployable default, warm-cache routed predictions must cost about
+the same as calling the per-device service directly — and must return the
+*identical* answer.  This bench interleaves requests across two devices
+through both paths and records per-request latency; the byte-identity of
+the fronts is asserted unconditionally, the overhead bound on every run.
+"""
+
+import os
+import tempfile
+import time
+
+from _common import write_artifact
+
+from repro.harness.context import quick_context
+from repro.harness.report import format_heading, format_table
+from repro.serve.fleet import FleetService
+from repro.serve.registry import ModelKey, ModelRegistry
+from repro.serve.service import PredictionService
+from repro.store.layout import MODELS_SUBDIR
+from repro.synthetic import generate_micro_benchmarks
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+DEVICES = ("NVIDIA GTX Titan X", "NVIDIA Tesla P100")
+ALIASES = ("titan-x", "p100")  # routed requests use aliases on purpose
+N_KERNELS = 6 if QUICK else 20
+ROUNDS = 3 if QUICK else 5
+
+#: Warm-cache routing must stay within this factor of direct calls.  The
+#: route is a dict lookup plus alias resolution against a model pass that
+#: dominates the request, so the honest ratio is ~1.0x; 1.5x leaves room
+#: for timer noise on loaded CI machines.
+MAX_OVERHEAD = 1.5
+
+
+def _build_store(root) -> FleetService:
+    """A two-device campaign-store layout from cached quick contexts."""
+    registry = ModelRegistry(root / MODELS_SUBDIR)
+    for device in DEVICES:
+        ctx = quick_context(device=device)
+        registry.put(ModelKey(device=device, recipe="quick"), ctx.models)
+    return FleetService.from_campaign_store(root)
+
+
+def _requests():
+    specs = generate_micro_benchmarks()[:N_KERNELS]
+    return [(spec.source, spec.kernel_name) for spec in specs]
+
+
+def measure_routing(root) -> tuple[float, float, int]:
+    """Best-of-ROUNDS seconds for one interleaved cross-device sweep:
+    direct per-device services vs fleet-routed, both fully warm."""
+    fleet = _build_store(root)
+    registry = fleet.registry
+    direct = {
+        alias: PredictionService(
+            models=registry.get(ModelKey(device=device, recipe="quick")),
+            device=fleet.service_for(alias).device,
+            cache=fleet.feature_cache,
+        )
+        for alias, device in zip(ALIASES, DEVICES)
+    }
+    requests = _requests()
+
+    # Warm everything: services loaded, shared feature cache populated,
+    # numpy/BLAS paths exercised — and assert byte-identity while at it.
+    for source, name in requests:
+        for alias in ALIASES:
+            routed = fleet.predict(source, kernel_name=name, device=alias)
+            plain = direct[alias].predict(source, kernel_name=name)
+            assert [(p.config, p.objectives) for p in routed.front] == [
+                (p.config, p.objectives) for p in plain.front
+            ], f"fleet routing changed the answer for {name} on {alias}"
+
+    def sweep(predict):
+        start = time.perf_counter()
+        for source, name in requests:
+            for alias in ALIASES:
+                predict(alias, source, name)
+        return time.perf_counter() - start
+
+    t_direct = min(
+        sweep(lambda a, s, n: direct[a].predict(s, kernel_name=n))
+        for _ in range(ROUNDS)
+    )
+    t_fleet = min(
+        sweep(lambda a, s, n: fleet.predict(s, kernel_name=n, device=a))
+        for _ in range(ROUNDS)
+    )
+    return t_direct, t_fleet, len(requests) * len(ALIASES)
+
+
+def regenerate() -> tuple[str, float, float]:
+    with tempfile.TemporaryDirectory(prefix="fleet-bench-") as tmp:
+        import pathlib
+
+        t_direct, t_fleet, n = measure_routing(pathlib.Path(tmp))
+    rows = [
+        ("direct per-device PredictionService", f"{t_direct * 1e3:8.2f}",
+         f"{t_direct / n * 1e6:9.1f}", "1.00x"),
+        ("FleetService routed (alias keys)", f"{t_fleet * 1e3:8.2f}",
+         f"{t_fleet / n * 1e6:9.1f}", f"{t_fleet / t_direct:.2f}x"),
+    ]
+    table = format_table(
+        ["path", f"ms / {n} requests", "us/request", "vs direct"], rows
+    )
+    text = (
+        format_heading(
+            "repro.serve.fleet — warm cross-device routing overhead"
+        )
+        + "\n" + table
+        + f"\n(2 devices interleaved, {n // 2} kernels, best of {ROUNDS})"
+    )
+    return text, t_direct, t_fleet
+
+
+def test_fleet_routing_overhead_bounded():
+    text, t_direct, t_fleet = regenerate()
+    write_artifact("fleet_routing", text)
+    assert t_fleet <= t_direct * MAX_OVERHEAD, (t_direct, t_fleet)

@@ -26,6 +26,11 @@ engine is thin orchestration over :mod:`repro.campaign.scheduler`:
 4. trained bundles register under the matching (device, recipe) key with
    the trace SHA-256 as provenance.
 
+The finished store is the deployment artifact:
+:meth:`repro.serve.fleet.FleetService.from_campaign_store` (and
+``repro predict --device … --store …``) serve every device in it with no
+further training, and the report's final line says so.
+
 Because every backend is deterministic per (device, kernel, config), the
 interleaved schedule is bit-identical to serial legs, a resumed campaign
 is byte-identical to an uninterrupted one, and `repro train --backend
@@ -44,20 +49,22 @@ import time
 
 from ..core.dataset import TrainingDataset
 from ..core.pipeline import TrainedModels
-from ..gpusim.device import DeviceSpec
+from ..gpusim.device import DeviceSpec, device_slug
 from ..harness.report import format_table
 from ..measure.backend import MeasurementBackend
 from ..measure.parallel import DevicePool, ParallelBackend, simulator_factory
 from ..measure.simulator import SimulatorBackend
 from ..measure.trace_registry import TraceRegistry
 from ..serve.registry import ModelRegistry
+from ..store.layout import MODELS_SUBDIR, TRACES_SUBDIR
 from .plan import CampaignPlan
 from .progress import CampaignProgress, ProgressCallback
 from .scheduler import LegRun, prepare_leg, run_legs, train_leg_task
 
-#: Store layout: traces and models live side by side under one root.
-TRACES_SUBDIR = "traces"
-MODELS_SUBDIR = "models"
+# Store layout (traces/ and models/ side by side under one root) lives in
+# repro.store.layout so the fleet serving layer — below this package in
+# the layering — deploys the same directories this engine writes;
+# MODELS_SUBDIR / TRACES_SUBDIR stay importable from here.
 
 
 def _file_sha256(path: pathlib.Path, chunk_bytes: int = 1 << 20) -> str:
@@ -145,6 +152,13 @@ class CampaignReport:
         lines.append(
             f"total: {self.n_samples} samples in {self.seconds:.2f}s; "
             f"artifacts under {self.store_root}"
+        )
+        lines.append(
+            f"fleet-ready: {len(self.results)} device(s) servable straight "
+            f"from this store — repro serve-status --store {self.store_root}; "
+            f"repro predict KERNEL.cl --device "
+            f"{device_slug(self.results[0].device) if self.results else 'NAME'} "
+            f"--store {self.store_root}"
         )
         return "\n".join(lines)
 

@@ -24,6 +24,12 @@ from typing import Callable
 #: Stages a device leg moves through (resume may jump straight to "reused").
 LEG_STAGES = ("sweeping", "training", "done", "reused")
 
+#: Below this much wall clock, rates are reported as 0.0 rather than
+#: computed: a progress callback can fire with zero elapsed time (a fast
+#: first task under a coarse clock), and ``done / 0`` must not raise nor
+#: report a nonsense multi-gigahertz sweep rate.
+MIN_RATE_ELAPSED = 1e-9
+
 
 @dataclass
 class LegProgress:
@@ -97,7 +103,7 @@ class CampaignProgress:
     @property
     def elapsed(self) -> float:
         end = self.finished if self.finished is not None else self.clock()
-        return max(end - self.started, 1e-9)
+        return max(end - self.started, 0.0)
 
     @property
     def total(self) -> int:
@@ -116,8 +122,15 @@ class CampaignProgress:
         return sum(leg.remaining for leg in self.legs.values())
 
     def kernels_per_sec(self) -> float:
-        """Sweep tasks measured per wall-clock second (skips excluded)."""
-        return self.done / self.elapsed
+        """Sweep tasks measured per wall-clock second (skips excluded).
+
+        Zero/near-zero elapsed reports 0.0 — the rate is unknown, not
+        infinite — consistent with :meth:`eta_seconds` saying ``None``.
+        """
+        elapsed = self.elapsed
+        if elapsed <= MIN_RATE_ELAPSED:
+            return 0.0
+        return self.done / elapsed
 
     def eta_seconds(self) -> float | None:
         """Projected seconds until every sweep task is measured."""
@@ -127,9 +140,16 @@ class CampaignProgress:
         return self.remaining / rate if rate > 0 else None
 
     def utilization(self) -> float:
-        """Fraction of worker capacity spent measuring so far."""
+        """Fraction of worker capacity spent measuring so far.
+
+        Zero/near-zero elapsed reports 0.0, same policy as
+        :meth:`kernels_per_sec`: no capacity has existed to use yet.
+        """
+        capacity = self.elapsed * self.workers
+        if capacity <= MIN_RATE_ELAPSED:
+            return 0.0
         busy = sum(leg.busy_seconds for leg in self.legs.values())
-        return min(busy / (self.elapsed * self.workers), 1.0)
+        return min(busy / capacity, 1.0)
 
     def as_dict(self) -> dict:
         return {

@@ -6,9 +6,14 @@ Subcommands:
 * ``train --save <models.json>`` — fit the paper's models and persist them
   as a versioned artifact for later ``predict --model`` runs;
 * ``predict <kernel.cl>`` — print the predicted Pareto set of frequency
-  settings, training in-process or loading a saved artifact (``--model``);
+  settings, training in-process, loading a saved artifact (``--model``),
+  or routing through a campaign store's fleet (``--device`` + ``--store``,
+  no model file needed);
 * ``predict-batch <kernel.cl>...`` — predict many kernels through the
   serving path (one vectorized model pass) and print per-kernel fronts;
+  also store-servable via ``--device`` + ``--store``;
+* ``serve-status --store DIR`` — what a campaign store can serve: every
+  device with a registered bundle, its aliases, recipe, and provenance;
 * ``devices`` — list registered devices, aliases, and frequency grids;
 * ``campaign --devices a,b`` — run a multi-device measurement campaign:
   device-interleaved sweeps over one shared worker pool, JSONL traces
@@ -29,6 +34,12 @@ JSON trace for later replay.  Cross-device workflows are one command each::
 
     repro-dvfs train --device tesla-p100 --save p100.json
     repro-dvfs predict kernel.cl --model p100.json
+
+or, once a campaign store exists, zero-file fleet serving::
+
+    repro-dvfs campaign --devices titan-x,tesla-p100 --store repro-store
+    repro-dvfs serve-status --store repro-store
+    repro-dvfs predict kernel.cl --device p100 --store repro-store
 """
 
 from __future__ import annotations
@@ -203,9 +214,72 @@ def _reject_backend_flags_with_model(args) -> None:
         )
 
 
+def _serves_from_store(args) -> bool:
+    """True when predict/predict-batch should route through a campaign
+    store's fleet: an explicit ``--store`` with no model file and no
+    replay/trace flags (those keep their in-process training meaning)."""
+    if args.model and getattr(args, "store", None):
+        raise CLIUsageError(
+            "pass either --model PATH (one saved bundle) or --store DIR "
+            "(serve from a campaign store), not both"
+        )
+    return (
+        getattr(args, "store", None) is not None
+        and not args.model
+        and getattr(args, "backend", "simulator") == "simulator"
+        and not getattr(args, "trace", None)
+        and not getattr(args, "trace_key", None)
+    )
+
+
+def _fleet_for(args):
+    """A FleetService over --store, surfacing bad stores as CLI errors.
+
+    ``--quick`` narrows routing to quick-recipe bundles — without the
+    filter a store holding both recipes would silently serve the
+    preferred (paper) bundle to a user who asked for quick.
+    """
+    from .serve.fleet import FleetService
+
+    recipe = "quick" if getattr(args, "quick", False) else None
+    return FleetService.from_campaign_store(_store_root(args), recipe=recipe)
+
+
+def _fleet_device(fleet, args) -> str:
+    """The --device to route to; a single-device store needs no flag."""
+    if args.device:
+        return args.device
+    devices = fleet.devices()
+    if len(devices) == 1:
+        return devices[0]
+    raise CLIUsageError(
+        f"--device required: the store serves {len(devices)} devices "
+        f"({', '.join(devices)})"
+    )
+
+
+def _print_stats(summary: dict, prefix: str = "  ") -> None:
+    """Flatten nested stats dicts into aligned `a.b.c: value` lines."""
+
+    def walk(mapping: dict, path: str) -> None:
+        for name, value in mapping.items():
+            dotted = f"{path}.{name}" if path else str(name)
+            if isinstance(value, dict):
+                walk(value, dotted)
+            else:
+                print(f"{prefix}{dotted}: {value}")
+
+    walk(summary, "")
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     source = pathlib.Path(args.kernel).read_text()
-    if args.model:
+    if _serves_from_store(args):
+        fleet = _fleet_for(args)
+        result = fleet.predict(
+            source, kernel_name=args.name, device=_fleet_device(fleet, args)
+        )
+    elif args.model:
         from .serve.service import PredictionService
 
         _reject_backend_flags_with_model(args)
@@ -222,6 +296,20 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_predict_batch(args: argparse.Namespace) -> int:
     from .serve.service import PredictionService
 
+    if _serves_from_store(args):
+        fleet = _fleet_for(args)
+        device = _fleet_device(fleet, args)
+        sources = [pathlib.Path(p).read_text() for p in args.kernels]
+        results = fleet.predict_batch(
+            [(device, source, args.name) for source in sources]
+        )
+        for kernel_path, result in zip(args.kernels, results):
+            print(f"== {kernel_path}")
+            _print_front(result)
+        if args.stats:
+            print("-- fleet stats")
+            _print_stats(fleet.stats_summary())
+        return 0
     if args.model:
         _reject_backend_flags_with_model(args)
         device = _resolve_device_cli(args.device) if args.device else None
@@ -238,13 +326,47 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
         print(f"== {kernel_path}")
         _print_front(result)
     if args.stats:
-        summary = service.stats_summary()
-        cache = summary.pop("feature_cache", {})
         print("-- service stats")
-        for name, value in summary.items():
-            print(f"  {name}: {value}")
-        for name, value in cache.items():
-            print(f"  feature_cache.{name}: {value}")
+        _print_stats(service.stats_summary())
+    return 0
+
+
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    from .gpusim.device import device_aliases
+    from .harness.report import format_table
+
+    fleet = _fleet_for(args)
+    rows = []
+    for key in fleet.model_keys():
+        spec = key.device_spec()
+        path = fleet.registry.path_for(key)
+        meta = fleet.registry.meta_for(key) or {}
+        sha = meta.get("trace_sha256") or ""
+        rows.append(
+            (
+                spec.name,
+                ", ".join(device_aliases(spec.name)) or "-",
+                key.recipe,
+                key.features,
+                f"{path.stat().st_size}",
+                sha[:12] or "-",
+            )
+        )
+    print(
+        f"fleet over {_store_root(args)}: {len(rows)} device(s) servable"
+    )
+    print(
+        format_table(
+            ["device", "aliases", "recipe", "features", "bytes", "trace sha256"],
+            rows,
+        )
+    )
+    example = rows[0][0]
+    print(
+        f"serve it: repro predict KERNEL.cl --device "
+        f"{device_aliases(example)[0] if device_aliases(example) else example} "
+        f"--store {_store_root(args)}"
+    )
     return 0
 
 
@@ -413,7 +535,10 @@ def _add_device_flags(parser: argparse.ArgumentParser, record: bool = False) -> 
     )
     parser.add_argument(
         "--store", metavar="DIR", default=None,
-        help=f"artifact store root for --trace-key (default: {DEFAULT_STORE})",
+        help="campaign store root: with --trace-key, where traces resolve "
+             "from; on predict/predict-batch without --model, serve "
+             "predictions for --device straight from the store's registered "
+             f"bundles (default: {DEFAULT_STORE})",
     )
     if record:
         parser.add_argument(
@@ -497,6 +622,17 @@ def build_parser() -> argparse.ArgumentParser:
         "devices", help="list registered devices, aliases, and frequency grids"
     )
     p_dev.set_defaults(func=_cmd_devices)
+
+    p_status = sub.add_parser(
+        "serve-status",
+        help="list what a campaign store can serve: devices with registered "
+             "bundles, their aliases, recipes, and trace provenance",
+    )
+    p_status.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=f"campaign store root (default: {DEFAULT_STORE})",
+    )
+    p_status.set_defaults(func=_cmd_serve_status)
 
     p_camp = sub.add_parser(
         "campaign",

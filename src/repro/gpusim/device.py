@@ -394,11 +394,29 @@ def _alias_slug(name: str) -> str:
 
 
 def register_device(spec: DeviceSpec, aliases: tuple[str, ...] = ()) -> DeviceSpec:
-    """Register a device under its full name plus normalized aliases."""
-    DEVICE_REGISTRY[spec.name] = spec
-    DEVICE_ALIASES[_alias_slug(spec.name)] = spec.name
+    """Register a device under its full name plus normalized aliases.
+
+    An alias slug already claimed by a *different* device raises
+    :class:`ValueError` before anything is mutated — a silent overwrite
+    would reroute every later ``resolve_device`` (and with it trace keys,
+    model keys, fleet routing) to the wrong hardware without a trace.
+    Re-registering the same device (same full name) stays idempotent.
+    """
+    slugs = [_alias_slug(spec.name)]
     for alias in aliases:
-        DEVICE_ALIASES[_alias_slug(alias)] = spec.name
+        slug = _alias_slug(alias)
+        if slug not in slugs:
+            slugs.append(slug)
+    for slug in slugs:
+        claimed = DEVICE_ALIASES.get(slug)
+        if claimed is not None and claimed != spec.name:
+            raise ValueError(
+                f"alias {slug!r} is already registered for device "
+                f"{claimed!r}; cannot claim it for {spec.name!r}"
+            )
+    DEVICE_REGISTRY[spec.name] = spec
+    for slug in slugs:
+        DEVICE_ALIASES[slug] = spec.name
     return spec
 
 

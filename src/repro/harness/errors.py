@@ -22,12 +22,27 @@ from ..workloads import KernelSpec
 from .runner import measure_configs
 
 
+#: Measured truths with magnitude below this are excluded from relative
+#: error: dividing by a near-zero measurement (the paper's §4.2 erratic
+#: low-memory-clock power states can report ~0 energy/speedup) turns one
+#: noisy sample into an error of absurd magnitude that swamps every
+#: aggregate, exactly like the constant-column scaler bug did pre-PR-3.
+MIN_ABS_TRUTH = 1e-6
+
+
 @dataclass
 class ErrorAnalysis:
-    """Per-memory-domain error reports for one objective."""
+    """Per-memory-domain error reports for one objective.
+
+    ``excluded`` counts (benchmark, setting) points dropped because the
+    measured truth was below :data:`MIN_ABS_TRUTH` in magnitude — reported
+    rather than silently absorbed, so a sweep over an erratic power state
+    cannot quietly thin out a panel.
+    """
 
     objective: str  # "speedup" or "energy"
     reports: dict[str, GroupedErrorReport]  # keyed by domain label
+    excluded: int = 0  # near-zero-truth points dropped from the analysis
 
     def overall_rmse(self) -> float:
         pooled: list[float] = []
@@ -43,12 +58,17 @@ def prediction_errors(
     specs: list[KernelSpec],
     settings: list[tuple[float, float]],
     objective: str = "speedup",
+    min_truth: float = MIN_ABS_TRUTH,
 ) -> ErrorAnalysis:
     """Signed relative errors (%) grouped by memory domain and benchmark.
 
     Follows §4.3's method: "For each application, we predicted the speedup
     value for all the sampled frequency configurations, and then we
     calculated the error after actually running that configuration."
+
+    Points whose measured truth is below ``min_truth`` in magnitude are
+    excluded (and counted in ``ErrorAnalysis.excluded``) instead of being
+    divided by — pass ``min_truth=0.0`` to keep every point.
     """
     if objective not in ("speedup", "energy"):
         raise ValueError("objective must be 'speedup' or 'energy'")
@@ -58,6 +78,7 @@ def prediction_errors(
     errors: dict[str, dict[str, list[float]]] = {
         d.label: {} for d in device.domains
     }
+    excluded = 0
 
     for spec in specs:
         static = spec.static_features()
@@ -70,6 +91,9 @@ def prediction_errors(
         for (config, pred) in zip(settings, predicted):
             point = measured[config]
             true_value = point.speedup if objective == "speedup" else point.norm_energy
+            if abs(true_value) < min_truth:
+                excluded += 1
+                continue
             err_pct = 100.0 * (pred - true_value) / true_value
             label = device.domain(config[1]).label
             errors[label].setdefault(spec.name, []).append(float(err_pct))
@@ -82,4 +106,4 @@ def prediction_errors(
         for label, per_bench in errors.items()
         if per_bench
     }
-    return ErrorAnalysis(objective=objective, reports=reports)
+    return ErrorAnalysis(objective=objective, reports=reports, excluded=excluded)

@@ -10,7 +10,11 @@ and from scratch every time) into a serving stack:
 * :mod:`repro.serve.cache` — content-hash LRU over kernel source → static
   features, skipping the clkernel frontend on repeat requests;
 * :mod:`repro.serve.service` — the :class:`PredictionService` facade with
-  batched vectorized inference and hit/miss/latency telemetry.
+  batched vectorized inference and hit/miss/latency telemetry;
+* :mod:`repro.serve.fleet` — the :class:`FleetService` front door: route
+  requests to any measured device by name or alias, lazy-load per-device
+  services (LRU-bounded), share one kernel-feature cache fleet-wide, and
+  deploy a whole campaign store in one call.
 
 Quick start::
 
@@ -21,6 +25,13 @@ Quick start::
         registry, ModelKey(recipe="quick")
     )
     fronts = service.predict_batch([src1, src2, src3])
+
+Fleet serving a campaign store::
+
+    from repro.serve import FleetService
+
+    fleet = FleetService.from_campaign_store("repro-store")
+    front = fleet.pareto_front_for("tesla-p100", kernel_source)
 """
 
 from .artifacts import (
@@ -33,6 +44,7 @@ from .artifacts import (
     save_models,
 )
 from .cache import CacheStats, KernelFeatureCache, source_fingerprint
+from .fleet import FleetError, FleetService, FleetStats
 from .registry import (
     TRAINING_RECIPES,
     ModelKey,
@@ -46,6 +58,9 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "CacheStats",
+    "FleetError",
+    "FleetService",
+    "FleetStats",
     "KernelFeatureCache",
     "ModelKey",
     "ModelRegistry",

@@ -1,0 +1,338 @@
+"""Fleet serving: one front door routing predictions across devices.
+
+A campaign (:mod:`repro.campaign`) leaves a store with one trained bundle
+per device — but :class:`~repro.serve.service.PredictionService` speaks
+for exactly one of them.  :class:`FleetService` closes that gap: it wraps
+the store's :class:`~repro.serve.registry.ModelRegistry`, routes every
+request by device key (full names and any :func:`~repro.gpusim.device.resolve_device`
+alias spell the same route), and lazy-loads one per-device service on
+first use, optionally bounded by an LRU so a long-tail fleet does not pin
+every bundle in memory.
+
+Two invariants the tests pin down:
+
+* **Byte identity** — a routed prediction is produced by a
+  :class:`PredictionService` built exactly the way a direct caller would
+  build one (``registry.get(key)`` + ``key.device_spec()``), so the fleet
+  adds routing, never a different answer.
+* **One shared feature cache** — static features depend only on the
+  kernel source, never on the device, so the whole fleet shares a single
+  :class:`~repro.serve.cache.KernelFeatureCache`: a kernel extracted for
+  one device is a warm hit when requested for any other.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.predictor import PredictedParetoSet
+from ..gpusim.device import device_slug, resolve_device
+from ..store.layout import MODELS_SUBDIR
+from .cache import KernelFeatureCache
+from .registry import ModelKey, ModelRegistry
+from .service import PredictionService, ServiceError, ServiceStats
+
+
+class FleetError(ServiceError):
+    """Raised when a request cannot be routed to a device's service."""
+
+
+#: When a store holds several bundles for one device, prefer recipes in
+#: this order (then lexicographic); ``interactions`` features beat the
+#: ``concat`` ablation.  Deterministic, so two processes opening the same
+#: store route identically.
+RECIPE_PREFERENCE = ("paper", "quick")
+
+
+def _key_rank(key: ModelKey) -> tuple[int, str, int, str]:
+    try:
+        recipe_rank = RECIPE_PREFERENCE.index(key.recipe)
+    except ValueError:
+        recipe_rank = len(RECIPE_PREFERENCE)
+    return (recipe_rank, key.recipe, 0 if key.interactions else 1, key.features)
+
+
+def _normalize_request(request) -> tuple[str, str, str | None]:
+    """A batch item → ``(device, source, kernel_name)``."""
+    if isinstance(request, str):
+        raise FleetError(
+            "fleet batch requests must name a device: pass "
+            "(device, source) or (device, source, kernel_name) tuples"
+        )
+    if len(request) == 2:
+        device, source = request
+        return device, source, None
+    device, source, kernel_name = request
+    return device, source, kernel_name
+
+
+@dataclass
+class FleetStats:
+    """Routing-layer counters (per-device serving counters live in the
+    per-device :class:`~repro.serve.service.ServiceStats`)."""
+
+    requests_routed: int = 0
+    batches_routed: int = 0
+    service_loads: int = 0
+    service_hits: int = 0
+    service_evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests_routed": self.requests_routed,
+            "batches_routed": self.batches_routed,
+            "service_loads": self.service_loads,
+            "service_hits": self.service_hits,
+            "service_evictions": self.service_evictions,
+        }
+
+
+class FleetService:
+    """Multi-device prediction front door over one model registry.
+
+    Parameters
+    ----------
+    registry:
+        The model registry the fleet resolves bundles from.
+    keys:
+        One :class:`ModelKey` per device — the routing table.  Two keys
+        for the same device are rejected (the route would be ambiguous);
+        use :meth:`from_campaign_store` to let preference rules pick one.
+    max_services:
+        Optional LRU bound on concurrently loaded per-device services.
+        Evicting a service also drops the registry's in-process copy of
+        its bundle, so the bound actually caps memory; the next request
+        for that device reloads from disk, and its request counters
+        survive the round trip.
+    cache:
+        The fleet-wide :class:`KernelFeatureCache`.  Every per-device
+        service shares this one instance — the invariant that makes a
+        kernel extracted for one device a warm hit on every other.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        keys: Iterable[ModelKey],
+        max_services: int | None = None,
+        cache: KernelFeatureCache | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_services is not None and max_services < 1:
+            raise ValueError("max_services must be >= 1")
+        self.registry = registry
+        self.max_services = max_services
+        self.feature_cache = cache or KernelFeatureCache()
+        self.clock = clock
+        self.stats = FleetStats()
+        self._keys: dict[str, ModelKey] = {}
+        for key in keys:
+            slug = device_slug(key.device)
+            if slug in self._keys:
+                raise FleetError(
+                    f"two model keys route to device {key.device_spec().name!r} "
+                    f"({self._keys[slug]!r} and {key!r}); a fleet serves one "
+                    f"bundle per device"
+                )
+            self._keys[slug] = key
+        if not self._keys:
+            raise FleetError("a fleet needs at least one model key")
+        #: slug → live service, most recently used last.
+        self._services: OrderedDict[str, PredictionService] = OrderedDict()
+        #: slug → cumulative serving counters; survives service eviction.
+        self._device_stats: dict[str, ServiceStats] = {}
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_campaign_store(
+        cls,
+        store_root: str | pathlib.Path,
+        recipe: str | None = None,
+        features: str | None = None,
+        **kwargs,
+    ) -> "FleetService":
+        """Deploy a campaign store: every registered bundle becomes a route.
+
+        Discovers devices by reading artifact envelope metadata under
+        ``<store_root>/models`` — no bundle is materialized until its
+        device is first requested (or :meth:`warm` asks for it).
+        ``recipe``/``features`` narrow the selection; without them, each
+        device gets its preferred bundle (``paper`` over ``quick``,
+        ``interactions`` over ``concat``).
+        """
+        root = pathlib.Path(store_root).expanduser()
+        models_root = root / MODELS_SUBDIR
+        if not models_root.is_dir():
+            raise FleetError(
+                f"{root} is not a campaign store (no {MODELS_SUBDIR}/ "
+                f"directory); run `repro campaign --store {root}` to create one"
+            )
+        registry = ModelRegistry(
+            models_root, memory_capacity=kwargs.get("max_services")
+        )
+        keys = registry.known_keys()
+        if recipe is not None:
+            keys = [k for k in keys if k.recipe == recipe]
+        if features is not None:
+            keys = [k for k in keys if k.features == features]
+        chosen: dict[str, ModelKey] = {}
+        for key in sorted(keys, key=_key_rank):
+            try:
+                slug = device_slug(key.device)
+            except KeyError:
+                continue  # bundle for a device this build does not know
+            chosen.setdefault(slug, key)
+        if not chosen:
+            wanted = [
+                f"{name}={value!r}"
+                for name, value in (("recipe", recipe), ("features", features))
+                if value is not None
+            ]
+            raise FleetError(
+                f"no servable model bundles under {models_root}"
+                + (f" matching {', '.join(wanted)}" if wanted else "")
+            )
+        return cls(registry, chosen.values(), **kwargs)
+
+    # -- routing ----------------------------------------------------------------
+
+    def devices(self) -> list[str]:
+        """Canonical full names of every device this fleet can serve."""
+        return sorted(key.device_spec().name for key in self._keys.values())
+
+    def model_keys(self) -> list[ModelKey]:
+        """The routing table's keys, ordered by device name."""
+        return sorted(self._keys.values(), key=lambda k: k.device_spec().name)
+
+    def loaded_devices(self) -> list[str]:
+        """Devices with a live in-memory service right now (LRU order)."""
+        return [self._keys[slug].device_spec().name for slug in self._services]
+
+    def _slug_for(self, device: str) -> str:
+        try:
+            slug = device_slug(device)
+        except KeyError:
+            raise FleetError(
+                f"unknown device {device!r}; this fleet serves: "
+                f"{', '.join(self.devices())}"
+            ) from None
+        if slug not in self._keys:
+            raise FleetError(
+                f"no model for device {resolve_device(device).name!r} in this "
+                f"fleet; it serves: {', '.join(self.devices())}"
+            )
+        return slug
+
+    def _service_for_slug(self, slug: str) -> PredictionService:
+        service = self._services.get(slug)
+        if service is not None:
+            self._services.move_to_end(slug)
+            self.stats.service_hits += 1
+            return service
+        key = self._keys[slug]
+        models = self.registry.get(key)
+        service = PredictionService(
+            models=models,
+            device=key.device_spec(),
+            cache=self.feature_cache,
+            clock=self.clock,
+            stats=self._device_stats.setdefault(slug, ServiceStats()),
+        )
+        self._services[slug] = service
+        self.stats.service_loads += 1
+        if self.max_services is not None:
+            while len(self._services) > self.max_services:
+                evicted, _ = self._services.popitem(last=False)
+                # Drop the registry's in-process bundle copy too;
+                # otherwise the LRU bounds service objects but not memory.
+                self.registry.invalidate(self._keys[evicted])
+                self.stats.service_evictions += 1
+        return service
+
+    def service_for(self, device: str) -> PredictionService:
+        """The (lazily loaded, LRU-tracked) service for one device.
+
+        Alias spellings and the full name return the *same* instance.
+        """
+        return self._service_for_slug(self._slug_for(device))
+
+    def warm(self, devices: Sequence[str] | None = None) -> list[str]:
+        """Materialize bundles ahead of traffic; returns the warmed names.
+
+        With ``max_services`` set, warming more devices than the bound
+        simply cycles the LRU — the most recently warmed stay resident.
+        """
+        slugs = (
+            [self._slug_for(d) for d in devices]
+            if devices is not None
+            else sorted(self._keys)
+        )
+        return [
+            self._service_for_slug(slug).device.name for slug in slugs
+        ]
+
+    # -- serving ----------------------------------------------------------------
+
+    def predict(
+        self, source: str, kernel_name: str | None = None, *, device: str
+    ) -> PredictedParetoSet:
+        """One kernel on one device — routed single-request path."""
+        service = self.service_for(device)
+        self.stats.requests_routed += 1
+        return service.predict(source, kernel_name=kernel_name)
+
+    def pareto_front_for(
+        self, device: str, source: str, kernel_name: str | None = None
+    ) -> PredictedParetoSet:
+        """A device's predicted Pareto set for one kernel source."""
+        return self.predict(source, kernel_name=kernel_name, device=device)
+
+    def predict_batch(self, requests: Sequence) -> list[PredictedParetoSet]:
+        """Cross-device batch: items are ``(device, source[, kernel_name])``.
+
+        Requests are grouped by device so each device's service runs one
+        vectorized model pass; results come back in request order.
+        """
+        normalized = [_normalize_request(r) for r in requests]
+        groups: OrderedDict[str, list[int]] = OrderedDict()
+        for index, (device, _source, _name) in enumerate(normalized):
+            groups.setdefault(self._slug_for(device), []).append(index)
+        results: list[PredictedParetoSet | None] = [None] * len(normalized)
+        for slug, indices in groups.items():
+            service = self._service_for_slug(slug)
+            batch = [(normalized[i][1], normalized[i][2]) for i in indices]
+            for i, result in zip(indices, service.predict_batch(batch)):
+                results[i] = result
+        self.stats.batches_routed += 1
+        self.stats.requests_routed += len(normalized)
+        return results  # type: ignore[return-value]
+
+    # -- telemetry --------------------------------------------------------------
+
+    def stats_summary(self) -> dict:
+        """Per-device counters, the merged fleet view, and routing stats.
+
+        The shared feature cache appears exactly once (top level): every
+        per-device service points at the same cache, so repeating it per
+        device would multiple-count one set of counters.
+        """
+        per_device = {}
+        for slug, stats in sorted(self._device_stats.items()):
+            entry = stats.as_dict()
+            entry.pop("feature_cache", None)
+            per_device[slug] = entry
+        merged = ServiceStats.merged(list(self._device_stats.values()))
+        return {
+            "devices": self.devices(),
+            "loaded": self.loaded_devices(),
+            "routing": self.stats.as_dict(),
+            "per_device": per_device,
+            "merged": merged.as_dict(),
+            "feature_cache": self.feature_cache.stats.as_dict(),
+            "registry": self.registry.stats.as_dict(),
+        }

@@ -175,6 +175,39 @@ class ModelRegistry:
         """Slugs of every persisted bundle under the registry root."""
         return self._store.entries()
 
+    def known_keys(self) -> list[ModelKey]:
+        """The :class:`ModelKey` of every persisted bundle, from envelope meta.
+
+        This is what lets a consumer *discover* a registry written by
+        someone else (a campaign store) instead of having to know its keys
+        up front.  Only envelope metadata is read — no bundle is
+        materialized.  Files that are not model artifacts, carry
+        incomplete meta, or whose meta does not match their filename are
+        skipped: a registry directory may legitimately hold foreign files,
+        and a half-written stray must not break discovery.
+        """
+        from ..store import ArtifactError
+
+        keys: list[ModelKey] = []
+        for slug in self.entries():
+            path = self.root / f"{slug}{self._store.suffix}"
+            try:
+                meta = read_artifact_meta(path) or {}
+                key = ModelKey(
+                    device=meta["device"],
+                    recipe=meta["recipe"],
+                    features=meta["features"],
+                )
+            except (ArtifactError, KeyError, TypeError, ValueError):
+                continue
+            if key.slug == slug:
+                keys.append(key)
+        return keys
+
+    def invalidate(self, key: ModelKey) -> None:
+        """Drop one key's in-process copy (its artifact stays on disk)."""
+        self._store.invalidate(key)
+
     def evict_memory(self) -> None:
         """Drop in-process copies (artifacts on disk are untouched)."""
         self._store.evict_memory()

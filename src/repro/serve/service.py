@@ -54,6 +54,24 @@ class ServiceStats:
     predict_seconds: float = 0.0
     feature_cache: CacheStats | None = None
 
+    @classmethod
+    def merged(cls, parts: "Sequence[ServiceStats]") -> "ServiceStats":
+        """Sum request/latency counters across services (fleet aggregation).
+
+        ``feature_cache`` is deliberately left ``None``: in a fleet every
+        service shares one cache, so summing the per-service views would
+        multiple-count the same counters — the fleet reports the shared
+        cache once, at the top level.
+        """
+        out = cls()
+        for part in parts:
+            out.single_requests += part.single_requests
+            out.batch_requests += part.batch_requests
+            out.kernels_served += part.kernels_served
+            out.extract_seconds += part.extract_seconds
+            out.predict_seconds += part.predict_seconds
+        return out
+
     def as_dict(self) -> dict:
         stats = {
             "single_requests": self.single_requests,

@@ -8,7 +8,10 @@ Two pieces, both below every subsystem that persists anything:
 * :mod:`repro.store.artifact_store` — the generic keyed store
   (slug keys, memory/disk/build tiers, LRU bound, stats) that
   :class:`repro.serve.registry.ModelRegistry` and
-  :class:`repro.measure.trace_registry.TraceRegistry` are built on.
+  :class:`repro.measure.trace_registry.TraceRegistry` are built on;
+* :mod:`repro.store.layout` — the campaign-store directory layout
+  (``traces/`` + ``models/``) shared by the campaign engine that writes a
+  store and the fleet serving layer that deploys one.
 """
 
 from .artifact_store import ArtifactStore, StoreKey, StoreMiss, StoreStats
@@ -22,14 +25,17 @@ from .envelope import (
     read_artifact_meta,
     save_artifact,
 )
+from .layout import MODELS_SUBDIR, TRACES_SUBDIR
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "ArtifactStore",
+    "MODELS_SUBDIR",
     "StoreKey",
     "StoreMiss",
     "StoreStats",
+    "TRACES_SUBDIR",
     "atomic_write_text",
     "load_artifact",
     "make_envelope",

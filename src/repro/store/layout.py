@@ -1,0 +1,21 @@
+"""Campaign-store directory layout, shared by producers and consumers.
+
+A campaign store root holds two sibling registries::
+
+    <store_root>/
+        traces/   # TraceRegistry  — JSONL measurement traces
+        models/   # ModelRegistry  — trained bundle artifacts
+
+The campaign engine (the producer) and the fleet serving layer (the
+consumer) must agree on these names without importing each other —
+``repro.campaign`` sits *above* ``repro.serve`` in the layering — so the
+constants live here, below both.
+"""
+
+from __future__ import annotations
+
+#: Subdirectory of a campaign store holding the trace registry.
+TRACES_SUBDIR = "traces"
+
+#: Subdirectory of a campaign store holding the model registry.
+MODELS_SUBDIR = "models"

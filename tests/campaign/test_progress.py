@@ -121,3 +121,30 @@ class TestRendering:
         assert d["skipped"] == 4
         assert d["legs"]["titan"]["done"] == 1
         assert 0.0 <= d["utilization"] <= 1.0
+
+
+class TestZeroElapsed:
+    """Regression: a progress callback can fire with zero elapsed wall
+    clock (fast first task under a coarse clock) — rates must read 0.0,
+    never raise or report an infinite sweep rate."""
+
+    def test_rates_are_zero_not_infinite(self, progress):
+        progress.task_done("titan", busy_seconds=0.0)  # clock not advanced
+        assert progress.elapsed == 0.0
+        assert progress.kernels_per_sec() == 0.0
+        assert progress.utilization() == 0.0
+        assert progress.eta_seconds() is None
+
+    def test_render_and_as_dict_survive_zero_elapsed(self, progress):
+        progress.task_done("titan", busy_seconds=0.5)
+        assert "0.0 kernels/s" in progress.render()
+        d = progress.as_dict()
+        assert d["kernels_per_sec"] == 0.0
+        assert d["eta_seconds"] is None
+        assert d["utilization"] == 0.0
+
+    def test_rates_recover_once_clock_moves(self, progress, clock):
+        progress.task_done("titan", busy_seconds=0.5)
+        clock.now += 0.5
+        assert progress.kernels_per_sec() == pytest.approx(2.0)
+        assert progress.utilization() == pytest.approx(0.25)

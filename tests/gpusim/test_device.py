@@ -227,3 +227,52 @@ class TestVoltageCurve:
         low_slope = vf.voltage(800.0) - vf.voltage(700.0)
         high_slope = vf.voltage(1392.0) - vf.voltage(1292.0)
         assert high_slope > low_slope
+
+
+class TestRegisterAliasCollision:
+    """Regression: an alias slug collision across devices must raise —
+    a silent overwrite would reroute every later resolve_device (trace
+    keys, model keys, fleet routing) to the wrong hardware."""
+
+    def test_cross_device_collision_raises_and_mutates_nothing(self):
+        import dataclasses
+
+        from repro.gpusim.device import (
+            DEVICE_ALIASES,
+            DEVICE_REGISTRY,
+            register_device,
+        )
+
+        impostor = dataclasses.replace(make_titan_x(), name="Impostor GPU")
+        registry_before = dict(DEVICE_REGISTRY)
+        aliases_before = dict(DEVICE_ALIASES)
+        with pytest.raises(ValueError, match="already registered"):
+            register_device(impostor, aliases=("impostor", "titan-x"))
+        # The failed registration is atomic: nothing changed, not even
+        # the impostor's own (non-colliding) name and aliases.
+        assert DEVICE_REGISTRY == registry_before
+        assert DEVICE_ALIASES == aliases_before
+        assert resolve_device("titan-x").name == "NVIDIA GTX Titan X"
+
+    def test_full_name_slug_collision_raises(self):
+        import dataclasses
+
+        from repro.gpusim.device import register_device
+
+        # Even the device's own name slug is checked: a device *named*
+        # "Titan X" would shadow the registered titan-x alias.
+        impostor = dataclasses.replace(make_titan_x(), name="Titan X")
+        with pytest.raises(ValueError, match="already registered"):
+            register_device(impostor)
+
+    def test_idempotent_reregistration_allowed(self):
+        from repro.gpusim.device import DEVICE_REGISTRY, register_device
+
+        original = DEVICE_REGISTRY["NVIDIA GTX Titan X"]
+        try:
+            register_device(
+                make_titan_x(), aliases=("titan-x", "gtx-titan-x", "titanx")
+            )
+            assert resolve_device("titanx").name == "NVIDIA GTX Titan X"
+        finally:
+            DEVICE_REGISTRY["NVIDIA GTX Titan X"] = original

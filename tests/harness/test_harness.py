@@ -174,3 +174,66 @@ class TestReport:
 
     def test_heading(self):
         assert format_heading("Title") == "\nTitle\n====="
+
+
+class TestNearZeroTruthExclusion:
+    """Regression: near-zero measured truths (the paper's §4.2 erratic
+    low-memory power states) must be excluded and counted, not divided
+    by — one such point otherwise blows the panel RMSE to absurdity."""
+
+    @pytest.fixture
+    def fake_world(self, monkeypatch):
+        from types import SimpleNamespace
+
+        from repro.gpusim.device import resolve_device
+        from repro.synthetic import generate_micro_benchmarks
+
+        device = resolve_device("titan-x")
+        spec = generate_micro_benchmarks()[0]
+        settings = [(1000.0, 3505.0), (1100.0, 3505.0), (1200.0, 3505.0)]
+        truths = {settings[0]: 1.05, settings[1]: 1e-9, settings[2]: 0.95}
+
+        def fake_measure(_sim, _spec, configs):
+            return {
+                c: SimpleNamespace(speedup=truths[c], norm_energy=truths[c])
+                for c in configs
+            }
+
+        monkeypatch.setattr(
+            "repro.harness.errors.measure_configs", fake_measure
+        )
+
+        class FakeModels:
+            interactions = True
+
+            def predict_speedup(self, x):
+                return np.ones(len(x))
+
+            def predict_energy(self, x):
+                return np.ones(len(x))
+
+        return SimpleNamespace(device=device), FakeModels(), [spec], settings
+
+    def test_near_zero_truth_excluded_and_counted(self, fake_world):
+        sim, models, specs, settings = fake_world
+        ea = prediction_errors(sim, models, specs, settings, "speedup")
+        assert ea.excluded == 1
+        report = ea.reports["H"]
+        assert report.per_key[specs[0].name].n == 2
+        assert report.rmse_pct < 100.0
+
+    def test_min_truth_zero_keeps_every_point(self, fake_world):
+        sim, models, specs, settings = fake_world
+        ea = prediction_errors(
+            sim, models, specs, settings, "speedup", min_truth=0.0
+        )
+        # Without the guard the 1e-9 truth point survives and its
+        # relative error is ~1e11 % — the blow-up the default prevents.
+        assert ea.excluded == 0
+        assert ea.reports["H"].per_key[specs[0].name].n == 3
+        assert ea.reports["H"].rmse_pct > 1e6
+
+    def test_energy_objective_guarded_too(self, fake_world):
+        sim, models, specs, settings = fake_world
+        ea = prediction_errors(sim, models, specs, settings, "energy")
+        assert ea.excluded == 1

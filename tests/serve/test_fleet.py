@@ -1,0 +1,364 @@
+"""FleetService: multi-device routing over a campaign store.
+
+The module-scoped fixture runs one real (quick) two-device campaign, so
+every test here exercises the actual deployment path: campaign store on
+disk → fleet discovery from envelope metadata → routed predictions.
+"""
+
+import pytest
+
+from repro.campaign import MODELS_SUBDIR, CampaignPlan, run_campaign
+from repro.cli import main as cli_main
+from repro.gpusim.device import resolve_device
+from repro.serve.fleet import FleetError, FleetService
+from repro.serve.registry import ModelKey, ModelRegistry
+from repro.serve.service import PredictionService
+
+TITAN = "NVIDIA GTX Titan X"
+P100 = "NVIDIA Tesla P100"
+
+SAXPY = """
+__kernel void saxpy(__global float* x, __global float* y, float a) {
+  int i = get_global_id(0);
+  y[i] = a * x[i] + y[i];
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet-store")
+    plan = CampaignPlan(devices=("titan-x", "tesla-p100"), recipe="quick")
+    run_campaign(plan, store_root=root)
+    return root
+
+
+@pytest.fixture
+def fleet(store):
+    return FleetService.from_campaign_store(store)
+
+
+def front_bytes(result):
+    """The full prediction, exact: configs and float objectives."""
+    return [(p.config, p.objectives) for p in result.front]
+
+
+class TestDiscovery:
+    def test_finds_every_campaign_device(self, fleet):
+        assert fleet.devices() == [TITAN, P100]
+        assert [k.recipe for k in fleet.model_keys()] == ["quick", "quick"]
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(FleetError, match="not a campaign store"):
+            FleetService.from_campaign_store(tmp_path / "nowhere")
+
+    def test_empty_models_dir_raises(self, tmp_path):
+        (tmp_path / MODELS_SUBDIR).mkdir()
+        with pytest.raises(FleetError, match="no servable model bundles"):
+            FleetService.from_campaign_store(tmp_path)
+
+    def test_recipe_filter_mismatch_raises(self, store):
+        with pytest.raises(FleetError, match="recipe='paper'"):
+            FleetService.from_campaign_store(store, recipe="paper")
+
+    def test_foreign_files_are_ignored(self, store):
+        junk = store / MODELS_SUBDIR / "not-a-bundle.json"
+        junk.write_text("{\"hello\": 1}")
+        try:
+            assert FleetService.from_campaign_store(store).devices() == [
+                TITAN,
+                P100,
+            ]
+        finally:
+            junk.unlink()
+
+    def test_recipe_preference_and_filter(self, store):
+        # Add a second (paper-keyed) titan bundle: the default routing
+        # prefers it, an explicit recipe filter overrides the preference.
+        registry = ModelRegistry(store / MODELS_SUBDIR)
+        quick_key = ModelKey(device=TITAN, recipe="quick")
+        paper_key = ModelKey(device=TITAN, recipe="paper")
+        path = registry.put(paper_key, registry.get(quick_key))
+        try:
+            def titan_recipe(fleet):
+                return next(
+                    k.recipe
+                    for k in fleet.model_keys()
+                    if k.device_spec().name == TITAN
+                )
+
+            assert titan_recipe(FleetService.from_campaign_store(store)) == "paper"
+            assert (
+                titan_recipe(
+                    FleetService.from_campaign_store(store, recipe="quick")
+                )
+                == "quick"
+            )
+        finally:
+            path.unlink()
+
+    def test_duplicate_device_keys_rejected(self, store):
+        registry = ModelRegistry(store / MODELS_SUBDIR)
+        key = ModelKey(device=TITAN, recipe="quick")
+        with pytest.raises(FleetError, match="one bundle per device"):
+            FleetService(
+                registry, [key, ModelKey(device="titan-x", recipe="quick")]
+            )
+
+
+class TestRouting:
+    def test_alias_and_full_name_share_one_service(self, fleet):
+        by_alias = fleet.service_for("titan-x")
+        assert fleet.service_for(TITAN) is by_alias
+        assert fleet.service_for("titanx") is by_alias
+        assert fleet.stats.service_loads == 1
+        assert fleet.stats.service_hits == 2
+
+    def test_unknown_device_error_lists_fleet(self, fleet):
+        with pytest.raises(FleetError, match="unknown device") as err:
+            fleet.predict(SAXPY, device="gtx-9999")
+        assert TITAN in str(err.value)
+        assert P100 in str(err.value)
+
+    def test_registered_but_unmodeled_device_error_lists_fleet(self, fleet):
+        # The V100 exists in the device registry but ran in no campaign leg.
+        with pytest.raises(FleetError, match="no model for device") as err:
+            fleet.predict(SAXPY, device="v100")
+        assert "V100" in str(err.value)
+        assert TITAN in str(err.value)
+
+    def test_routed_prediction_is_byte_identical_to_direct_service(
+        self, store, fleet
+    ):
+        # Acceptance criterion: the fleet adds routing, never a different
+        # answer — byte-identical to a directly-constructed single-device
+        # service over the same bundle.
+        for device in ("titan-x", "tesla-p100"):
+            key = ModelKey(device=resolve_device(device).name, recipe="quick")
+            direct = PredictionService(
+                models=ModelRegistry(store / MODELS_SUBDIR).get(key),
+                device=key.device_spec(),
+            )
+            assert front_bytes(
+                fleet.predict(SAXPY, device=device)
+            ) == front_bytes(direct.predict(SAXPY))
+
+    def test_pareto_front_for_is_the_routed_predict(self, fleet):
+        assert front_bytes(
+            fleet.pareto_front_for("p100", SAXPY)
+        ) == front_bytes(fleet.predict(SAXPY, device="tesla-p100"))
+
+    def test_devices_differ(self, fleet):
+        # Sanity: routing matters — the two devices disagree on the front.
+        titan = fleet.predict(SAXPY, device="titan-x")
+        p100 = fleet.predict(SAXPY, device="p100")
+        assert front_bytes(titan) != front_bytes(p100)
+
+
+class TestBatch:
+    def test_cross_device_batch_in_request_order(self, fleet):
+        results = fleet.predict_batch(
+            [
+                ("titan-x", SAXPY),
+                ("p100", SAXPY, "saxpy"),
+                (TITAN, SAXPY),
+            ]
+        )
+        assert front_bytes(results[0]) == front_bytes(
+            fleet.predict(SAXPY, device="titan-x")
+        )
+        assert front_bytes(results[1]) == front_bytes(
+            fleet.predict(SAXPY, device="tesla-p100")
+        )
+        assert front_bytes(results[0]) == front_bytes(results[2])
+
+    def test_batch_groups_by_device(self, fleet):
+        fleet.predict_batch([("titan-x", SAXPY), ("titanx", SAXPY)])
+        titan_stats = fleet.service_for("titan-x").stats
+        assert titan_stats.batch_requests == 1
+        assert titan_stats.kernels_served == 2
+
+    def test_bare_string_requests_rejected(self, fleet):
+        with pytest.raises(FleetError, match="must name a device"):
+            fleet.predict_batch([SAXPY])
+
+
+class TestSharedFeatureCache:
+    def test_kernel_extracted_once_hits_across_devices(self, fleet):
+        # Acceptance criterion: static features are device-independent, so
+        # a kernel extracted for titan-x must hit the cache on p100.
+        fleet.predict(SAXPY, device="titan-x")
+        hits_before = fleet.feature_cache.stats.hits
+        fleet.predict(SAXPY, device="p100")
+        assert fleet.feature_cache.stats.hits == hits_before + 1
+        assert fleet.feature_cache.stats.misses == 1
+
+    def test_same_features_object_served_to_both_devices(self, fleet):
+        titan_features = fleet.service_for("titan-x").features_for(SAXPY)
+        p100_features = fleet.service_for("p100").features_for(SAXPY)
+        assert p100_features is titan_features
+
+
+class TestLRU:
+    def test_eviction_keeps_only_the_bound(self, store):
+        fleet = FleetService.from_campaign_store(store, max_services=1)
+        fleet.predict(SAXPY, device="titan-x")
+        fleet.predict(SAXPY, device="p100")
+        assert fleet.loaded_devices() == [P100]
+        assert fleet.stats.service_evictions == 1
+        # The registry's in-process bundle copy is dropped with the
+        # service, so the bound actually caps memory.
+        assert len(fleet.registry._store) == 1
+
+    def test_counters_survive_eviction_and_reload(self, store):
+        fleet = FleetService.from_campaign_store(store, max_services=1)
+        fleet.predict(SAXPY, device="titan-x")
+        fleet.predict(SAXPY, device="p100")  # evicts titan-x
+        fleet.predict(SAXPY, device="titan-x")  # reloads from disk
+        assert fleet.stats.service_loads == 3
+        per_device = fleet.stats_summary()["per_device"]
+        assert per_device["nvidia-gtx-titan-x"]["kernels_served"] == 2
+        assert per_device["nvidia-tesla-p100"]["kernels_served"] == 1
+
+    def test_reloaded_service_predicts_identically(self, store):
+        fleet = FleetService.from_campaign_store(store, max_services=1)
+        before = front_bytes(fleet.predict(SAXPY, device="titan-x"))
+        fleet.predict(SAXPY, device="p100")  # evict
+        assert front_bytes(fleet.predict(SAXPY, device="titan-x")) == before
+
+
+class TestWarmAndStats:
+    def test_warm_preloads_every_device(self, fleet):
+        assert fleet.warm() == [TITAN, P100]
+        loads = fleet.stats.service_loads
+        fleet.predict(SAXPY, device="titan-x")
+        fleet.predict(SAXPY, device="p100")
+        assert fleet.stats.service_loads == loads
+
+    def test_warm_selected_devices(self, fleet):
+        assert fleet.warm(["p100"]) == [P100]
+        assert fleet.loaded_devices() == [P100]
+
+    def test_merged_counters_sum_devices(self, fleet):
+        fleet.predict(SAXPY, device="titan-x")
+        fleet.predict_batch([("p100", SAXPY), ("titan-x", SAXPY)])
+        summary = fleet.stats_summary()
+        per_device = summary["per_device"]
+        assert summary["merged"]["kernels_served"] == sum(
+            d["kernels_served"] for d in per_device.values()
+        ) == 3
+        assert summary["routing"]["requests_routed"] == 3
+        assert summary["routing"]["batches_routed"] == 1
+
+    def test_shared_cache_reported_once_at_top_level(self, fleet):
+        fleet.predict(SAXPY, device="titan-x")
+        summary = fleet.stats_summary()
+        assert "feature_cache" in summary
+        assert all(
+            "feature_cache" not in d for d in summary["per_device"].values()
+        )
+
+
+class TestCLI:
+    @pytest.fixture
+    def kernel_file(self, tmp_path):
+        path = tmp_path / "saxpy.cl"
+        path.write_text(SAXPY)
+        return path
+
+    def test_serve_status_lists_devices(self, store, capsys):
+        assert cli_main(["serve-status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 device(s) servable" in out
+        assert TITAN in out
+        assert P100 in out
+        assert "titan-x" in out  # aliases column
+
+    def test_serve_status_bad_store_errors(self, tmp_path, capsys):
+        assert cli_main(["serve-status", "--store", str(tmp_path)]) == 2
+        assert "not a campaign store" in capsys.readouterr().err
+
+    def test_predict_from_store(self, store, kernel_file, capsys):
+        code = cli_main(
+            [
+                "predict", str(kernel_file),
+                "--device", "p100",
+                "--store", str(store),
+            ]
+        )
+        assert code == 0
+        assert "predicted Pareto set for 'saxpy'" in capsys.readouterr().out
+
+    def test_predict_quick_narrows_to_quick_bundles(
+        self, store, kernel_file, capsys
+    ):
+        # --quick must not be silently ignored on the fleet path: it
+        # filters routing to quick-recipe bundles (this store's only kind).
+        code = cli_main(
+            [
+                "predict", str(kernel_file),
+                "--device", "p100",
+                "--quick",
+                "--store", str(store),
+            ]
+        )
+        assert code == 0
+        assert "predicted Pareto set" in capsys.readouterr().out
+
+    def test_predict_from_store_requires_device(
+        self, store, kernel_file, capsys
+    ):
+        code = cli_main(
+            ["predict", str(kernel_file), "--store", str(store)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--device required" in err
+        assert P100 in err
+
+    def test_predict_model_and_store_conflict(
+        self, store, kernel_file, capsys
+    ):
+        code = cli_main(
+            [
+                "predict", str(kernel_file),
+                "--model", "whatever.json",
+                "--store", str(store),
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_predict_batch_from_store_with_stats(
+        self, store, kernel_file, capsys
+    ):
+        code = cli_main(
+            [
+                "predict-batch", str(kernel_file), str(kernel_file),
+                "--device", "titan-x",
+                "--store", str(store),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("predicted Pareto set") == 2
+        assert "-- fleet stats" in out
+        assert "feature_cache.hits: 1" in out
+        assert "routing.requests_routed: 2" in out
+
+    def test_cli_matches_library_routing(self, store, fleet, kernel_file, capsys):
+        assert (
+            cli_main(
+                [
+                    "predict", str(kernel_file),
+                    "--device", "titan-x",
+                    "--store", str(store),
+                ]
+            )
+            == 0
+        )
+        cli_out = capsys.readouterr().out
+        result = fleet.predict(SAXPY, device="titan-x")
+        for point in result.front:
+            assert f"{point.core_mhz:.0f}" in cli_out
