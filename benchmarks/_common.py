@@ -4,20 +4,47 @@ Every bench regenerates one table or figure of the paper.  Artifacts are
 printed to stdout *and* written to ``benchmarks/results/<name>.txt`` so the
 reproduction record survives pytest's output capture; EXPERIMENTS.md points
 at these files.
+
+Each bench additionally drops a machine-readable ``BENCH_<name>.json`` at
+the repo root: a small document carrying the bench's key numbers (timings,
+speedup ratios, the thresholds its tests assert).  Those files are the
+perf trajectory — successive PRs overwrite them, so ``git log`` on a
+``BENCH_*.json`` shows how a number moved over time, and CI can diff them
+without parsing formatted tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Format tag stamped into every BENCH_<name>.json document.
+BENCH_FORMAT = "repro.bench/v1"
 
 
-def write_artifact(name: str, text: str) -> pathlib.Path:
-    """Print and persist a regenerated table/figure."""
+def write_artifact(name: str, text: str, data: dict | None = None) -> pathlib.Path:
+    """Print and persist a regenerated table/figure.
+
+    ``data`` (timings, ratios, asserted thresholds — plain JSON types) goes
+    into ``BENCH_<name>.json`` at the repo root.  The JSON is written even
+    when ``data`` is ``None`` so every bench leaves a machine-readable
+    marker; table-only benches just carry an empty ``data`` object.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    bench_doc = {
+        "format": BENCH_FORMAT,
+        "bench": name,
+        "data": data if data is not None else {},
+    }
+    bench_path = REPO_ROOT / f"BENCH_{name}.json"
+    bench_path.write_text(
+        json.dumps(bench_doc, indent=2, sort_keys=True) + "\n"
+    )
     print(text)
     return path
 

@@ -119,5 +119,13 @@ def regenerate() -> tuple[str, float, float]:
 
 def test_fleet_routing_overhead_bounded():
     text, t_direct, t_fleet = regenerate()
-    write_artifact("fleet_routing", text)
+    data = {
+        "quick": QUICK,
+        "n_kernels": N_KERNELS,
+        "rounds": ROUNDS,
+        "timings_s": {"direct": t_direct, "fleet_routed": t_fleet},
+        "ratios": {"routing_overhead": t_fleet / t_direct},
+        "asserted": {"routing_overhead_max": MAX_OVERHEAD},
+    }
+    write_artifact("fleet_routing", text, data=data)
     assert t_fleet <= t_direct * MAX_OVERHEAD, (t_direct, t_fleet)

@@ -182,7 +182,7 @@ def measure_interleaved_campaign(workers: int = CAMPAIGN_WORKERS, repeats: int =
     return t_seq, t_int, identical
 
 
-def regenerate_throughput() -> str:
+def regenerate_throughput() -> tuple[str, dict]:
     t_scalar, t_vector, ds_scalar, ds_vector = measure_assembly()
     # The vectorized pass just timed IS the campaign's serial baseline.
     t_serial, t_campaign, ds_serial, ds_campaign = measure_campaign(
@@ -215,6 +215,36 @@ def regenerate_throughput() -> str:
         and np.array_equal(ds_serial.y_energy, ds_campaign.y_energy)
     )
     t_seq, t_int, store_identical = measure_interleaved_campaign()
+    data = {
+        "quick": QUICK,
+        "n_specs": N_SPECS,
+        "n_settings": N_SETTINGS,
+        "n_points": n_points,
+        "workers": CAMPAIGN_WORKERS,
+        "cores": os.cpu_count() or 1,
+        "timings_s": {
+            "assembly_scalar": t_scalar,
+            "assembly_vectorized": t_vector,
+            "assembly_campaign": t_campaign,
+            "campaign_sequential_legs": t_seq,
+            "campaign_interleaved": t_int,
+        },
+        "ratios": {
+            "vectorized_speedup": t_scalar / t_vector,
+            "campaign_speedup": t_serial / t_campaign,
+            "interleave_speedup": t_seq / t_int,
+        },
+        "identical": {
+            "scalar_vs_vectorized": identical,
+            "serial_vs_campaign": campaign_identical,
+            "store_artifacts": store_identical,
+        },
+        "asserted": {
+            "vectorized_speedup_min": MIN_SPEEDUP,
+            "campaign_speedup_min": MIN_CAMPAIGN_SPEEDUP,
+            "interleave_speedup_min": MIN_INTERLEAVE_SPEEDUP,
+        },
+    }
     return (
         format_heading(
             f"measurement engine — {N_SPECS} codes x {N_SETTINGS} settings "
@@ -230,12 +260,12 @@ def regenerate_throughput() -> str:
         + f"({len(CAMPAIGN_DEVICES)} devices): {t_seq / t_int:.2f}x "
         + f"({t_seq * 1e3:.0f}ms -> {t_int * 1e3:.0f}ms), "
         + f"store artifacts bit-identical: {store_identical}"
-    )
+    ), data
 
 
 def test_measurement_throughput():
-    text = regenerate_throughput()
-    write_artifact("measurement_throughput", text)
+    text, data = regenerate_throughput()
+    write_artifact("measurement_throughput", text, data=data)
     assert "bit-identical: True" in text
     assert "campaign-parallel datasets bit-identical: True" in text
     assert "store artifacts bit-identical: True" in text

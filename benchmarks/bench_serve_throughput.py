@@ -84,7 +84,7 @@ def measure_inference() -> tuple[float, float]:
     return t_seq, t_bat
 
 
-def regenerate_throughput() -> str:
+def regenerate_throughput() -> tuple[str, dict]:
     t_cold, t_warm = measure_feature_cache()
     t_seq, t_bat = measure_inference()
     rows = [
@@ -100,15 +100,33 @@ def regenerate_throughput() -> str:
     table = format_table(
         ["stage", "ms / 50 kernels", "kernels/sec", "speedup"], rows
     )
+    data = {
+        "n_kernels": N_KERNELS,
+        "repeats": REPEATS,
+        "timings_s": {
+            "extract_cold": t_cold,
+            "extract_warm": t_warm,
+            "inference_sequential": t_seq,
+            "inference_batched": t_bat,
+        },
+        "ratios": {
+            "warm_cache_speedup": t_cold / t_warm,
+            "batch_speedup": t_seq / t_bat,
+        },
+        "asserted": {
+            "warm_cache_speedup_min": 10.0,
+            "batch_speedup_min": 5.0,
+        },
+    }
     return (
         format_heading("repro.serve — throughput on a 50-kernel batch")
         + "\n" + table
-    )
+    ), data
 
 
 def test_serve_throughput():
-    text = regenerate_throughput()
-    write_artifact("serve_throughput", text)
+    text, data = regenerate_throughput()
+    write_artifact("serve_throughput", text, data=data)
     assert "batched" in text
 
 

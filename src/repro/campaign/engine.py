@@ -55,8 +55,21 @@ from ..measure.backend import MeasurementBackend
 from ..measure.parallel import DevicePool, ParallelBackend, simulator_factory
 from ..measure.simulator import SimulatorBackend
 from ..measure.trace_registry import TraceRegistry
+from ..obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanLog,
+    declare_standard_metrics,
+    save_snapshot,
+)
 from ..serve.registry import ModelRegistry
-from ..store.layout import MODELS_SUBDIR, TRACES_SUBDIR
+from ..store.layout import (
+    CAMPAIGN_METRICS_FILENAME,
+    METRICS_SUBDIR,
+    MODELS_SUBDIR,
+    SPANS_FILENAME,
+    TRACES_SUBDIR,
+)
 from .plan import CampaignPlan
 from .progress import CampaignProgress, ProgressCallback
 from .scheduler import LegRun, prepare_leg, run_legs, train_leg_task
@@ -122,6 +135,7 @@ class CampaignReport:
     results: tuple[DeviceCampaignResult, ...]
     seconds: float
     progress: CampaignProgress | None = None
+    metrics: MetricsSnapshot | None = None
 
     @property
     def n_samples(self) -> int:
@@ -181,25 +195,50 @@ def _execute(
     model_registry: ModelRegistry,
     resume: bool = False,
     on_progress: ProgressCallback | None = None,
+    registry: MetricsRegistry | None = None,
+    span_log: SpanLog | None = None,
 ) -> tuple[list[DeviceCampaignResult], list[LegRun], CampaignProgress]:
-    """Schedule, sweep, train and register every leg of a plan."""
+    """Schedule, sweep, train and register every leg of a plan.
+
+    ``registry`` collects every metric the run records (worker-side sweep
+    deltas included); ``span_log``, when given, receives ``campaign.sweep``
+    and ``campaign.train`` spans per leg.  A crash leaves unended span
+    starts behind — that is the forensic record of where it died.
+    """
     start = time.perf_counter()
+    if registry is None:
+        registry = MetricsRegistry()
+    declare_standard_metrics(registry)
     legs = [
         prepare_leg(plan, device, trace_registry, resume=resume)
         for device in plan.device_specs()
     ]
-    progress = CampaignProgress(workers=plan.workers)
+    progress = CampaignProgress(workers=plan.workers, registry=registry)
     for leg in legs:
         progress.add_leg(leg.device.name, total=leg.total_tasks, skipped=leg.reused)
 
     trainings: dict[str, object] = {}
     leg_seconds: dict[str, float] = {}
-    pool = DevicePool(workers=plan.workers)
+    pool = DevicePool(workers=plan.workers, registry=registry)
+
+    sweep_spans: dict[str, object] = {}
+    train_spans: dict[str, object] = {}
+    if span_log is not None:
+        for leg in legs:
+            sweep_spans[leg.device.name] = span_log.span(
+                "campaign.sweep",
+                device=device_slug(leg.device.name),
+                total=leg.total_tasks,
+                reused=leg.reused,
+            )
 
     def on_leg_swept(leg: LegRun) -> None:
         # The leg's trace just published (or was reused whole): fingerprint
         # it, then either prove the registered bundle is already current or
         # hand training to the shared pool while other legs keep sweeping.
+        span = sweep_spans.get(leg.device.name)
+        if span is not None:
+            span.end()
         trace_path = trace_registry.path_for(leg.trace_key)
         leg.trace_sha256 = _file_sha256(trace_path)
         key = plan.model_key(leg.device)
@@ -212,8 +251,13 @@ def _execute(
             progress.leg_stage(leg.device.name, "reused")
             leg_seconds[leg.device.name] = time.perf_counter() - start
         else:
+            if span_log is not None:
+                train_spans[leg.device.name] = span_log.span(
+                    "campaign.train", device=device_slug(leg.device.name)
+                )
             trainings[leg.device.name] = pool.apply_async(
-                train_leg_task, (leg.dataset, leg.settings, plan.interactions)
+                train_leg_task,
+                (leg.dataset, leg.settings, plan.interactions, leg.device.name),
             )
 
     try:
@@ -228,6 +272,9 @@ def _execute(
             pending = trainings.get(leg.device.name)
             if pending is not None:
                 leg.models = pending.get()
+                span = train_spans.get(leg.device.name)
+                if span is not None:
+                    span.end()
                 progress.leg_stage(leg.device.name, "done")
                 leg_seconds[leg.device.name] = time.perf_counter() - start
                 if on_progress is not None:
@@ -303,6 +350,7 @@ def run_campaign(
     store_root: str | pathlib.Path,
     resume: bool = False,
     on_progress: ProgressCallback | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> CampaignReport:
     """Execute a whole plan against one artifact store root.
 
@@ -312,23 +360,46 @@ def run_campaign(
     one-shot run.  ``on_progress`` receives the live
     :class:`~repro.campaign.progress.CampaignProgress` after every
     scheduling event.
+
+    Observability rides along beside the artifacts: spans append to
+    ``<store>/spans.jsonl``, and the run's merged metric snapshot lands in
+    ``<store>/metrics/campaign.json`` (both outside ``traces/`` and
+    ``models/``, so artifact byte-identity is untouched).  Pass
+    ``registry`` to accumulate into a caller-owned
+    :class:`~repro.obs.MetricsRegistry` instead of a fresh one; either
+    way the report carries the final snapshot as ``report.metrics``.
     """
     start = time.perf_counter()
     store_root = pathlib.Path(store_root).expanduser()
     trace_registry = TraceRegistry(store_root / TRACES_SUBDIR)
     model_registry = ModelRegistry(store_root / MODELS_SUBDIR)
+    if registry is None:
+        registry = MetricsRegistry()
 
-    results, _legs, progress = _execute(
-        plan,
-        trace_registry,
-        model_registry,
-        resume=resume,
-        on_progress=on_progress,
-    )
+    with SpanLog(store_root / SPANS_FILENAME) as span_log:
+        with span_log.span(
+            "campaign.run",
+            devices=",".join(plan.devices),
+            workers=plan.workers,
+            resume=resume,
+        ):
+            results, _legs, progress = _execute(
+                plan,
+                trace_registry,
+                model_registry,
+                resume=resume,
+                on_progress=on_progress,
+                registry=registry,
+                span_log=span_log,
+            )
+
+    snapshot = registry.snapshot()
+    save_snapshot(snapshot, store_root / METRICS_SUBDIR / CAMPAIGN_METRICS_FILENAME)
     return CampaignReport(
         plan=plan,
         store_root=store_root,
         results=tuple(results),
         seconds=time.perf_counter() - start,
         progress=progress,
+        metrics=snapshot,
     )

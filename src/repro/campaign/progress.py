@@ -8,6 +8,14 @@ so a consumer renders whatever freshness it wants: the CLI repaints a
 status line, tests assert on the final counters, ``run_campaign`` returns
 the tracker in its report.
 
+Since the ``repro.obs`` rebase the tracker's counters *are* registry
+metrics: ``task_done`` increments ``repro_campaign_sweeps_done_total``
+(and friends) on the run's :class:`~repro.obs.MetricsRegistry`, and the
+``done``/``skipped``/``busy_seconds`` properties read them back as deltas
+from a per-leg baseline — so a registry shared across runs (or carrying
+merged worker snapshots) never corrupts a run's own progress view, while
+``repro stats`` sees exactly the numbers the status line showed.
+
 Rates are computed from *worker-side* busy seconds (each sweep task reports
 how long its worker spent measuring), which is what makes the utilization
 figure honest: ``busy / (elapsed × workers)`` reads 1.0 only when every
@@ -21,6 +29,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..gpusim.device import _alias_slug, device_slug
+from ..obs import MetricsRegistry, declare_campaign_metrics
+from ..obs.instruments import (
+    CAMPAIGN_BUSY_SECONDS_TOTAL,
+    CAMPAIGN_SWEEPS_DONE_TOTAL,
+    CAMPAIGN_SWEEPS_PLANNED,
+    CAMPAIGN_SWEEPS_SKIPPED_TOTAL,
+)
+
 #: Stages a device leg moves through (resume may jump straight to "reused").
 LEG_STAGES = ("sweeping", "training", "done", "reused")
 
@@ -31,16 +48,61 @@ LEG_STAGES = ("sweeping", "training", "done", "reused")
 MIN_RATE_ELAPSED = 1e-9
 
 
-@dataclass
-class LegProgress:
-    """One device leg's counters: sweep tasks done/skipped, stage, rate."""
+def _metric_device_slug(device: str) -> str:
+    """The registry-known slug, or a plain normalization for ad-hoc names.
 
-    device: str
-    total: int
-    done: int = 0
-    skipped: int = 0
-    busy_seconds: float = 0.0
-    stage: str = "sweeping"
+    Progress tracking must not require a registered device (tests and
+    external backends use free-form names); registered spellings still
+    collapse to one canonical series per physical device.
+    """
+    try:
+        return device_slug(device)
+    except KeyError:
+        return _alias_slug(device)
+
+
+class LegProgress:
+    """One device leg's counters: sweep tasks done/skipped, stage, rate.
+
+    A live *view* over the campaign registry: ``done``, ``skipped`` and
+    ``busy_seconds`` are deltas of the per-device campaign counters from
+    the values they held when the leg was added, so the same registry can
+    serve many runs (and absorb worker-side merges) without one run's
+    progress bleeding into another's.
+    """
+
+    def __init__(
+        self,
+        device: str,
+        total: int,
+        registry: MetricsRegistry,
+        stage: str = "sweeping",
+    ) -> None:
+        self.device = device
+        self.total = total
+        self.stage = stage
+        self._registry = registry
+        self._slug = _metric_device_slug(device)
+        self._base_done = self._read(CAMPAIGN_SWEEPS_DONE_TOTAL)
+        self._base_skipped = self._read(CAMPAIGN_SWEEPS_SKIPPED_TOTAL)
+        self._base_busy = self._read(CAMPAIGN_BUSY_SECONDS_TOTAL)
+
+    def _read(self, name: str) -> float:
+        return self._registry.value(name, device=self._slug)
+
+    # -- registry-backed counters -----------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return int(self._read(CAMPAIGN_SWEEPS_DONE_TOTAL) - self._base_done)
+
+    @property
+    def skipped(self) -> int:
+        return int(self._read(CAMPAIGN_SWEEPS_SKIPPED_TOTAL) - self._base_skipped)
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._read(CAMPAIGN_BUSY_SECONDS_TOTAL) - self._base_busy
 
     @property
     def completed(self) -> int:
@@ -68,25 +130,39 @@ class CampaignProgress:
     workers: int
     legs: dict[str, LegProgress] = field(default_factory=dict)
     clock: Callable[[], float] = time.perf_counter
+    registry: MetricsRegistry | None = None
     started: float = field(init=False)
     finished: float | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        declare_campaign_metrics(self.registry)
         self.started = self.clock()
 
     # -- mutators (the scheduler's event feed) ----------------------------------
 
     def add_leg(self, device: str, total: int, skipped: int = 0) -> LegProgress:
-        leg = LegProgress(device=device, total=total, skipped=skipped)
+        assert self.registry is not None
+        leg = LegProgress(device=device, total=total, registry=self.registry)
+        slug = leg._slug
+        self.registry.get(CAMPAIGN_SWEEPS_PLANNED).set(float(total), device=slug)  # type: ignore[union-attr]
+        if skipped:
+            self.registry.get(CAMPAIGN_SWEEPS_SKIPPED_TOTAL).inc(  # type: ignore[union-attr]
+                float(skipped), device=slug
+            )
         if skipped >= total:
             leg.stage = "training"
         self.legs[device] = leg
         return leg
 
     def task_done(self, device: str, busy_seconds: float) -> None:
+        assert self.registry is not None
         leg = self.legs[device]
-        leg.done += 1
-        leg.busy_seconds += busy_seconds
+        self.registry.get(CAMPAIGN_SWEEPS_DONE_TOTAL).inc(1.0, device=leg._slug)  # type: ignore[union-attr]
+        self.registry.get(CAMPAIGN_BUSY_SECONDS_TOTAL).inc(  # type: ignore[union-attr]
+            float(busy_seconds), device=leg._slug
+        )
         if leg.remaining == 0:
             leg.stage = "training"
 

@@ -44,6 +44,7 @@ was never interrupted.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
@@ -54,8 +55,9 @@ from ..measure.parallel import DevicePool, DeviceSweepTask
 from ..measure.replay import replay_measurements
 from ..measure.trace import TraceWriter
 from ..measure.trace_registry import TraceKey, TraceRegistry
+from ..obs import observe_training
 from ..workloads import KernelSpec
-from .progress import CampaignProgress, ProgressCallback
+from .progress import CampaignProgress, ProgressCallback, _metric_device_slug
 
 if TYPE_CHECKING:
     from .plan import CampaignPlan
@@ -246,16 +248,23 @@ def prepare_leg(
 
 
 def train_leg_task(
-    payload: tuple[TrainingDataset, list[tuple[float, float]], bool],
+    payload: tuple[TrainingDataset, list[tuple[float, float]], bool, str | None],
 ) -> TrainedModels:
     """Picklable training stage: runs on a pool worker (or inline).
 
     Training is a deterministic function of the dataset, and numpy arrays
     survive the pickle round-trip bit for bit, so pool-side training is
-    byte-identical to training in the parent.
+    byte-identical to training in the parent.  The optional trailing
+    device name feeds the training-duration metrics (recorded strictly
+    after the training — timing never feeds back into the models).
     """
-    dataset, settings, interactions = payload
-    return train_models(dataset, settings=settings, interactions=interactions)
+    dataset, settings, interactions = payload[:3]
+    device = payload[3] if len(payload) > 3 else None
+    start = time.perf_counter()
+    models = train_models(dataset, settings=settings, interactions=interactions)
+    if device is not None:
+        observe_training(_metric_device_slug(device), time.perf_counter() - start)
+    return models
 
 
 def run_legs(

@@ -14,6 +14,11 @@ Subcommands:
   also store-servable via ``--device`` + ``--store``;
 * ``serve-status --store DIR`` — what a campaign store can serve: every
   device with a registered bundle, its aliases, recipe, and provenance;
+* ``stats --store DIR [--format prom|json]`` — export the store's merged
+  ``repro.obs`` metrics (sweep-duration histograms per device, campaign
+  counters, serve/cache counters) as Prometheus text exposition or JSON;
+  ``campaign`` and ``predict-batch`` additionally take ``--metrics-out
+  FILE`` to write their run's snapshot anywhere;
 * ``devices`` — list registered devices, aliases, and frequency grids;
 * ``campaign --devices a,b`` — run a multi-device measurement campaign:
   device-interleaved sweeps over one shared worker pool, JSONL traces
@@ -272,6 +277,15 @@ def _print_stats(summary: dict, prefix: str = "  ") -> None:
     walk(summary, "")
 
 
+def _save_metrics_out(snapshot, args) -> None:
+    """Honor --metrics-out: persist a run's metric snapshot to FILE."""
+    path = getattr(args, "metrics_out", None)
+    if path:
+        from .obs import save_snapshot
+
+        print(f"wrote metrics snapshot to {save_snapshot(snapshot, path)}")
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     source = pathlib.Path(args.kernel).read_text()
     if _serves_from_store(args):
@@ -309,6 +323,7 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
         if args.stats:
             print("-- fleet stats")
             _print_stats(fleet.stats_summary())
+        _save_metrics_out(fleet.metrics_snapshot(), args)
         return 0
     if args.model:
         _reject_backend_flags_with_model(args)
@@ -328,6 +343,7 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
     if args.stats:
         print("-- service stats")
         _print_stats(service.stats_summary())
+    _save_metrics_out(service.stats.registry.snapshot(), args)
     return 0
 
 
@@ -367,6 +383,27 @@ def _cmd_serve_status(args: argparse.Namespace) -> int:
         f"{device_aliases(example)[0] if device_aliases(example) else example} "
         f"--store {_store_root(args)}"
     )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import load_store_metrics, to_json, to_prometheus
+    from .store.layout import METRICS_SUBDIR
+
+    store = _store_root(args)
+    metrics_dir = store / METRICS_SUBDIR
+    snapshot = load_store_metrics(metrics_dir)
+    if not snapshot.families:
+        raise CLIUsageError(
+            f"no metric snapshots under {metrics_dir} "
+            f"(run `repro campaign --store {store}` first, or point --store "
+            f"at a store that has one)"
+        )
+    if args.format == "json":
+        print(to_json(snapshot))
+    else:
+        # Exposition format is line-oriented and already newline-terminated.
+        print(to_prometheus(snapshot), end="")
     return 0
 
 
@@ -454,6 +491,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         on_progress=on_progress,
     )
     print(report.format())
+    if report.metrics is not None:
+        _save_metrics_out(report.metrics, args)
     example = report.results[0]
     print(
         "replay a device's training set exactly:\n"
@@ -615,6 +654,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print service cache/latency counters after the batch",
     )
+    p_batch.add_argument(
+        "--metrics-out", metavar="FILE", dest="metrics_out",
+        help="write the run's metric snapshot (counters + latency "
+             "histograms) to FILE as JSON",
+    )
     _add_device_flags(p_batch)
     p_batch.set_defaults(func=_cmd_predict_batch)
 
@@ -622,6 +666,24 @@ def build_parser() -> argparse.ArgumentParser:
         "devices", help="list registered devices, aliases, and frequency grids"
     )
     p_dev.set_defaults(func=_cmd_devices)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="export a campaign store's merged metrics (sweep-duration "
+             "histograms per device, campaign counters, serve/cache "
+             "counters) as Prometheus text exposition or JSON",
+    )
+    p_stats.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=f"campaign store root to read metrics/ from "
+             f"(default: {DEFAULT_STORE})",
+    )
+    p_stats.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="output format: Prometheus text exposition 0.0.4 (prom, the "
+             "default) or the JSON snapshot document",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_status = sub.add_parser(
         "serve-status",
@@ -664,6 +726,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse every sweep already recorded under the store (finishes "
              "a crashed or interrupted campaign; final artifacts are "
              "byte-identical to a one-shot run)",
+    )
+    p_camp.add_argument(
+        "--metrics-out", metavar="FILE", dest="metrics_out",
+        help="also write the campaign's metric snapshot to FILE (the store "
+             "always keeps one under metrics/campaign.json)",
     )
     p_camp.add_argument(
         "--progress", action="store_true", default=None,

@@ -10,12 +10,15 @@ simulator backend must reproduce.
 
 from __future__ import annotations
 
-import numpy as np
+import time
 from typing import Sequence
 
+import numpy as np
+
 from ..core.dataset import KernelMeasurements
-from ..gpusim.device import DeviceSpec
+from ..gpusim.device import DeviceSpec, device_slug
 from ..nvml.api import NVML, DeviceHandle
+from ..obs import observe_sweep
 from ..workloads import KernelSpec
 from .backend import BackendCapabilities
 
@@ -59,6 +62,7 @@ class NvmlBackend:
     def measure(
         self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
     ) -> KernelMeasurements:
+        start = time.perf_counter()
         nvml, handle = self._nvml, self._handle
         profile = spec.profile()
 
@@ -81,7 +85,7 @@ class NvmlBackend:
 
         cores = np.asarray([c for c, _ in configs], dtype=np.float64)
         mems = np.asarray([m for _, m in configs], dtype=np.float64)
-        return KernelMeasurements.from_arrays(
+        result = KernelMeasurements.from_arrays(
             spec=spec,
             baseline=baseline,
             core_mhz=cores,
@@ -90,3 +94,10 @@ class NvmlBackend:
             power_w=power_w,
             energy_j=energy_j,
         )
+        observe_sweep(
+            "nvml",
+            device_slug(self.device.name),
+            len(configs),
+            time.perf_counter() - start,
+        )
+        return result

@@ -26,11 +26,13 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 from ..features.vector import StaticFeatures
 from ..gpusim.device import DeviceSpec
 from ..gpusim.noise import NoiseConfig
+from ..obs import MetricsRegistry, use_registry
 from ..workloads import KernelSpec
 from .backend import BackendCapabilities, MeasurementBackend, as_backend
 from .simulator import SimulatorBackend
 
 if TYPE_CHECKING:
+    from ..obs import MetricsSnapshot
     from ..core.dataset import KernelMeasurements
 
 
@@ -56,12 +58,17 @@ def _init_worker(factory: Callable[[], MeasurementBackend]) -> None:
 
 def _measure_task(
     task: tuple[KernelSpec, Sequence[tuple[float, float]], bool],
-) -> "tuple[KernelMeasurements, StaticFeatures | None]":
+) -> "tuple[tuple[KernelMeasurements, StaticFeatures | None], MetricsSnapshot]":
     spec, configs, with_features = task
     assert _WORKER_BACKEND is not None, "worker pool initializer did not run"
-    measurements = _WORKER_BACKEND.measure(spec, configs)
-    static = spec.static_features() if with_features else None
-    return measurements, static
+    # Each task records into a private delta registry that travels home
+    # with the result, so the parent can merge metrics in submission
+    # order — deterministic totals regardless of worker interleaving.
+    delta = MetricsRegistry()
+    with use_registry(delta):
+        measurements = _WORKER_BACKEND.measure(spec, configs)
+        static = spec.static_features() if with_features else None
+    return (measurements, static), delta.snapshot()
 
 
 # -- multi-device pool --------------------------------------------------------
@@ -123,9 +130,22 @@ def _run_sweep_task(
     return measurements, static, time.perf_counter() - start
 
 
-def _device_sweep_task(task: DeviceSweepTask) -> DeviceSweepResult:
+def _device_sweep_task(
+    task: DeviceSweepTask,
+) -> "tuple[DeviceSweepResult, MetricsSnapshot]":
     assert _DEVICE_FACTORY is not None, "device pool initializer did not run"
-    return _run_sweep_task(task, _DEVICE_BACKENDS, _DEVICE_FACTORY)
+    delta = MetricsRegistry()
+    with use_registry(delta):
+        result = _run_sweep_task(task, _DEVICE_BACKENDS, _DEVICE_FACTORY)
+    return result, delta.snapshot()
+
+
+def _observed_call(fn: Callable[..., Any], *args: Any) -> "tuple[Any, MetricsSnapshot]":
+    """Run ``fn`` under a private delta registry; ship the delta home."""
+    delta = MetricsRegistry()
+    with use_registry(delta):
+        value = fn(*args)
+    return value, delta.snapshot()
 
 
 class _ImmediateResult:
@@ -136,6 +156,24 @@ class _ImmediateResult:
 
     def get(self, timeout: float | None = None) -> Any:
         return self._value
+
+
+class _MergingResult:
+    """`AsyncResult` adapter: merges the task's metric delta on ``get``."""
+
+    def __init__(
+        self, async_result: Any, registry: MetricsRegistry
+    ) -> None:
+        self._async_result = async_result
+        self._registry = registry
+        self._merged = False
+
+    def get(self, timeout: float | None = None) -> Any:
+        value, snapshot = self._async_result.get(timeout)
+        if not self._merged:
+            self._merged = True
+            self._registry.merge(snapshot)
+        return value
 
 
 class DevicePool:
@@ -156,6 +194,10 @@ class DevicePool:
         order).
     mp_context:
         ``multiprocessing`` start method; None uses the platform default.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` worker-side metric deltas
+        merge into (in submission order, so totals are deterministic).
+        Defaults to a fresh private registry, exposed as :attr:`metrics`.
 
     Unlike :class:`ParallelBackend` this is not itself a measurement
     backend — it is the scheduler's executor, and it also accepts
@@ -169,6 +211,7 @@ class DevicePool:
         backend_factory: Callable[[str], MeasurementBackend] = backend_for_device,
         workers: int | None = None,
         mp_context: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.backend_factory = backend_factory
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
@@ -178,6 +221,8 @@ class DevicePool:
         self._pool: multiprocessing.pool.Pool | None = None
         #: Parent-side backend cache for the inline (workers=1) path.
         self._local_backends: dict[str, MeasurementBackend] = {}
+        #: Where worker-side metric deltas land (merged in task order).
+        self.metrics = registry if registry is not None else MetricsRegistry()
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
@@ -196,20 +241,35 @@ class DevicePool:
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1:
             for task in tasks:
-                yield _run_sweep_task(task, self._local_backends, self.backend_factory)
+                # Scoped per task, not across yields: the consumer's frame
+                # must never see the pool's registry as the default.
+                with use_registry(self.metrics):
+                    result = _run_sweep_task(
+                        task, self._local_backends, self.backend_factory
+                    )
+                yield result
             return
-        yield from self._ensure_pool().imap(_device_sweep_task, tasks, chunksize=1)
+        pool = self._ensure_pool()
+        for result, snapshot in pool.imap(_device_sweep_task, tasks, chunksize=1):
+            # Merged as yielded — i.e. in submission order — so the pooled
+            # totals equal the serial (workers=1) totals bit for bit.
+            self.metrics.merge(snapshot)
+            yield result
 
     def apply_async(self, fn: Callable[..., Any], *args: Any):
         """Submit one picklable call; returns an ``AsyncResult``-alike.
 
         With a live pool the call queues behind in-flight sweep tasks and
         runs on whichever worker frees up; without one (``workers=1``) it
-        runs synchronously here.
+        runs synchronously here.  Either way, metrics the call records end
+        up in :attr:`metrics` (pool-side deltas merge when the caller
+        ``get``\\ s the result).
         """
         if self.workers == 1:
-            return _ImmediateResult(fn(*args))
-        return self._ensure_pool().apply_async(fn, args)
+            with use_registry(self.metrics):
+                return _ImmediateResult(fn(*args))
+        async_result = self._ensure_pool().apply_async(_observed_call, (fn, *args))
+        return _MergingResult(async_result, self.metrics)
 
     def close(self) -> None:
         """Tear the worker pool down (later submissions recreate it)."""
@@ -259,6 +319,7 @@ class ParallelBackend:
         inner_factory: Callable[[], MeasurementBackend],
         workers: int | None = None,
         mp_context: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.inner_factory = inner_factory
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
@@ -267,6 +328,8 @@ class ParallelBackend:
         self._mp_context = mp_context
         self._local = as_backend(inner_factory())
         self._pool: multiprocessing.pool.Pool | None = None
+        #: Where worker-side metric deltas land (merged in task order).
+        self.metrics = registry if registry is not None else MetricsRegistry()
 
     # -- protocol ---------------------------------------------------------------
 
@@ -289,7 +352,8 @@ class ParallelBackend:
         self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
     ) -> "KernelMeasurements":
         """One kernel: measured in-process (no pool round-trip to win)."""
-        return self._local.measure(spec, configs)
+        with use_registry(self.metrics):
+            return self._local.measure(spec, configs)
 
     # -- fan-out ----------------------------------------------------------------
 
@@ -321,14 +385,18 @@ class ParallelBackend:
         if self.workers == 1 or len(specs) <= 1:
             # No parallelism to exploit; skip pool (and pickling) overhead.
             for spec in specs:
+                with use_registry(self.metrics):
+                    measurements = self._local.measure(spec, configs)
                 yield (
-                    self._local.measure(spec, configs),
+                    measurements,
                     spec.static_features() if with_features else None,
                 )
             return
         pool = self._ensure_pool()
         tasks = [(spec, configs, with_features) for spec in specs]
-        yield from pool.imap(_measure_task, tasks, chunksize=1)
+        for result, snapshot in pool.imap(_measure_task, tasks, chunksize=1):
+            self.metrics.merge(snapshot)
+            yield result
 
     def measure_many(
         self,

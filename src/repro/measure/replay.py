@@ -20,14 +20,16 @@ provides the two backends:
 from __future__ import annotations
 
 import pathlib
+import time
 from collections import OrderedDict
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..core.dataset import KernelMeasurements
-from ..gpusim.device import DEVICE_REGISTRY, DeviceSpec
+from ..gpusim.device import DEVICE_REGISTRY, DeviceSpec, device_slug
 from ..gpusim.executor import ExecutionRecord
+from ..obs import observe_sweep
 from ..workloads import KernelSpec
 from .backend import BackendCapabilities, MeasurementBackend
 from .trace import (  # noqa: F401  (trace symbols re-exported for compat)
@@ -167,13 +169,21 @@ class ReplayBackend:
     def measure(
         self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
     ) -> KernelMeasurements:
+        start = time.perf_counter()
         kernel = self._kernel(spec.name)
         if kernel is None:
             raise ReplayError(
                 f"kernel {spec.name!r} is not in the trace "
                 f"(recorded: {self.kernels()})"
             )
-        return replay_measurements(spec, kernel, configs)
+        result = replay_measurements(spec, kernel, configs)
+        observe_sweep(
+            "replay",
+            device_slug(self._device.name),
+            len(configs),
+            time.perf_counter() - start,
+        )
+        return result
 
 
 def replay_measurements(

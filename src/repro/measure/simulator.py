@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from ..core.dataset import KernelMeasurements
-from ..gpusim.device import DeviceSpec
+from ..gpusim.device import DeviceSpec, device_slug
 from ..gpusim.executor import GPUSimulator
 from ..gpusim.noise import NoiseConfig
+from ..obs import observe_sweep
 from ..workloads import KernelSpec
 from .backend import BackendCapabilities
 
@@ -47,7 +49,17 @@ class SimulatorBackend:
     def measure(
         self, spec: KernelSpec, configs: Sequence[tuple[float, float]]
     ) -> KernelMeasurements:
+        start = time.perf_counter()
         profile = spec.profile()
         baseline = self.sim.run_default(profile)
         batch = self.sim.sweep_batch(profile, list(configs))
-        return KernelMeasurements.from_sweep(spec, baseline, batch)
+        result = KernelMeasurements.from_sweep(spec, baseline, batch)
+        # Observed strictly after the sweep: timing can never feed back
+        # into the measured numbers (the no-perturbation invariant).
+        observe_sweep(
+            "simulator",
+            device_slug(self.sim.device.name),
+            len(configs),
+            time.perf_counter() - start,
+        )
+        return result

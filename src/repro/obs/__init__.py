@@ -1,0 +1,87 @@
+"""repro.obs — unified metrics, tracing spans, and exporters.
+
+The observability substrate under measure → campaign → serve:
+
+* :mod:`repro.obs.metrics` — a process-safe :class:`MetricsRegistry` of
+  labeled counters, gauges and fixed-bucket histograms, with picklable
+  snapshots that merge associatively across
+  :class:`~repro.measure.parallel.DevicePool` workers;
+* :mod:`repro.obs.spans` — ``span("campaign.sweep", device=...)`` context
+  managers emitting start/duration/status events to an append-only JSONL
+  log beside the campaign store;
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON renderers
+  (behind ``repro stats``) plus snapshot persistence;
+* :mod:`repro.obs.instruments` — the canonical metric names, label keys
+  and recording helpers every subsystem shares.
+
+One invariant above all: observability must never perturb the
+measurement path.  Helpers observe wall clock and counts after the work
+completed; spans and metric files live beside — never inside — the
+store's ``traces/`` and ``models/`` directories, so campaign and model
+artifacts stay byte-identical with metrics enabled.
+"""
+
+from .export import (
+    SNAPSHOT_FORMAT,
+    load_snapshot,
+    load_store_metrics,
+    save_snapshot,
+    to_json,
+    to_prometheus,
+)
+from .instruments import (
+    declare_cache_metrics,
+    declare_campaign_metrics,
+    declare_fleet_metrics,
+    declare_serve_metrics,
+    declare_standard_metrics,
+    declare_sweep_metrics,
+    observe_sweep,
+    observe_training,
+)
+from .metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    FamilyData,
+    HistogramValue,
+    Metric,
+    MetricError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .spans import SPAN_FORMAT, Span, SpanLog, read_spans
+
+__all__ = [
+    "DEFAULT_DURATION_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "FamilyData",
+    "HistogramValue",
+    "Metric",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SNAPSHOT_FORMAT",
+    "SPAN_FORMAT",
+    "Span",
+    "SpanLog",
+    "declare_cache_metrics",
+    "declare_campaign_metrics",
+    "declare_fleet_metrics",
+    "declare_serve_metrics",
+    "declare_standard_metrics",
+    "declare_sweep_metrics",
+    "get_registry",
+    "load_snapshot",
+    "load_store_metrics",
+    "observe_sweep",
+    "observe_training",
+    "read_spans",
+    "save_snapshot",
+    "set_registry",
+    "to_json",
+    "to_prometheus",
+    "use_registry",
+]

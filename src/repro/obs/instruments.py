@@ -1,0 +1,225 @@
+"""Canonical instrument names and recording helpers for the whole stack.
+
+Every subsystem records through these helpers so metric names, label keys
+and bucket layouts cannot drift between the producer (a backend, the
+campaign scheduler, a serving facade) and the consumers (``repro stats``,
+exporters, the progress renderer).
+
+Naming scheme (Prometheus conventions):
+
+* ``repro_<area>_<what>_<unit>`` with counters suffixed ``_total``;
+* ``device`` labels carry the device *slug*
+  (:func:`repro.gpusim.device.device_slug`), never a display name or
+  alias — one series per physical device no matter how it was spelled;
+* ``backend`` labels carry the backend ``capabilities.kind``
+  (``simulator`` / ``nvml`` / ``replay``).
+
+The no-perturbation invariant: these helpers only ever *observe* wall
+clock and counts after the measured work completed; nothing here feeds
+back into measurements, datasets, or artifacts.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+# -- measurement layer ---------------------------------------------------------
+
+SWEEP_DURATION_SECONDS = "repro_sweep_duration_seconds"
+SWEEPS_TOTAL = "repro_sweeps_total"
+SWEEP_CONFIGS_TOTAL = "repro_sweep_configs_total"
+
+# -- campaign layer ------------------------------------------------------------
+
+CAMPAIGN_SWEEPS_DONE_TOTAL = "repro_campaign_sweeps_done_total"
+CAMPAIGN_SWEEPS_SKIPPED_TOTAL = "repro_campaign_sweeps_skipped_total"
+CAMPAIGN_BUSY_SECONDS_TOTAL = "repro_campaign_busy_seconds_total"
+CAMPAIGN_SWEEPS_PLANNED = "repro_campaign_sweeps_planned"
+TRAIN_DURATION_SECONDS = "repro_train_duration_seconds"
+TRAININGS_TOTAL = "repro_trainings_total"
+
+# -- serving layer -------------------------------------------------------------
+
+SERVE_REQUESTS_TOTAL = "repro_serve_requests_total"
+SERVE_KERNELS_TOTAL = "repro_serve_kernels_total"
+SERVE_EXTRACT_SECONDS = "repro_serve_extract_seconds"
+SERVE_PREDICT_SECONDS = "repro_serve_predict_seconds"
+
+FEATURE_CACHE_REQUESTS_TOTAL = "repro_feature_cache_requests_total"
+FEATURE_CACHE_EVICTIONS_TOTAL = "repro_feature_cache_evictions_total"
+
+FLEET_REQUESTS_ROUTED_TOTAL = "repro_fleet_requests_routed_total"
+FLEET_BATCHES_ROUTED_TOTAL = "repro_fleet_batches_routed_total"
+FLEET_SERVICE_LOADS_TOTAL = "repro_fleet_service_loads_total"
+FLEET_SERVICE_HITS_TOTAL = "repro_fleet_service_hits_total"
+FLEET_SERVICE_EVICTIONS_TOTAL = "repro_fleet_service_evictions_total"
+
+
+# -- declarations --------------------------------------------------------------
+#
+# declare_* are idempotent (declare-or-get); a campaign calls the whole
+# standard set up front so `repro stats` on a fresh store exports every
+# family the system can ever record — zeros included — instead of only
+# whatever this particular run happened to touch.
+
+
+def declare_sweep_metrics(registry: MetricsRegistry) -> None:
+    registry.histogram(
+        SWEEP_DURATION_SECONDS,
+        help="Wall seconds per kernel sweep, by device and backend kind.",
+        labels=("device", "backend"),
+        buckets=DEFAULT_DURATION_BUCKETS,
+    )
+    registry.counter(
+        SWEEPS_TOTAL,
+        help="Kernel sweeps measured, by device and backend kind.",
+        labels=("device", "backend"),
+    )
+    registry.counter(
+        SWEEP_CONFIGS_TOTAL,
+        help="Frequency configurations measured across sweeps.",
+        labels=("device", "backend"),
+    )
+
+
+def declare_campaign_metrics(registry: MetricsRegistry) -> None:
+    registry.counter(
+        CAMPAIGN_SWEEPS_DONE_TOTAL,
+        help="Campaign sweep tasks completed, by device.",
+        labels=("device",),
+    )
+    registry.counter(
+        CAMPAIGN_SWEEPS_SKIPPED_TOTAL,
+        help="Campaign sweep tasks reused from a previous run, by device.",
+        labels=("device",),
+    )
+    registry.counter(
+        CAMPAIGN_BUSY_SECONDS_TOTAL,
+        help="Worker-side seconds spent measuring, by device.",
+        labels=("device",),
+    )
+    registry.gauge(
+        CAMPAIGN_SWEEPS_PLANNED,
+        help="Sweep tasks the current campaign plan schedules, by device.",
+        labels=("device",),
+    )
+    registry.histogram(
+        TRAIN_DURATION_SECONDS,
+        help="Wall seconds per model-bundle training, by device.",
+        labels=("device",),
+        buckets=DEFAULT_DURATION_BUCKETS,
+    )
+    registry.counter(
+        TRAININGS_TOTAL,
+        help="Model-bundle trainings executed, by device.",
+        labels=("device",),
+    )
+
+
+def declare_serve_metrics(registry: MetricsRegistry) -> None:
+    registry.counter(
+        SERVE_REQUESTS_TOTAL,
+        help="Prediction requests served, by device and mode (single/batch).",
+        labels=("device", "mode"),
+    )
+    registry.counter(
+        SERVE_KERNELS_TOTAL,
+        help="Kernels predicted (a batch request counts every kernel).",
+        labels=("device",),
+    )
+    registry.histogram(
+        SERVE_EXTRACT_SECONDS,
+        help="Feature-extraction latency per kernel (cache hits included).",
+        labels=("device",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    registry.histogram(
+        SERVE_PREDICT_SECONDS,
+        help="Model-inference latency per request (one batch = one sample).",
+        labels=("device",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+
+
+def declare_cache_metrics(registry: MetricsRegistry) -> None:
+    requests = registry.counter(
+        FEATURE_CACHE_REQUESTS_TOTAL,
+        help="Kernel-feature cache lookups, by result (hit/miss).",
+        labels=("result",),
+    )
+    # Pre-touch both outcomes so a store that never served still exports
+    # the cache counters (at zero) — operators grep for these by name.
+    requests.touch(result="hit")
+    requests.touch(result="miss")
+    registry.counter(
+        FEATURE_CACHE_EVICTIONS_TOTAL,
+        help="Kernel-feature cache LRU evictions.",
+    ).touch()
+
+
+def declare_fleet_metrics(registry: MetricsRegistry) -> None:
+    registry.counter(
+        FLEET_REQUESTS_ROUTED_TOTAL,
+        help="Requests routed through the fleet front door.",
+    )
+    registry.counter(
+        FLEET_BATCHES_ROUTED_TOTAL,
+        help="Batch requests routed through the fleet front door.",
+    )
+    registry.counter(
+        FLEET_SERVICE_LOADS_TOTAL,
+        help="Per-device services materialized from the model registry.",
+    )
+    registry.counter(
+        FLEET_SERVICE_HITS_TOTAL,
+        help="Requests served by an already-loaded per-device service.",
+    )
+    registry.counter(
+        FLEET_SERVICE_EVICTIONS_TOTAL,
+        help="Per-device services evicted by the max_services LRU bound.",
+    )
+
+
+def declare_standard_metrics(registry: MetricsRegistry) -> None:
+    """Declare every family the stack records (idempotent)."""
+    declare_sweep_metrics(registry)
+    declare_campaign_metrics(registry)
+    declare_serve_metrics(registry)
+    declare_cache_metrics(registry)
+    declare_fleet_metrics(registry)
+
+
+# -- recording helpers (hot paths) ---------------------------------------------
+
+
+def observe_sweep(
+    backend_kind: str,
+    device_slug: str,
+    n_configs: int,
+    seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one completed kernel sweep (called *after* the sweep)."""
+    reg = registry if registry is not None else get_registry()
+    declare_sweep_metrics(reg)
+    labels = {"device": device_slug, "backend": backend_kind}
+    reg.get(SWEEP_DURATION_SECONDS).observe(seconds, **labels)  # type: ignore[union-attr]
+    reg.get(SWEEPS_TOTAL).inc(1.0, **labels)  # type: ignore[union-attr]
+    reg.get(SWEEP_CONFIGS_TOTAL).inc(float(n_configs), **labels)  # type: ignore[union-attr]
+
+
+def observe_training(
+    device_slug: str,
+    seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one completed model-bundle training."""
+    reg = registry if registry is not None else get_registry()
+    declare_campaign_metrics(reg)
+    reg.get(TRAIN_DURATION_SECONDS).observe(seconds, device=device_slug)  # type: ignore[union-attr]
+    reg.get(TRAININGS_TOTAL).inc(1.0, device=device_slug)  # type: ignore[union-attr]

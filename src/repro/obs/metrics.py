@@ -1,0 +1,463 @@
+"""Process-safe metrics: labeled counters, gauges, fixed-bucket histograms.
+
+The registry is the one place the stack's telemetry lives.  Design rules,
+all load-bearing:
+
+* **Pure stdlib, pure data.**  A metric value is a float or a
+  :class:`HistogramValue` (bucket counts + sum); a snapshot is a plain
+  picklable structure.  Nothing here imports numpy or touches the
+  measurement path — observability must never perturb a measurement.
+* **Snapshots merge associatively.**  Campaign sweeps run on
+  :class:`~repro.measure.parallel.DevicePool` worker processes; each task
+  records into a private delta registry whose snapshot rides home with
+  the result, and the parent folds deltas in submission order.  Counter
+  and histogram merges are sums (associative, and — for the integral
+  counters the bit-identity tests assert on — exact in float64); gauges
+  take the right-hand value (last writer wins), which is associative too.
+* **Declare-or-get families.**  ``registry.counter(name, ...)`` returns
+  the existing family when the name is already declared and raises only
+  on a *conflicting* redeclaration, so every call site can carry its own
+  declaration and hot paths stay one dict lookup.
+
+Naming follows Prometheus conventions (``repro_<area>_<what>_<unit>``,
+counters suffixed ``_total``); the canonical names live in
+:mod:`repro.obs.instruments`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+#: Serving-path latency buckets (seconds): feature extraction is ~100 µs
+#: warm / ~10 ms cold, a batched predict pass is ~1–50 ms.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Sweep/training duration buckets (seconds): a vectorized simulator sweep
+#: is ~1–50 ms, an NVML sweep or a model training can run to minutes.
+DEFAULT_DURATION_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Metric kinds a family can be declared as.
+KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricError(ValueError):
+    """Raised on conflicting declarations or malformed observations."""
+
+
+@dataclass
+class HistogramValue:
+    """Fixed-bucket histogram: per-bucket counts, total count, sum.
+
+    ``bounds`` are the finite upper bucket bounds (strictly increasing);
+    ``counts`` has one extra slot for the implicit ``+Inf`` bucket.
+    Counts are *non-cumulative* here; the Prometheus exporter accumulates
+    them into the exposition format's cumulative ``le`` series.
+    """
+
+    bounds: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.bounds = tuple(float(b) for b in self.bounds)
+        if not self.bounds:
+            raise MetricError("a histogram needs at least one bucket bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise MetricError(
+                f"histogram bounds must be strictly increasing: {self.bounds}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+        elif len(self.counts) != len(self.bounds) + 1:
+            raise MetricError(
+                f"expected {len(self.bounds) + 1} bucket counts "
+                f"(one per bound plus +Inf), got {len(self.counts)}"
+            )
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+
+    def merge(self, other: "HistogramValue") -> None:
+        """Fold another histogram's counts in (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise MetricError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+
+    def copy(self) -> "HistogramValue":
+        return HistogramValue(self.bounds, list(self.counts), self.sum)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile, the ``histogram_quantile`` way.
+
+        Linear interpolation inside the bucket the target rank falls in;
+        the first bucket interpolates from 0, and a rank landing in the
+        ``+Inf`` bucket reports the highest finite bound (the histogram
+        cannot know more).  An empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0.0
+        for i, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                if bucket_count == 0:
+                    return hi
+                return lo + (hi - lo) * (target - previous) / bucket_count
+        return self.bounds[-1]
+
+    def percentiles(self) -> dict:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def as_dict(self) -> dict:
+        out = {"count": self.count, "sum": self.sum}
+        out.update(self.percentiles())
+        return out
+
+
+#: One metric series key: the label *values*, ordered like the family's
+#: ``labelnames``.
+SeriesKey = tuple[str, ...]
+
+
+@dataclass
+class FamilyData:
+    """One metric family's declaration plus every labeled series.
+
+    Plain picklable data — this is both the registry's live storage and
+    (deep-copied) the snapshot's.  ``series`` values are floats for
+    counters/gauges and :class:`HistogramValue` for histograms.
+    """
+
+    name: str
+    kind: str
+    help: str = ""
+    labelnames: tuple[str, ...] = ()
+    buckets: tuple[float, ...] | None = None
+    series: dict[SeriesKey, object] = field(default_factory=dict)
+
+    def signature(self) -> tuple:
+        return (self.name, self.kind, self.labelnames, self.buckets)
+
+    def copy(self) -> "FamilyData":
+        series: dict[SeriesKey, object] = {}
+        for key, value in self.series.items():
+            series[key] = value.copy() if isinstance(value, HistogramValue) else value
+        return FamilyData(
+            self.name, self.kind, self.help, self.labelnames, self.buckets, series
+        )
+
+
+def _fold_family(dst: FamilyData, src: FamilyData) -> None:
+    """Merge one family's series into another (declarations must agree)."""
+    if dst.signature() != src.signature():
+        raise MetricError(
+            f"conflicting declarations of metric {dst.name!r}: "
+            f"{dst.signature()} vs {src.signature()}"
+        )
+    for key, value in src.series.items():
+        if dst.kind == "histogram":
+            assert isinstance(value, HistogramValue)
+            mine = dst.series.get(key)
+            if mine is None:
+                dst.series[key] = value.copy()
+            else:
+                assert isinstance(mine, HistogramValue)
+                mine.merge(value)
+        elif dst.kind == "counter":
+            dst.series[key] = float(dst.series.get(key, 0.0)) + float(value)  # type: ignore[arg-type]
+        else:  # gauge: last writer (the right-hand side) wins
+            dst.series[key] = float(value)  # type: ignore[arg-type]
+
+
+def _fold(dst: dict[str, FamilyData], src: Mapping[str, FamilyData]) -> None:
+    for name, family in src.items():
+        mine = dst.get(name)
+        if mine is None:
+            dst[name] = family.copy()
+        else:
+            _fold_family(mine, family)
+
+
+@dataclass
+class MetricsSnapshot:
+    """A frozen, picklable copy of a registry's families.
+
+    Snapshots are what crosses process boundaries and what exporters
+    consume.  :meth:`merge` is associative (see the module docstring for
+    the per-kind rules), so worker deltas can be folded in any grouping —
+    the campaign folds them in submission order, which additionally makes
+    float sums deterministic.
+    """
+
+    families: dict[str, FamilyData] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """A new snapshot = self ⊕ other (neither operand is mutated)."""
+        merged: dict[str, FamilyData] = {}
+        _fold(merged, self.families)
+        _fold(merged, other.families)
+        return MetricsSnapshot(merged)
+
+    # -- reads ------------------------------------------------------------------
+
+    def _series(self, name: str, labels: Mapping[str, str]):
+        family = self.families.get(name)
+        if family is None:
+            return None, None
+        key = tuple(str(labels[ln]) for ln in family.labelnames)
+        return family, family.series.get(key)
+
+    def value(self, name: str, **labels: str) -> float:
+        """A counter/gauge series value (0.0 when never observed)."""
+        family, value = self._series(name, labels)
+        if family is not None and family.kind == "histogram":
+            raise MetricError(f"{name} is a histogram; use histogram()")
+        return float(value) if value is not None else 0.0  # type: ignore[arg-type]
+
+    def histogram(self, name: str, **labels: str) -> HistogramValue | None:
+        family, value = self._series(name, labels)
+        if family is not None and family.kind != "histogram":
+            raise MetricError(f"{name} is a {family.kind}, not a histogram")
+        assert value is None or isinstance(value, HistogramValue)
+        return value
+
+    def label_values(self, name: str) -> list[SeriesKey]:
+        family = self.families.get(name)
+        return sorted(family.series) if family is not None else []
+
+
+class Metric:
+    """A registry-bound family handle: the mutation/read API."""
+
+    def __init__(self, registry: "MetricsRegistry", data: FamilyData) -> None:
+        self._registry = registry
+        self._data = data
+
+    @property
+    def name(self) -> str:
+        return self._data.name
+
+    @property
+    def kind(self) -> str:
+        return self._data.kind
+
+    def _key(self, labels: Mapping[str, str]) -> SeriesKey:
+        names = self._data.labelnames
+        if set(labels) != set(names):
+            raise MetricError(
+                f"metric {self._data.name!r} takes labels {list(names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[ln]) for ln in names)
+
+    # -- writes -----------------------------------------------------------------
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if self._data.kind != "counter":
+            raise MetricError(f"{self._data.name} is not a counter")
+        if amount < 0:
+            raise MetricError(f"counters only go up; inc({amount})")
+        key = self._key(labels)
+        with self._registry._lock:
+            self._data.series[key] = float(self._data.series.get(key, 0.0)) + amount  # type: ignore[arg-type]
+
+    def set(self, value: float, **labels: str) -> None:
+        if self._data.kind != "gauge":
+            raise MetricError(f"{self._data.name} is not a gauge")
+        key = self._key(labels)
+        with self._registry._lock:
+            self._data.series[key] = float(value)
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._registry._lock:
+            self._child_locked(key).observe(value)
+
+    # -- reads ------------------------------------------------------------------
+
+    def value(self, **labels: str) -> float:
+        if self._data.kind == "histogram":
+            raise MetricError(f"{self._data.name} is a histogram; use child()")
+        with self._registry._lock:
+            return float(self._data.series.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+    def _child_locked(self, key: SeriesKey) -> HistogramValue:
+        if self._data.kind != "histogram":
+            raise MetricError(f"{self._data.name} is not a histogram")
+        child = self._data.series.get(key)
+        if child is None:
+            assert self._data.buckets is not None
+            child = HistogramValue(self._data.buckets)
+            self._data.series[key] = child
+        assert isinstance(child, HistogramValue)
+        return child
+
+    def child(self, **labels: str) -> HistogramValue:
+        """The live histogram for one label set (created on first use)."""
+        with self._registry._lock:
+            return self._child_locked(self._key(labels))
+
+    def touch(self, **labels: str) -> "Metric":
+        """Materialize a series at its zero value (so exporters list it)."""
+        key = self._key(labels)
+        with self._registry._lock:
+            if key not in self._data.series:
+                if self._data.kind == "histogram":
+                    self._child_locked(key)
+                else:
+                    self._data.series[key] = 0.0
+        return self
+
+
+class MetricsRegistry:
+    """Thread-safe family store; the process-local half of the system.
+
+    Cross-*process* safety is by snapshot: workers record into private
+    registries and ship :meth:`snapshot` results home for :meth:`merge`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: dict[str, FamilyData] = {}
+
+    # -- declaration ------------------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Sequence[float] | None,
+    ) -> Metric:
+        assert kind in KINDS
+        wanted = FamilyData(
+            name=name,
+            kind=kind,
+            help=help,
+            labelnames=tuple(labels),
+            buckets=tuple(float(b) for b in buckets) if buckets is not None else None,
+        )
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is None:
+                self._families[name] = wanted
+                return Metric(self, wanted)
+            if existing.signature() != wanted.signature():
+                raise MetricError(
+                    f"metric {name!r} already declared as {existing.signature()}, "
+                    f"redeclared as {wanted.signature()}"
+                )
+            if help and not existing.help:
+                existing.help = help
+            return Metric(self, existing)
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Metric:
+        return self._declare(name, "counter", help, labels, None)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Metric:
+        return self._declare(name, "gauge", help, labels, None)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS,
+    ) -> Metric:
+        return self._declare(name, "histogram", help, labels, buckets)
+
+    # -- reads ------------------------------------------------------------------
+
+    def families(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            data = self._families.get(name)
+        return Metric(self, data) if data is not None else None
+
+    def value(self, name: str, **labels: str) -> float:
+        """Convenience: a counter/gauge value, 0.0 if never declared."""
+        metric = self.get(name)
+        return metric.value(**labels) if metric is not None else 0.0
+
+    # -- snapshot / merge -------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                {name: fam.copy() for name, fam in self._families.items()}
+            )
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot (e.g. a worker delta) into the live registry."""
+        with self._lock:
+            _fold(self._families, snapshot.families)
+
+
+# -- the process-default registry ---------------------------------------------
+#
+# Instrumented code records into "the current" registry so callers that
+# don't care get process-wide accumulation for free, while a campaign (or
+# a worker task capturing a delta) can scope recording with use_registry().
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented code records into right now."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the current registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the current registry: every observation inside lands there."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,176 @@
+"""Lightweight tracing spans over an append-only JSONL event log.
+
+A span is one timed unit of work — ``campaign.run``, ``campaign.sweep``
+on one device, ``campaign.train`` — recorded as *two* events so a crash
+leaves forensics behind:
+
+* on start: ``{"event": "start", "id", "name", "labels", "unix_ts"}``
+* on end:   ``{"event": "end", "id", "name", "status", "duration_seconds"
+  [, "error"]}``
+
+A start with no matching end is exactly where a killed process died.  The
+log is plain append-only JSONL (one ``write`` + flush per event, opened in
+append mode), so a resumed campaign keeps appending to the same file and
+concurrent readers only ever see whole lines plus at most one torn tail —
+the same contract the trace streams rely on.  Span ids are
+``"<pid>:<seq>"``: unique across the processes that share one log file
+without any coordination.
+
+The span log lives *beside* the campaign store's artifacts
+(``<store>/spans.jsonl``, see :mod:`repro.store.layout`), never inside
+``traces/`` or ``models/`` — observability output must not change what a
+byte-identity comparison of the artifacts sees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Callable, TextIO
+
+#: Schema tag stamped on every event line.
+SPAN_FORMAT = "repro.span-log/v1"
+
+
+class Span:
+    """One in-flight span; :meth:`end` (or the context manager) closes it."""
+
+    def __init__(
+        self,
+        log: "SpanLog",
+        span_id: str,
+        name: str,
+        labels: dict,
+        started: float,
+    ) -> None:
+        self._log = log
+        self.span_id = span_id
+        self.name = name
+        self.labels = labels
+        self._started = started
+        self.ended = False
+
+    def end(self, status: str = "ok", error: str | None = None) -> None:
+        if self.ended:
+            return
+        self.ended = True
+        self._log._end(self, status=status, error=error)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc_type is not None:
+            self.end(status="error", error=f"{exc_type.__name__}: {exc}")
+        else:
+            self.end()
+
+
+class SpanLog:
+    """Append-only JSONL span sink, one file per campaign store.
+
+    The file (and parent directory) is created lazily on the first event,
+    so merely constructing a log never touches disk.  ``clock`` is the
+    duration clock (monotonic); ``wall`` stamps the human-readable start
+    timestamps.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        clock: Callable[[], float] = time.perf_counter,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.clock = clock
+        self.wall = wall
+        self._handle: TextIO | None = None
+        self._seq = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def _end(self, span: Span, status: str, error: str | None) -> None:
+        event = {
+            "format": SPAN_FORMAT,
+            "event": "end",
+            "id": span.span_id,
+            "name": span.name,
+            "status": status,
+            "duration_seconds": self.clock() - span._started,
+        }
+        if error is not None:
+            event["error"] = error
+        self._emit(event)
+
+    # -- API --------------------------------------------------------------------
+
+    def span(self, name: str, **labels) -> Span:
+        """Start a span (usable as a context manager).
+
+        Label values are stringified so the log stays schema-stable no
+        matter what callers pass.
+        """
+        self._seq += 1
+        span_id = f"{os.getpid()}:{self._seq}"
+        span = Span(
+            self,
+            span_id,
+            name,
+            {k: str(v) for k, v in labels.items()},
+            self.clock(),
+        )
+        self._emit(
+            {
+                "format": SPAN_FORMAT,
+                "event": "start",
+                "id": span_id,
+                "name": name,
+                "labels": span.labels,
+                "unix_ts": self.wall(),
+            }
+        )
+        return span
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SpanLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_spans(path: str | pathlib.Path) -> list[dict]:
+    """Load every intact event line (tolerating a torn final line).
+
+    The read-side complement of the append-only contract: a crashed
+    writer can leave at most one partial line at the tail, which is
+    skipped, matching :func:`repro.measure.trace.scan_stream_records`'s
+    policy for trace streams.
+    """
+    events: list[dict] = []
+    path = pathlib.Path(path)
+    if not path.exists():
+        return events
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for i, line in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a crash — expected, ignore
+            raise
+    return events

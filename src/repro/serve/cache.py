@@ -21,6 +21,11 @@ from dataclasses import dataclass
 
 from ..features.extractor import ExtractorConfig, FeatureExtractor
 from ..features.vector import StaticFeatures
+from ..obs import MetricsRegistry, declare_cache_metrics
+from ..obs.instruments import (
+    FEATURE_CACHE_EVICTIONS_TOTAL,
+    FEATURE_CACHE_REQUESTS_TOTAL,
+)
 
 
 def source_fingerprint(
@@ -82,9 +87,38 @@ class KernelFeatureCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[str, StaticFeatures] = OrderedDict()
+        self._metrics: MetricsRegistry | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Mirror the cache counters into a ``repro.obs`` registry.
+
+        The plain-int :class:`CacheStats` stays the source of truth (and
+        the hot-path cost: one integer add); this mirrors each event into
+        the registry's labeled counters so exporters see them.  Counts
+        accumulated before binding are backfilled, and the *first* bind
+        wins — a fleet's shared cache reports into the fleet's registry
+        even when standalone services with private registries join later.
+        """
+        if self._metrics is not None:
+            return
+        declare_cache_metrics(registry)
+        self._metrics = registry
+        requests = registry.get(FEATURE_CACHE_REQUESTS_TOTAL)
+        evictions = registry.get(FEATURE_CACHE_EVICTIONS_TOTAL)
+        assert requests is not None and evictions is not None
+        if self.stats.hits:
+            requests.inc(float(self.stats.hits), result="hit")
+        if self.stats.misses:
+            requests.inc(float(self.stats.misses), result="miss")
+        if self.stats.evictions:
+            evictions.inc(float(self.stats.evictions))
+
+    def _mirror(self, name: str, **labels: str) -> None:
+        if self._metrics is not None:
+            self._metrics.get(name).inc(1.0, **labels)  # type: ignore[union-attr]
 
     def get(self, source: str, kernel_name: str | None = None) -> StaticFeatures:
         """Return features for ``source``, extracting only on a miss."""
@@ -93,13 +127,16 @@ class KernelFeatureCache:
         if cached is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._mirror(FEATURE_CACHE_REQUESTS_TOTAL, result="hit")
             return cached
         self.stats.misses += 1
+        self._mirror(FEATURE_CACHE_REQUESTS_TOTAL, result="miss")
         features = self.extractor.extract(source, kernel_name)
         self._entries[key] = features
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._mirror(FEATURE_CACHE_EVICTIONS_TOTAL)
         return features
 
     def peek(self, source: str, kernel_name: str | None = None) -> StaticFeatures | None:

@@ -26,11 +26,25 @@ from __future__ import annotations
 import pathlib
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..core.predictor import PredictedParetoSet
 from ..gpusim.device import device_slug, resolve_device
+from ..obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    declare_cache_metrics,
+    declare_fleet_metrics,
+    declare_serve_metrics,
+)
+from ..obs.instruments import (
+    FLEET_BATCHES_ROUTED_TOTAL,
+    FLEET_REQUESTS_ROUTED_TOTAL,
+    FLEET_SERVICE_EVICTIONS_TOTAL,
+    FLEET_SERVICE_HITS_TOTAL,
+    FLEET_SERVICE_LOADS_TOTAL,
+)
 from ..store.layout import MODELS_SUBDIR
 from .cache import KernelFeatureCache
 from .registry import ModelKey, ModelRegistry
@@ -73,13 +87,40 @@ def _normalize_request(request) -> tuple[str, str, str | None]:
 @dataclass
 class FleetStats:
     """Routing-layer counters (per-device serving counters live in the
-    per-device :class:`~repro.serve.service.ServiceStats`)."""
+    per-device :class:`~repro.serve.service.ServiceStats`).
 
-    requests_routed: int = 0
-    batches_routed: int = 0
-    service_loads: int = 0
-    service_hits: int = 0
-    service_evictions: int = 0
+    Registry-backed: the attribute reads are live views of the
+    ``repro_fleet_*`` counters, so ``repro stats`` and this object can
+    never disagree.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def __post_init__(self) -> None:
+        declare_fleet_metrics(self.registry)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.registry.get(name).inc(amount)  # type: ignore[union-attr]
+
+    @property
+    def requests_routed(self) -> int:
+        return int(self.registry.value(FLEET_REQUESTS_ROUTED_TOTAL))
+
+    @property
+    def batches_routed(self) -> int:
+        return int(self.registry.value(FLEET_BATCHES_ROUTED_TOTAL))
+
+    @property
+    def service_loads(self) -> int:
+        return int(self.registry.value(FLEET_SERVICE_LOADS_TOTAL))
+
+    @property
+    def service_hits(self) -> int:
+        return int(self.registry.value(FLEET_SERVICE_HITS_TOTAL))
+
+    @property
+    def service_evictions(self) -> int:
+        return int(self.registry.value(FLEET_SERVICE_EVICTIONS_TOTAL))
 
     def as_dict(self) -> dict:
         return {
@@ -128,7 +169,14 @@ class FleetService:
         self.max_services = max_services
         self.feature_cache = cache or KernelFeatureCache()
         self.clock = clock
-        self.stats = FleetStats()
+        #: One registry for the whole fleet: routing counters, every
+        #: device's serving series, and the shared cache's mirror all land
+        #: here, so one snapshot is the complete serving picture.
+        self.metrics = MetricsRegistry()
+        declare_serve_metrics(self.metrics)
+        declare_cache_metrics(self.metrics)
+        self.feature_cache.bind_metrics(self.metrics)
+        self.stats = FleetStats(registry=self.metrics)
         self._keys: dict[str, ModelKey] = {}
         for key in keys:
             slug = device_slug(key.device)
@@ -232,7 +280,7 @@ class FleetService:
         service = self._services.get(slug)
         if service is not None:
             self._services.move_to_end(slug)
-            self.stats.service_hits += 1
+            self.stats.inc(FLEET_SERVICE_HITS_TOTAL)
             return service
         key = self._keys[slug]
         models = self.registry.get(key)
@@ -241,17 +289,19 @@ class FleetService:
             device=key.device_spec(),
             cache=self.feature_cache,
             clock=self.clock,
-            stats=self._device_stats.setdefault(slug, ServiceStats()),
+            stats=self._device_stats.setdefault(
+                slug, ServiceStats(registry=self.metrics, device=slug)
+            ),
         )
         self._services[slug] = service
-        self.stats.service_loads += 1
+        self.stats.inc(FLEET_SERVICE_LOADS_TOTAL)
         if self.max_services is not None:
             while len(self._services) > self.max_services:
                 evicted, _ = self._services.popitem(last=False)
                 # Drop the registry's in-process bundle copy too;
                 # otherwise the LRU bounds service objects but not memory.
                 self.registry.invalidate(self._keys[evicted])
-                self.stats.service_evictions += 1
+                self.stats.inc(FLEET_SERVICE_EVICTIONS_TOTAL)
         return service
 
     def service_for(self, device: str) -> PredictionService:
@@ -283,7 +333,7 @@ class FleetService:
     ) -> PredictedParetoSet:
         """One kernel on one device — routed single-request path."""
         service = self.service_for(device)
-        self.stats.requests_routed += 1
+        self.stats.inc(FLEET_REQUESTS_ROUTED_TOTAL)
         return service.predict(source, kernel_name=kernel_name)
 
     def pareto_front_for(
@@ -308,11 +358,16 @@ class FleetService:
             batch = [(normalized[i][1], normalized[i][2]) for i in indices]
             for i, result in zip(indices, service.predict_batch(batch)):
                 results[i] = result
-        self.stats.batches_routed += 1
-        self.stats.requests_routed += len(normalized)
+        self.stats.inc(FLEET_BATCHES_ROUTED_TOTAL)
+        self.stats.inc(FLEET_REQUESTS_ROUTED_TOTAL, float(len(normalized)))
         return results  # type: ignore[return-value]
 
     # -- telemetry --------------------------------------------------------------
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The fleet's full metric state (routing + per-device + cache),
+        ready for :func:`repro.obs.to_prometheus` or persistence."""
+        return self.metrics.snapshot()
 
     def stats_summary(self) -> dict:
         """Per-device counters, the merged fleet view, and routing stats.

@@ -19,7 +19,14 @@ from ..core.config import modeled_subset
 from ..core.pipeline import TrainedModels
 from ..core.predictor import ParetoPredictor, PredictedParetoSet
 from ..features.vector import StaticFeatures
-from ..gpusim.device import DeviceSpec
+from ..gpusim.device import DeviceSpec, _alias_slug
+from ..obs import HistogramValue, MetricsRegistry, declare_serve_metrics
+from ..obs.instruments import (
+    SERVE_EXTRACT_SECONDS,
+    SERVE_KERNELS_TOTAL,
+    SERVE_PREDICT_SECONDS,
+    SERVE_REQUESTS_TOTAL,
+)
 from .artifacts import load_models_with_meta
 from .cache import CacheStats, KernelFeatureCache
 from .registry import ModelKey, ModelRegistry
@@ -38,47 +45,120 @@ def _normalize(request) -> tuple[str, str | None]:
 
 @dataclass
 class ServiceStats:
-    """Request counters and cumulative stage latencies (seconds).
+    """Registry-backed request counters and stage-latency histograms.
 
-    ``feature_cache`` is wired to the service's live
-    :class:`~repro.serve.cache.CacheStats` so one ``as_dict()`` carries
-    the whole telemetry picture — without the cache's hit/miss counters
-    an operator cannot see the warm-cache effect that dominates serving
-    latency (a hit skips the entire clkernel frontend).
+    Since the ``repro.obs`` rebase this is a *view* over serve metrics in
+    a :class:`~repro.obs.MetricsRegistry` — ``single_requests`` reads
+    ``repro_serve_requests_total{mode="single"}``, ``extract_seconds`` is
+    the extraction histogram's sum, and :meth:`as_dict` additionally
+    reports real latency percentiles (p50/p95/p99) interpolated from the
+    histogram buckets.  The flat key names predate the rebase and are the
+    CLI's stable interface (``repro predict-batch --stats``).
+
+    ``device`` is the metric label this view reads/writes (a device slug
+    in a fleet, ``""`` for a standalone service).  ``feature_cache`` is
+    wired to the service's live :class:`~repro.serve.cache.CacheStats` so
+    one ``as_dict()`` carries the whole telemetry picture — without the
+    cache's hit/miss counters an operator cannot see the warm-cache
+    effect that dominates serving latency (a hit skips the entire
+    clkernel frontend).
     """
 
-    single_requests: int = 0
-    batch_requests: int = 0
-    kernels_served: int = 0
-    extract_seconds: float = 0.0
-    predict_seconds: float = 0.0
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    device: str = ""
     feature_cache: CacheStats | None = None
+
+    def __post_init__(self) -> None:
+        declare_serve_metrics(self.registry)
+
+    # -- registry plumbing -------------------------------------------------------
+
+    def _hist(self, name: str) -> HistogramValue:
+        metric = self.registry.get(name)
+        assert metric is not None
+        return metric.child(device=self.device)
+
+    def _requests(self, mode: str) -> int:
+        return int(
+            self.registry.value(SERVE_REQUESTS_TOTAL, device=self.device, mode=mode)
+        )
+
+    # -- recorders (the service's event feed) ------------------------------------
+
+    def observe_extract(self, seconds: float) -> None:
+        """One kernel's feature extraction finished (cache hits included)."""
+        self.registry.get(SERVE_EXTRACT_SECONDS).observe(  # type: ignore[union-attr]
+            seconds, device=self.device
+        )
+
+    def observe_predict(self, seconds: float, kernels: int, mode: str) -> None:
+        """One request's model pass finished (a batch is one sample)."""
+        self.registry.get(SERVE_PREDICT_SECONDS).observe(  # type: ignore[union-attr]
+            seconds, device=self.device
+        )
+        self.registry.get(SERVE_REQUESTS_TOTAL).inc(  # type: ignore[union-attr]
+            1.0, device=self.device, mode=mode
+        )
+        self.registry.get(SERVE_KERNELS_TOTAL).inc(  # type: ignore[union-attr]
+            float(kernels), device=self.device
+        )
+
+    # -- the stable counter views ------------------------------------------------
+
+    @property
+    def single_requests(self) -> int:
+        return self._requests("single")
+
+    @property
+    def batch_requests(self) -> int:
+        return self._requests("batch")
+
+    @property
+    def kernels_served(self) -> int:
+        return int(self.registry.value(SERVE_KERNELS_TOTAL, device=self.device))
+
+    @property
+    def extract_seconds(self) -> float:
+        return self._hist(SERVE_EXTRACT_SECONDS).sum
+
+    @property
+    def predict_seconds(self) -> float:
+        return self._hist(SERVE_PREDICT_SECONDS).sum
 
     @classmethod
     def merged(cls, parts: "Sequence[ServiceStats]") -> "ServiceStats":
-        """Sum request/latency counters across services (fleet aggregation).
+        """Fold request counters and latency histograms across services.
 
-        ``feature_cache`` is deliberately left ``None``: in a fleet every
-        service shares one cache, so summing the per-service views would
-        multiple-count the same counters — the fleet reports the shared
-        cache once, at the top level.
+        Histograms merge bucket-wise, so the fleet view has honest
+        percentiles, not averages of averages.  ``feature_cache`` is
+        deliberately left ``None``: in a fleet every service shares one
+        cache, so summing the per-service views would multiple-count the
+        same counters — the fleet reports the shared cache once, at the
+        top level.
         """
         out = cls()
+        requests = out.registry.get(SERVE_REQUESTS_TOTAL)
+        kernels = out.registry.get(SERVE_KERNELS_TOTAL)
+        assert requests is not None and kernels is not None
         for part in parts:
-            out.single_requests += part.single_requests
-            out.batch_requests += part.batch_requests
-            out.kernels_served += part.kernels_served
-            out.extract_seconds += part.extract_seconds
-            out.predict_seconds += part.predict_seconds
+            requests.inc(float(part.single_requests), device="", mode="single")
+            requests.inc(float(part.batch_requests), device="", mode="batch")
+            kernels.inc(float(part.kernels_served), device="")
+            for name in (SERVE_EXTRACT_SECONDS, SERVE_PREDICT_SECONDS):
+                out._hist(name).merge(part._hist(name))
         return out
 
     def as_dict(self) -> dict:
+        extract = self._hist(SERVE_EXTRACT_SECONDS)
+        predict = self._hist(SERVE_PREDICT_SECONDS)
         stats = {
             "single_requests": self.single_requests,
             "batch_requests": self.batch_requests,
             "kernels_served": self.kernels_served,
-            "extract_seconds": self.extract_seconds,
-            "predict_seconds": self.predict_seconds,
+            "extract_seconds": extract.sum,
+            "predict_seconds": predict.sum,
+            "extract_latency": extract.percentiles(),
+            "predict_latency": predict.percentiles(),
         }
         if self.feature_cache is not None:
             stats["feature_cache"] = self.feature_cache.as_dict()
@@ -101,6 +181,11 @@ class PredictionService:
         # One telemetry object: the cache's counters ride along in every
         # ServiceStats.as_dict() (see `repro predict-batch --stats`).
         self.stats.feature_cache = self.cache.stats
+        if not self.stats.device:
+            self.stats.device = _alias_slug(self.device.name)
+        # Mirror cache counters into the stats registry (first bind wins,
+        # so a fleet's shared registry is not re-bound per service).
+        self.cache.bind_metrics(self.stats.registry)
         if self.candidates is None and self.models.settings:
             # Predict over the modeled subset of the settings the bundle
             # was trained on — the paper_context convention.
@@ -159,7 +244,7 @@ class PredictionService:
         """Cached feature extraction with latency accounting."""
         start = self.clock()
         features = self.cache.get(source, kernel_name)
-        self.stats.extract_seconds += self.clock() - start
+        self.stats.observe_extract(self.clock() - start)
         return features
 
     def predict(self, source: str, kernel_name: str | None = None) -> PredictedParetoSet:
@@ -167,9 +252,7 @@ class PredictionService:
         features = self.features_for(source, kernel_name)
         start = self.clock()
         result = self.predictor.predict_from_features(features)
-        self.stats.predict_seconds += self.clock() - start
-        self.stats.single_requests += 1
-        self.stats.kernels_served += 1
+        self.stats.observe_predict(self.clock() - start, kernels=1, mode="single")
         return result
 
     def predict_batch(self, requests: Sequence) -> list[PredictedParetoSet]:
@@ -182,9 +265,9 @@ class PredictionService:
         features = [self.features_for(src, name) for src, name in pairs]
         start = self.clock()
         results = self.predictor.predict_batch(features)
-        self.stats.predict_seconds += self.clock() - start
-        self.stats.batch_requests += 1
-        self.stats.kernels_served += len(results)
+        self.stats.observe_predict(
+            self.clock() - start, kernels=len(results), mode="batch"
+        )
         return results
 
     # -- telemetry --------------------------------------------------------------

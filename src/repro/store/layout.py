@@ -1,15 +1,23 @@
 """Campaign-store directory layout, shared by producers and consumers.
 
-A campaign store root holds two sibling registries::
+A campaign store root holds two sibling registries plus the
+observability sidecar files::
 
     <store_root>/
-        traces/   # TraceRegistry  — JSONL measurement traces
-        models/   # ModelRegistry  — trained bundle artifacts
+        traces/       # TraceRegistry  — JSONL measurement traces
+        models/       # ModelRegistry  — trained bundle artifacts
+        metrics/      # repro.obs metric snapshots (JSON, one per writer)
+        spans.jsonl   # repro.obs span log (append-only JSONL events)
 
 The campaign engine (the producer) and the fleet serving layer (the
 consumer) must agree on these names without importing each other —
 ``repro.campaign`` sits *above* ``repro.serve`` in the layering — so the
 constants live here, below both.
+
+Observability output deliberately lives *beside* ``traces/`` and
+``models/``, never inside them: byte-identity comparisons of the
+artifacts (resume tests, CI's crash-resume ``diff -r``) must see the
+same bytes whether or not metrics were recorded.
 """
 
 from __future__ import annotations
@@ -19,3 +27,12 @@ TRACES_SUBDIR = "traces"
 
 #: Subdirectory of a campaign store holding the model registry.
 MODELS_SUBDIR = "models"
+
+#: Subdirectory of a campaign store holding persisted metric snapshots.
+METRICS_SUBDIR = "metrics"
+
+#: The campaign engine's per-run metric snapshot inside METRICS_SUBDIR.
+CAMPAIGN_METRICS_FILENAME = "campaign.json"
+
+#: The store's append-only span log (at the store root).
+SPANS_FILENAME = "spans.jsonl"

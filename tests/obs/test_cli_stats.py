@@ -1,0 +1,146 @@
+"""CLI-level tests: `repro stats` and the --metrics-out flags."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_snapshot
+from repro.obs.export import SNAPSHOT_FORMAT
+from tests.obs.test_export import EXPOSITION_LINE
+
+KERNEL = """
+__kernel void demo(__global const float* x, __global float* y, const int n) {
+    int gid = get_global_id(0);
+    y[gid] = x[gid] * 2.0f + 1.0f;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def campaign_store(tmp_path_factory):
+    store = tmp_path_factory.mktemp("store")
+    assert (
+        main(
+            [
+                "campaign",
+                "--devices", "titan-x",
+                "--quick",
+                "--no-progress",
+                "--store", str(store),
+            ]
+        )
+        == 0
+    )
+    return store
+
+
+class TestStatsCommand:
+    def test_prom_exposition_over_a_campaign_store(self, campaign_store, capsys):
+        assert main(["stats", "--store", str(campaign_store)]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            assert EXPOSITION_LINE.match(line), line
+        # per-device sweep-duration histogram
+        assert re.search(
+            r'repro_sweep_duration_seconds_bucket\{device="nvidia-gtx-titan-x",'
+            r'backend="simulator",le="\+Inf"\} \d+',
+            out,
+        )
+        # serve-cache counters, pre-touched to zero on a fresh store
+        assert 'repro_feature_cache_requests_total{result="hit"} 0' in out
+        assert 'repro_feature_cache_requests_total{result="miss"} 0' in out
+
+    def test_json_format(self, campaign_store, capsys):
+        assert main(["stats", "--store", str(campaign_store), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == SNAPSHOT_FORMAT
+        names = {f["name"] for f in doc["families"]}
+        assert "repro_sweep_duration_seconds" in names
+        assert "repro_campaign_sweeps_done_total" in names
+
+    def test_store_without_metrics_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["stats", "--store", str(tmp_path)]) == 2
+        assert "no metric snapshots" in capsys.readouterr().err
+
+
+class TestMetricsOutFlags:
+    def test_campaign_metrics_out(self, tmp_path, capsys):
+        out_file = tmp_path / "camp.json"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--devices", "titan-x",
+                    "--quick",
+                    "--no-progress",
+                    "--store", str(tmp_path / "store"),
+                    "--metrics-out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        snap = load_snapshot(out_file)
+        assert (
+            snap.value(
+                "repro_sweeps_total",
+                device="nvidia-gtx-titan-x",
+                backend="simulator",
+            )
+            > 0
+        )
+
+    def test_predict_batch_metrics_out_service_path(self, tmp_path, capsys):
+        kernel = tmp_path / "demo.cl"
+        kernel.write_text(KERNEL)
+        out_file = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "predict-batch", str(kernel), str(kernel),
+                    "--quick",
+                    "--metrics-out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        snap = load_snapshot(out_file)
+        assert (
+            snap.value(
+                "repro_serve_requests_total",
+                device="nvidia-gtx-titan-x",
+                mode="batch",
+            )
+            == 1.0
+        )
+        assert (
+            snap.value("repro_serve_kernels_total", device="nvidia-gtx-titan-x")
+            == 2.0
+        )
+        # one miss (first file) then one hit (identical second file)
+        assert snap.value("repro_feature_cache_requests_total", result="hit") == 1.0
+        assert snap.value("repro_feature_cache_requests_total", result="miss") == 1.0
+
+    def test_predict_batch_metrics_out_fleet_path(
+        self, campaign_store, tmp_path, capsys
+    ):
+        kernel = tmp_path / "demo.cl"
+        kernel.write_text(KERNEL)
+        out_file = tmp_path / "fleet.json"
+        assert (
+            main(
+                [
+                    "predict-batch", str(kernel),
+                    "--quick",
+                    "--device", "titan-x",
+                    "--store", str(campaign_store),
+                    "--metrics-out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        snap = load_snapshot(out_file)
+        assert snap.value("repro_fleet_batches_routed_total") == 1.0
+        assert snap.value("repro_fleet_requests_routed_total") == 1.0

@@ -1,0 +1,107 @@
+"""Tests for the snapshot exporters: Prometheus exposition and JSON."""
+
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricError,
+    MetricsRegistry,
+    load_snapshot,
+    load_store_metrics,
+    save_snapshot,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.export import snapshot_from_json_dict
+
+#: Every line of a valid exposition document is a comment or a sample —
+#: the same check CI's bench-smoke job applies to `repro stats` output.
+EXPOSITION_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*.*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$"
+)
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_hits_total", help="lookups", labels=["device"])
+    c.inc(3, device="a")
+    c.inc(device="b")
+    reg.gauge("repro_planned", help="planned").set(5)
+    h = reg.histogram(
+        "repro_lat_seconds", help="latency", labels=["device"], buckets=(0.1, 1.0)
+    )
+    h.observe(0.05, device="a")
+    h.observe(0.5, device="a")
+    h.observe(7.0, device="a")
+    return reg.snapshot()
+
+
+class TestPrometheus:
+    def test_help_type_and_samples(self):
+        text = to_prometheus(_snapshot())
+        assert "# HELP repro_hits_total lookups\n" in text
+        assert "# TYPE repro_hits_total counter\n" in text
+        assert '\nrepro_hits_total{device="a"} 3\n' in text
+        assert '\nrepro_hits_total{device="b"} 1\n' in text
+        assert "# TYPE repro_planned gauge\n" in text
+        assert "\nrepro_planned 5\n" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_prometheus(_snapshot())
+        assert 'repro_lat_seconds_bucket{device="a",le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{device="a",le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{device="a",le="+Inf"} 3' in text
+        assert 'repro_lat_seconds_sum{device="a"} 7.55' in text
+        assert 'repro_lat_seconds_count{device="a"} 3' in text
+
+    def test_every_line_matches_exposition_grammar(self):
+        for line in to_prometheus(_snapshot()).splitlines():
+            assert EXPOSITION_LINE.match(line), line
+
+    def test_render_is_deterministic(self):
+        assert to_prometheus(_snapshot()) == to_prometheus(_snapshot())
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("m_total", labels=["path"]).inc(path='a"b\\c\nd')
+        text = to_prometheus(reg.snapshot())
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestJsonRoundTrip:
+    def test_save_load_round_trips_bitwise(self, tmp_path):
+        snap = _snapshot()
+        path = save_snapshot(snap, tmp_path / "m.json")
+        loaded = load_snapshot(path)
+        assert to_json(loaded) == to_json(snap)
+        assert to_prometheus(loaded) == to_prometheus(snap)
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(MetricError):
+            snapshot_from_json_dict({"format": "something-else"})
+
+
+class TestLoadStoreMetrics:
+    def test_missing_directory_is_empty(self, tmp_path):
+        snap = load_store_metrics(tmp_path / "metrics")
+        assert snap.families == {}
+
+    def test_merges_every_snapshot_file(self, tmp_path):
+        metrics_dir = tmp_path / "metrics"
+        save_snapshot(_snapshot(), metrics_dir / "campaign.json")
+        save_snapshot(_snapshot(), metrics_dir / "serve.json")
+        merged = load_store_metrics(metrics_dir)
+        assert merged.value("repro_hits_total", device="a") == 6.0
+        assert merged.histogram("repro_lat_seconds", device="a").count == 6
+
+    def test_foreign_file_in_metrics_dir_raises(self, tmp_path):
+        metrics_dir = tmp_path / "metrics"
+        metrics_dir.mkdir()
+        (metrics_dir / "rogue.json").write_text('{"what": "ever"}')
+        with pytest.raises(MetricError):
+            load_store_metrics(metrics_dir)

@@ -1,0 +1,220 @@
+"""Unit tests for the `repro.obs` registry: families, labels, merging."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    HistogramValue,
+    MetricError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    use_registry,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", labels=["device"])
+        c.inc(device="a")
+        c.inc(2.0, device="a")
+        c.inc(device="b")
+        assert reg.value("hits_total", device="a") == 3.0
+        assert reg.value("hits_total", device="b") == 1.0
+        assert reg.value("hits_total", device="never") == 0.0
+
+    def test_counter_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("n_total")
+        with pytest.raises(MetricError):
+            c.inc(-1.0)
+
+    def test_gauge_is_last_writer_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("planned", labels=["device"])
+        g.set(10, device="a")
+        g.set(4, device="a")
+        assert reg.value("planned", device="a") == 4.0
+
+    def test_label_names_are_validated(self):
+        c = MetricsRegistry().counter("hits_total", labels=["device"])
+        with pytest.raises(MetricError):
+            c.inc(dev="a")
+        with pytest.raises(MetricError):
+            c.inc()  # missing the declared label
+
+    def test_declare_or_get_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", help="lookups", labels=["device"])
+        b = reg.counter("hits_total", labels=["device"])
+        a.inc(device="x")
+        b.inc(device="x")
+        assert reg.value("hits_total", device="x") == 2.0
+
+    def test_conflicting_redeclaration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", labels=["device"])
+        with pytest.raises(MetricError):
+            reg.gauge("hits_total", labels=["device"])
+        with pytest.raises(MetricError):
+            reg.counter("hits_total", labels=["mode"])
+
+    def test_touch_materializes_zero_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", labels=["result"]).touch(result="hit")
+        snap = reg.snapshot()
+        assert ("hit",) in snap.families["hits_total"].series
+        assert snap.value("hits_total", result="hit") == 0.0
+
+
+class TestHistograms:
+    def test_observe_lands_in_the_right_bucket(self):
+        h = HistogramValue(bounds=(0.1, 1.0))
+        h.observe(0.05)   # <= 0.1
+        h.observe(0.5)    # <= 1.0
+        h.observe(2.0)    # +Inf
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(2.55)
+
+    def test_observe_on_bound_counts_into_that_bucket(self):
+        h = HistogramValue(bounds=(0.1, 1.0))
+        h.observe(0.1)
+        assert h.counts == [1, 0, 0]
+
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(MetricError):
+            HistogramValue(bounds=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            HistogramValue(bounds=())
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = HistogramValue(bounds=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(1.5)  # all ten land in the (1.0, 2.0] bucket
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert HistogramValue(bounds=(1.0,)).quantile(0.99) == 0.0
+
+    def test_quantile_in_inf_bucket_reports_top_bound(self):
+        h = HistogramValue(bounds=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_percentiles_keys(self):
+        assert set(HistogramValue(bounds=(1.0,)).percentiles()) == {
+            "p50", "p95", "p99",
+        }
+
+    def test_merge_requires_matching_buckets(self):
+        h = HistogramValue(bounds=(1.0,))
+        with pytest.raises(MetricError):
+            h.merge(HistogramValue(bounds=(2.0,)))
+
+    def test_registry_histogram_child_and_observe(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "lat_seconds", labels=["device"], buckets=DEFAULT_LATENCY_BUCKETS
+        )
+        h.observe(0.0001, device="a")
+        h.observe(0.002, device="a")
+        child = h.child(device="a")
+        assert child.count == 2
+        assert child.sum == pytest.approx(0.0021)
+
+
+class TestSnapshots:
+    def _registry(self, hits=0, lat=()):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", labels=["device"])
+        for _ in range(hits):
+            c.inc(device="a")
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for v in lat:
+            h.observe(v)
+        return reg
+
+    def test_snapshot_is_a_frozen_copy(self):
+        reg = self._registry(hits=1)
+        snap = reg.snapshot()
+        reg.get("hits_total").inc(device="a")
+        assert snap.value("hits_total", device="a") == 1.0
+        assert reg.value("hits_total", device="a") == 2.0
+
+    def test_snapshot_is_picklable(self):
+        snap = self._registry(hits=2, lat=[0.05]).snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.value("hits_total", device="a") == 2.0
+        assert clone.histogram("lat_seconds").count == 1
+
+    def test_merge_sums_counters_and_histograms(self):
+        a = self._registry(hits=2, lat=[0.05, 0.5]).snapshot()
+        b = self._registry(hits=3, lat=[2.0]).snapshot()
+        merged = a.merge(b)
+        assert merged.value("hits_total", device="a") == 5.0
+        hist = merged.histogram("lat_seconds")
+        assert hist.counts == [1, 1, 1]
+        # operands untouched
+        assert a.value("hits_total", device="a") == 2.0
+        assert b.histogram("lat_seconds").count == 1
+
+    def test_merge_is_associative(self):
+        parts = [
+            self._registry(hits=n, lat=[0.01 * n]).snapshot()
+            for n in (1, 2, 3)
+        ]
+        left = parts[0].merge(parts[1]).merge(parts[2])
+        right = parts[0].merge(parts[1].merge(parts[2]))
+        assert left.value("hits_total", device="a") == right.value(
+            "hits_total", device="a"
+        )
+        assert left.histogram("lat_seconds").counts == right.histogram(
+            "lat_seconds"
+        ).counts
+        # Counters and bucket counts are integral, hence exact; float sums
+        # are associative only up to rounding.
+        assert left.histogram("lat_seconds").sum == pytest.approx(
+            right.histogram("lat_seconds").sum
+        )
+
+    def test_merge_with_empty_is_identity(self):
+        snap = self._registry(hits=4).snapshot()
+        merged = snap.merge(MetricsSnapshot())
+        assert merged.value("hits_total", device="a") == 4.0
+        merged = MetricsSnapshot().merge(snap)
+        assert merged.value("hits_total", device="a") == 4.0
+
+    def test_merge_rejects_conflicting_declarations(self):
+        a = MetricsRegistry()
+        a.counter("m")
+        b = MetricsRegistry()
+        b.gauge("m")
+        with pytest.raises(MetricError):
+            a.snapshot().merge(b.snapshot())
+
+    def test_registry_merge_folds_worker_delta(self):
+        parent = self._registry(hits=1)
+        delta = self._registry(hits=2, lat=[0.05])
+        parent.merge(delta.snapshot())
+        assert parent.value("hits_total", device="a") == 3.0
+
+
+class TestDefaultRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        outer = get_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped) as active:
+            assert active is scoped
+            assert get_registry() is scoped
+        assert get_registry() is outer
+
+    def test_use_registry_restores_on_exception(self):
+        outer = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is outer

@@ -1,0 +1,101 @@
+"""Tests for the append-only JSONL span log."""
+
+import json
+
+import pytest
+
+from repro.obs import SPAN_FORMAT, SpanLog, read_spans
+
+
+def _clock_from(values):
+    it = iter(values)
+    return lambda: next(it)
+
+
+class TestSpanLog:
+    def test_span_emits_start_and_end_events(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path, clock=_clock_from([1.0, 3.5]), wall=lambda: 100.0) as log:
+            with log.span("campaign.sweep", device="titan-x"):
+                pass
+        events = read_spans(path)
+        assert [e["event"] for e in events] == ["start", "end"]
+        start, end = events
+        assert start["format"] == SPAN_FORMAT
+        assert start["name"] == "campaign.sweep"
+        assert start["labels"] == {"device": "titan-x"}
+        assert start["unix_ts"] == 100.0
+        assert end["id"] == start["id"]
+        assert end["status"] == "ok"
+        assert end["duration_seconds"] == pytest.approx(2.5)
+
+    def test_exception_marks_span_as_error(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path) as log:
+            with pytest.raises(ValueError):
+                with log.span("campaign.train"):
+                    raise ValueError("boom")
+        end = read_spans(path)[-1]
+        assert end["status"] == "error"
+        assert "boom" in end["error"]
+
+    def test_end_is_idempotent(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path) as log:
+            span = log.span("x")
+            span.end()
+            span.end()
+            with span:  # the context exit must not double-close either
+                pass
+        assert len(read_spans(path)) == 2
+
+    def test_label_values_are_stringified(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path) as log:
+            with log.span("x", total=36, reused=False):
+                pass
+        start = read_spans(path)[0]
+        assert start["labels"] == {"total": "36", "reused": "False"}
+
+    def test_spans_append_across_log_instances(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        for _ in range(2):
+            with SpanLog(path) as log:
+                with log.span("run"):
+                    pass
+        assert len(read_spans(path)) == 4
+
+    def test_unended_span_leaves_only_a_start_event(self, tmp_path):
+        # A crash between start and end must still leave forensics behind.
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path) as log:
+            log.span("campaign.sweep", device="a")
+        events = read_spans(path)
+        assert [e["event"] for e in events] == ["start"]
+
+    def test_no_file_is_created_before_the_first_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path):
+            pass
+        assert not path.exists()
+
+
+class TestReadSpans:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_spans(tmp_path / "nope.jsonl") == []
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path) as log:
+            with log.span("x"):
+                pass
+        # Simulate a crash mid-append: a torn, unterminated last record.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "sta')
+        assert len(read_spans(path)) == 2
+
+    def test_corruption_elsewhere_raises(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('not json\n{"event": "end"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_spans(path)
