@@ -45,6 +45,11 @@ class CampaignPlan:
     workers: int = 1
     interactions: bool = True
     suite: str | None = None  # trace suite label override
+    #: "exact" retrains dense from scratch; "streaming" trains out-of-core
+    #: from the trace and delta-fits when the trace merely grew.
+    trainer: str = "exact"
+    #: Mini-batch row cap for the streaming trainer (peak resident rows).
+    batch_rows: int = 4096
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -57,6 +62,12 @@ class CampaignPlan:
             raise ValueError("repeats must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.trainer not in ("exact", "streaming"):
+            raise ValueError(
+                f"trainer must be 'exact' or 'streaming', got {self.trainer!r}"
+            )
+        if self.batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
         seen: dict[str, str] = {}
         for name in self.devices:
             # Fail fast on typos, before any sweep runs — and on two
@@ -128,8 +139,11 @@ class CampaignPlan:
 
     def describe(self) -> str:
         stride, budget = CAMPAIGN_RECIPES[self.recipe]
-        return (
+        text = (
             f"{len(self.devices)} device(s) x "
             f"{len(self.kernel_specs())} codes x {budget} settings, "
             f"{self.repeats} pass(es), {self.workers} worker(s)"
         )
+        if self.trainer == "streaming":
+            text += f", streaming trainer (batch_rows={self.batch_rows})"
+        return text

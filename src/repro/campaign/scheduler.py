@@ -117,6 +117,13 @@ class LegRun:
     models: TrainedModels | None = None
     trained: bool = True
     trace_sha256: str | None = None
+    #: False for streaming-trainer legs: the dense dataset never
+    #: materializes — training replays the published trace in mini-batches.
+    collect_dataset: bool = True
+    #: Streaming-trainer provenance (mode, delta records, lineage) set by
+    #: the engine when the leg trains out-of-core; merged into bundle meta.
+    train_meta: dict | None = None
+    n_samples: int = 0
 
     @property
     def swept(self) -> bool:
@@ -127,7 +134,7 @@ class LegRun:
         if self.writer is not None:
             self.writer.write_measurements(measurements)
         self.measured += 1
-        if task.final:
+        if task.final and self.collect_dataset:
             if static is None:
                 static = task.spec.static_features()
             self.assembler.add(task.spec, static, measurements)
@@ -137,7 +144,7 @@ class LegRun:
         if self.writer is not None:
             self.writer.close(success=True)
             self.writer = None
-        if self.dataset is None:
+        if self.dataset is None and self.collect_dataset:
             self.dataset = self.assembler.finish()
 
     def abort_writer(self) -> None:
@@ -219,6 +226,7 @@ def prepare_leg(
         # Nothing reusable (reused == 0 here): start a fresh atomic stream.
         writer = trace_registry.writer(trace_key)
 
+    collect_dataset = plan.trainer != "streaming"
     leg = LegRun(
         device=device,
         trace_key=trace_key,
@@ -230,12 +238,15 @@ def prepare_leg(
         writer=writer,
         reused=reused,
         resumed_from=resumed_from,
+        collect_dataset=collect_dataset,
     )
 
     # Final-pass records recovered from the trace feed the dataset exactly
     # as a live sweep would — replay round-trips float64 bit for bit.
+    # (Streaming legs skip this: their trainer replays the published trace
+    # itself, in bounded mini-batches.)
     final_start = (plan.repeats - 1) * len(specs)
-    if state is not None:
+    if state is not None and collect_dataset:
         for i in range(min(reused, len(all_tasks))):
             if i < final_start:
                 continue
@@ -265,6 +276,48 @@ def train_leg_task(
     if device is not None:
         observe_training(_metric_device_slug(device), time.perf_counter() - start)
     return models
+
+
+def train_streaming_leg_task(
+    payload: tuple,
+) -> tuple[TrainedModels, dict, dict]:
+    """Picklable out-of-core training stage: replay the leg's trace in
+    bounded mini-batches, scratch or delta depending on ``prior_state``.
+
+    Returns ``(models, trainer-state payload, provenance meta)``.  The
+    state payload is saved by the *parent* (beside the model registry) so
+    a pool worker never races another writer on the state file.
+    """
+    from ..core.incremental import StreamingTrainerState, train_streaming_from_trace
+
+    trace_path, specs, settings, interactions, batch_rows, prior_payload, device = (
+        payload
+    )
+    prior = (
+        StreamingTrainerState.from_state(prior_payload)
+        if prior_payload is not None
+        else None
+    )
+    start = time.perf_counter()
+    result = train_streaming_from_trace(
+        trace_path,
+        specs,
+        settings,
+        interactions=interactions,
+        batch_rows=batch_rows,
+        prior_state=prior,
+    )
+    if device is not None:
+        observe_training(_metric_device_slug(device), time.perf_counter() - start)
+    meta = {
+        "trainer": "streaming",
+        "batch_rows": batch_rows,
+        "trainer_mode": result.mode,
+        "delta_records": result.delta_records,
+        "n_samples": result.state.n_samples,
+        "trainer_lineage": result.state.lineage,
+    }
+    return result.models, result.state.to_state(), meta
 
 
 def run_legs(

@@ -186,6 +186,8 @@ def _print_front(result) -> None:
 def _cmd_train(args: argparse.Namespace) -> int:
     from .serve.artifacts import save_models
 
+    if getattr(args, "trainer", "exact") == "streaming":
+        return _cmd_train_streaming(args)
     ctx, recorder = _context_for(args)
     meta = {
         "device": ctx.device.name,
@@ -198,6 +200,73 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"trained on {ctx.models.n_training_samples} samples "
         f"({ctx.dataset.n_kernels} codes x {len(ctx.settings)} settings) "
         f"for {ctx.device.name}"
+    )
+    print(f"saved model artifact to {path} ({path.stat().st_size} bytes)")
+    _save_recorded(recorder, args)
+    return 0
+
+
+def _cmd_train_streaming(args: argparse.Namespace) -> int:
+    """`repro train --trainer streaming`: out-of-core mini-batch training.
+
+    Measurements are recorded once into a scratch JSONL trace; the
+    streaming trainer then replays that file in ``--batch-rows``-bounded
+    mini-batches, so the dense design matrix never materializes.  The
+    peak-resident-rows line printed at the end is the contract CI's
+    memory-budget smoke parses.
+    """
+    import tempfile
+
+    from .core.config import TRAINING_RECIPES, sample_training_settings
+    from .core.dataset import iter_kernel_measurements
+    from .core.incremental import train_streaming_from_trace
+    from .measure.trace import TraceWriter
+    from .serve.artifacts import save_models
+    from .synthetic.generator import generate_micro_benchmarks
+
+    device, backend, recorder = _resolve_setup(args)
+    recipe = "quick" if args.quick else "paper"
+    stride, budget = TRAINING_RECIPES[recipe]
+    specs = generate_micro_benchmarks()[::stride]
+    settings = sample_training_settings(device, total=budget)
+
+    with tempfile.TemporaryDirectory(prefix="repro-train-") as tmp:
+        trace_path = pathlib.Path(tmp) / "train.jsonl"
+        writer = TraceWriter(trace_path, device=device.name)
+        try:
+            for _spec, _static, measurements in iter_kernel_measurements(
+                backend, specs, settings
+            ):
+                writer.write_measurements(measurements)
+        finally:
+            writer.close(success=True)
+        result = train_streaming_from_trace(
+            trace_path,
+            specs,
+            settings,
+            interactions=True,
+            batch_rows=args.batch_rows,
+        )
+
+    models = result.models
+    summary = result.summary
+    meta = {
+        "device": device.name,
+        "recipe": recipe,
+        "features": "interactions",
+        "backend": backend.capabilities.kind,
+        "trainer": "streaming",
+        "batch_rows": args.batch_rows,
+    }
+    path = save_models(args.save, models, meta=meta)
+    print(
+        f"trained on {models.n_training_samples} samples "
+        f"({summary.n_kernels} codes x {len(settings)} settings) "
+        f"for {device.name} [streaming]"
+    )
+    print(
+        f"streaming peak resident rows: {summary.peak_resident_rows} "
+        f"(cap {args.batch_rows}, {summary.peak_resident_bytes} bytes)"
     )
     print(f"saved model artifact to {path} ({path.stat().st_size} bytes)")
     _save_recorded(recorder, args)
@@ -476,6 +545,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             recipe="quick" if quick else "paper",
             repeats=args.repeats,
             workers=args.workers,
+            trainer=getattr(args, "trainer", "exact"),
+            batch_rows=getattr(args, "batch_rows", 4096),
         )
     except ValueError as exc:
         raise CLIUsageError(exc.args[0]) from None
@@ -586,6 +657,22 @@ def _add_device_flags(parser: argparse.ArgumentParser, record: bool = False) -> 
         )
 
 
+def _add_trainer_flags(parser: argparse.ArgumentParser) -> None:
+    """Training-mode flags shared by `train` and `campaign`."""
+    parser.add_argument(
+        "--trainer", choices=("exact", "streaming"), default="exact",
+        help="exact: dense in-memory fit (default); streaming: out-of-core "
+             "mini-batch fit from the measurement trace (bounded memory; "
+             "campaigns delta-fit from persisted accumulators when the "
+             "trace merely grew)",
+    )
+    parser.add_argument(
+        "--batch-rows", type=int, default=4096, metavar="N", dest="batch_rows",
+        help="mini-batch row cap for --trainer streaming: peak resident "
+             "dataset rows never exceed N (default: 4096)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dvfs",
@@ -612,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="use the reduced training setup (faster, less accurate)",
     )
+    _add_trainer_flags(p_train)
     _add_device_flags(p_train, record=True)
     p_train.set_defaults(func=_cmd_train)
 
@@ -741,6 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_false", dest="progress",
         help="never render live progress",
     )
+    _add_trainer_flags(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 
     p_char = sub.add_parser("characterize", help="sweep a suite benchmark")

@@ -1,0 +1,415 @@
+"""Out-of-core streaming training over JSONL traces, with append-aware delta fits.
+
+The exact trainer (:func:`repro.core.pipeline.train_models`) densifies the
+full design matrix and refits from scratch on every retrain.  This module is
+the other half of the training story:
+
+- **Scratch streaming** — two bounded passes over a measurement trace.
+  Pass one folds the raw design rows into a :class:`~repro.ml.WelfordScaler`;
+  pass two re-iterates the trace, scales each mini-batch with the now-frozen
+  scaler and feeds the models' ``partial_fit`` accumulators.  Peak memory is
+  one ``batch_rows`` slice, never the matrix.
+- **Incremental (delta) fit** — when the trace has only *grown* (resume,
+  extended plan, repeats bump), training restarts from the persisted
+  :class:`StreamingTrainerState`: seek to ``consumed_bytes``, parse only the
+  appended records, fold them into the restored accumulators and re-solve.
+  Growth is detected by hashing the first ``consumed_bytes`` bytes of the
+  current trace against the recorded ``prefix_sha256`` — any rewrite of
+  consumed history falls back to scratch.
+
+Determinism rules: the scaler and the random-Fourier projection are frozen
+after the first (scratch) fit — delta rows pass through the *stored* scaler
+moments, so accumulated feature-space statistics stay valid.  That makes an
+incremental fit a deliberate approximation of scratch-streaming on the grown
+trace (exact for the models given the frozen scaler; the scaler's moments
+lag the appended rows).  Reloads are bit-identical: every state round-trips
+through JSON float repr, and the RFF projection regenerates from its seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ..ml import (
+    NormalEquations,
+    WelfordScaler,
+    make_streaming_energy_model,
+    make_streaming_speedup_model,
+    regressor_from_state,
+    scaler_from_state,
+)
+from .dataset import DatasetAssembler, MiniBatch, StreamingAssemblySummary
+from .pipeline import TrainedModels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..measure.trace import KernelTrace
+    from ..workloads import KernelSpec
+
+#: Default mini-batch cap (rows) for streaming assembly and fits.
+DEFAULT_BATCH_ROWS = 4096
+
+TRAINER_STATE_KIND = "streaming_trainer_state"
+TRAINER_STATE_VERSION = 1
+
+
+def prefix_sha256(path: str | pathlib.Path, limit: int | None = None) -> str:
+    """SHA-256 of the first ``limit`` bytes of ``path`` (whole file if None)."""
+    digest = hashlib.sha256()
+    remaining = limit
+    with pathlib.Path(path).expanduser().open("rb") as handle:
+        while remaining is None or remaining > 0:
+            chunk = handle.read(
+                1 << 20 if remaining is None else min(1 << 20, remaining)
+            )
+            if not chunk:
+                break
+            digest.update(chunk)
+            if remaining is not None:
+                remaining -= len(chunk)
+    return digest.hexdigest()
+
+
+def iter_trace_records(
+    path: str | pathlib.Path, start_offset: int = 0
+) -> "Iterator[tuple[str, KernelTrace, int]]":
+    """Yield ``(kernel name, record, end byte offset)`` from a v2 trace.
+
+    With ``start_offset == 0`` the header line is validated and skipped;
+    a non-zero offset must point at a record start (the ``end_offset`` of a
+    previously consumed record), which is what makes delta fits possible:
+    records are newline-delimited JSON, parseable from any record boundary.
+    """
+    import json
+
+    from ..measure.trace import KernelTrace, ReplayError, _is_jsonl_trace
+
+    p = pathlib.Path(path).expanduser()
+    with p.open("r") as handle:
+        if start_offset:
+            handle.seek(start_offset)
+        else:
+            first = handle.readline()
+            if not _is_jsonl_trace(first):
+                raise ReplayError(f"trace {p} is not a v2 JSONL stream")
+        position = handle.tell()
+        for line in iter(handle.readline, ""):
+            end = handle.tell()
+            start, position = position, end
+            if not line.strip():
+                continue
+            try:
+                state = json.loads(line)
+                name = str(state["kernel"])
+                record = KernelTrace.from_state(state)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ReplayError(
+                    f"trace {p} record at byte {start} is corrupt: {exc}"
+                ) from None
+            yield name, record, end
+
+
+@dataclass
+class StreamingTrainerState:
+    """Everything needed to continue a streaming fit where it stopped.
+
+    Persisted beside the model store (``trainer_state/<key>.json``) as a
+    versioned artifact.  Model/scaler/accumulator entries are the
+    components' own ``to_state`` dicts — plain JSON, small (O(d²) floats,
+    independent of row count), and picklable across the campaign pool.
+    """
+
+    scaler: dict
+    speedup_model: dict
+    speedup_accumulator: dict
+    energy_model: dict
+    energy_accumulator: dict
+    settings: list[tuple[float, float]]
+    interactions: bool
+    batch_rows: int
+    n_samples: int
+    consumed_records: int
+    consumed_bytes: int
+    prefix_sha256: str
+    lineage: list[dict]
+
+    def to_state(self) -> dict:
+        return {
+            "kind": TRAINER_STATE_KIND,
+            "version": TRAINER_STATE_VERSION,
+            "scaler": self.scaler,
+            "speedup_model": self.speedup_model,
+            "speedup_accumulator": self.speedup_accumulator,
+            "energy_model": self.energy_model,
+            "energy_accumulator": self.energy_accumulator,
+            "settings": [list(s) for s in self.settings],
+            "interactions": self.interactions,
+            "batch_rows": self.batch_rows,
+            "n_samples": self.n_samples,
+            "consumed_records": self.consumed_records,
+            "consumed_bytes": self.consumed_bytes,
+            "prefix_sha256": self.prefix_sha256,
+            "lineage": self.lineage,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingTrainerState":
+        if state.get("kind") != TRAINER_STATE_KIND:
+            raise ValueError(f"not a trainer state: {state.get('kind')!r}")
+        version = state.get("version")
+        if version != TRAINER_STATE_VERSION:
+            raise ValueError(f"unsupported trainer-state version {version!r}")
+        return cls(
+            scaler=state["scaler"],
+            speedup_model=state["speedup_model"],
+            speedup_accumulator=state["speedup_accumulator"],
+            energy_model=state["energy_model"],
+            energy_accumulator=state["energy_accumulator"],
+            settings=[tuple(s) for s in state["settings"]],
+            interactions=bool(state["interactions"]),
+            batch_rows=int(state["batch_rows"]),
+            n_samples=int(state["n_samples"]),
+            consumed_records=int(state["consumed_records"]),
+            consumed_bytes=int(state["consumed_bytes"]),
+            prefix_sha256=str(state["prefix_sha256"]),
+            lineage=list(state["lineage"]),
+        )
+
+
+@dataclass
+class StreamingTrainResult:
+    """Outcome of one streaming training call."""
+
+    models: TrainedModels
+    state: StreamingTrainerState
+    #: ``"scratch"`` (full two-pass fit) or ``"incremental"`` (delta fit).
+    mode: str
+    #: Records parsed by this call — for a delta fit, only the appendix.
+    delta_records: int
+    summary: StreamingAssemblySummary
+
+
+def state_extends_trace(
+    state: StreamingTrainerState, trace_path: str | pathlib.Path
+) -> bool:
+    """True when the trace is a byte-superset of what ``state`` consumed."""
+    p = pathlib.Path(trace_path).expanduser()
+    try:
+        size = p.stat().st_size
+    except OSError:
+        return False
+    if state.consumed_bytes > size or state.consumed_bytes <= 0:
+        return False
+    return prefix_sha256(p, state.consumed_bytes) == state.prefix_sha256
+
+
+def _fold_pass(
+    trace_path: pathlib.Path,
+    start_offset: int,
+    specs_by_name: dict,
+    statics: dict,
+    settings: list[tuple[float, float]],
+    interactions: bool,
+    batch_rows: int,
+    on_batch: Callable[[MiniBatch], None],
+) -> tuple[int, int, StreamingAssemblySummary]:
+    """One bounded pass: trace records → replayed sweeps → mini-batches."""
+    from ..measure.replay import replay_measurements
+
+    assembler = DatasetAssembler(
+        settings,
+        interactions=interactions,
+        peak_rows=batch_rows,
+        on_batch=on_batch,
+    )
+    count = 0
+    last_end = start_offset
+    for name, kernel, end in iter_trace_records(trace_path, start_offset):
+        spec = specs_by_name.get(name)
+        if spec is None:
+            raise ValueError(
+                f"trace {trace_path} holds kernel {name!r} not in the plan's specs"
+            )
+        static = statics.get(name)
+        if static is None:
+            static = statics[name] = spec.static_features()
+        measurements = replay_measurements(spec, kernel, settings)
+        assembler.add(spec, static, measurements)
+        count += 1
+        last_end = end
+    return count, last_end, assembler.finish_streaming()
+
+
+def train_streaming_from_trace(
+    trace_path: str | pathlib.Path,
+    specs: "Iterable[KernelSpec]",
+    settings: list[tuple[float, float]],
+    interactions: bool = True,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    prior_state: StreamingTrainerState | None = None,
+    seed: int = 0,
+) -> StreamingTrainResult:
+    """Train the model pair out-of-core from a measurement trace.
+
+    Every record in the trace is consumed in file order (a repeats>1
+    campaign contributes each pass as more rows — unlike the exact path,
+    which trains on the final pass only).  That contract is what makes the
+    delta after *any* append well-defined.
+
+    With a ``prior_state`` whose consumed prefix still matches the trace
+    (and whose settings/interactions equal this call's), only the appended
+    records are parsed and folded — the delta fit.  Otherwise a scratch
+    streaming fit runs: pass one fits the Welford scaler, pass two feeds
+    the frozen-scaled batches to the models' accumulators.
+    """
+    p = pathlib.Path(trace_path).expanduser()
+    specs_by_name = {spec.name: spec for spec in specs}
+    statics: dict = {}
+    settings = [tuple(s) for s in settings]
+
+    prior_usable = (
+        prior_state is not None
+        and prior_state.settings == settings
+        and prior_state.interactions == interactions
+        and state_extends_trace(prior_state, p)
+    )
+
+    if prior_usable:
+        mode = "incremental"
+        scaler = scaler_from_state(prior_state.scaler)
+        speedup_model = regressor_from_state(prior_state.speedup_model)
+        speedup_model.accumulator = NormalEquations.from_state(
+            prior_state.speedup_accumulator
+        )
+        energy_model = regressor_from_state(prior_state.energy_model)
+        energy_model.accumulator = NormalEquations.from_state(
+            prior_state.energy_accumulator
+        )
+
+        def fit_batch(batch: MiniBatch) -> None:
+            x_scaled = scaler.transform(batch.x)
+            speedup_model.partial_fit(x_scaled, batch.y_speedup)
+            energy_model.partial_fit(x_scaled, batch.y_energy)
+
+        new_records, last_end, summary = _fold_pass(
+            p,
+            prior_state.consumed_bytes,
+            specs_by_name,
+            statics,
+            settings,
+            interactions,
+            batch_rows,
+            fit_batch,
+        )
+        consumed_records = prior_state.consumed_records + new_records
+        consumed_bytes = last_end
+        n_samples = prior_state.n_samples + summary.n_rows
+        lineage = list(prior_state.lineage)
+    else:
+        mode = "scratch"
+        scaler = WelfordScaler()
+        first_pass, _, _ = _fold_pass(
+            p,
+            0,
+            specs_by_name,
+            statics,
+            settings,
+            interactions,
+            batch_rows,
+            lambda batch: scaler.partial_fit(batch.x),
+        )
+        if first_pass == 0:
+            raise ValueError(f"trace {p} has no measurement records")
+
+        speedup_model = make_streaming_speedup_model()
+        energy_model = make_streaming_energy_model(seed=seed)
+
+        def fit_batch(batch: MiniBatch) -> None:
+            x_scaled = scaler.transform(batch.x)
+            speedup_model.partial_fit(x_scaled, batch.y_speedup)
+            energy_model.partial_fit(x_scaled, batch.y_energy)
+
+        new_records, last_end, summary = _fold_pass(
+            p, 0, specs_by_name, statics, settings, interactions, batch_rows, fit_batch
+        )
+        consumed_records = new_records
+        consumed_bytes = last_end
+        n_samples = summary.n_rows
+        lineage = []
+
+    speedup_model.finalize()
+    energy_model.finalize()
+
+    models = TrainedModels(
+        scaler=scaler,
+        speedup_model=speedup_model,
+        energy_model=energy_model,
+        settings=list(settings),
+        n_training_samples=n_samples,
+        interactions=interactions,
+    )
+
+    new_sha = prefix_sha256(p, consumed_bytes)
+    lineage.append(
+        {
+            "mode": mode,
+            "new_records": new_records,
+            "consumed_records": consumed_records,
+            "consumed_bytes": consumed_bytes,
+            "prefix_sha256": new_sha,
+        }
+    )
+    state = StreamingTrainerState(
+        scaler=scaler.to_state(),
+        speedup_model=speedup_model.to_state(),
+        speedup_accumulator=speedup_model.accumulator.to_state(),
+        energy_model=energy_model.to_state(),
+        energy_accumulator=energy_model.accumulator.to_state(),
+        settings=settings,
+        interactions=interactions,
+        batch_rows=batch_rows,
+        n_samples=n_samples,
+        consumed_records=consumed_records,
+        consumed_bytes=consumed_bytes,
+        prefix_sha256=new_sha,
+        lineage=lineage,
+    )
+    return StreamingTrainResult(
+        models=models,
+        state=state,
+        mode=mode,
+        delta_records=new_records,
+        summary=summary,
+    )
+
+
+# -- trainer-state persistence -------------------------------------------------
+
+
+def save_trainer_state(
+    path: str | pathlib.Path,
+    state: StreamingTrainerState,
+    meta: dict | None = None,
+) -> pathlib.Path:
+    """Persist a trainer state as a versioned artifact (atomic write)."""
+    from ..store.envelope import save_artifact
+
+    return save_artifact(path, state.to_state(), meta)
+
+
+def load_trainer_state(path: str | pathlib.Path) -> StreamingTrainerState | None:
+    """Load a trainer state, or ``None`` when absent or unusable.
+
+    Unusable covers missing files, foreign artifact kinds, and version
+    mismatches — every case where the right campaign behaviour is the same:
+    fall back to a scratch streaming fit and overwrite the state.
+    """
+    from ..store.envelope import ArtifactError, load_artifact
+
+    try:
+        payload, _meta = load_artifact(path, expected_kind=TRAINER_STATE_KIND)
+        return StreamingTrainerState.from_state(payload)
+    except (ArtifactError, KeyError, TypeError, ValueError):
+        return None

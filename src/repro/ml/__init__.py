@@ -14,7 +14,7 @@ from .kernels import (
     kernel_from_state,
     make_kernel,
 )
-from .linear import LassoRegression, OLSRegression, RidgeRegression
+from .linear import LassoRegression, NormalEquations, OLSRegression, RidgeRegression
 from .metrics import (
     BoxStats,
     GroupedErrorReport,
@@ -35,6 +35,12 @@ from .model_select import (
 from .model_select import Regressor
 from .poly import PolynomialRegression, n_polynomial_terms, polynomial_expand
 from .scaling import IdentityScaler, MinMaxScaler, StandardScaler, scaler_from_state
+from .streaming import (
+    RandomFourierSVR,
+    WelfordScaler,
+    make_streaming_energy_model,
+    make_streaming_speedup_model,
+)
 from .svr import SVR, make_energy_svr, make_speedup_svr
 
 #: Discriminator → regressor class, used by :func:`regressor_from_state`.
@@ -44,6 +50,7 @@ REGRESSOR_KINDS: dict[str, type] = {
     "ridge": RidgeRegression,
     "lasso": LassoRegression,
     "poly_regression": PolynomialRegression,
+    "rff_svr": RandomFourierSVR,
 }
 
 
@@ -65,15 +72,18 @@ __all__ = [
     "LassoRegression",
     "LinearKernel",
     "MinMaxScaler",
+    "NormalEquations",
     "OLSRegression",
     "PolynomialKernel",
     "PolynomialRegression",
     "RBFKernel",
     "REGRESSOR_KINDS",
+    "RandomFourierSVR",
     "Regressor",
     "RidgeRegression",
     "SVR",
     "StandardScaler",
+    "WelfordScaler",
     "cross_validate",
     "grid_search",
     "grouped_kfold_indices",
@@ -83,6 +93,8 @@ __all__ = [
     "make_energy_svr",
     "make_kernel",
     "make_speedup_svr",
+    "make_streaming_energy_model",
+    "make_streaming_speedup_model",
     "regressor_from_state",
     "scaler_from_state",
     "mape",

@@ -50,7 +50,9 @@ from .registry import (
     ModelKey,
     ModelRegistry,
     RegistryStats,
+    make_key_trainer,
     train_for_key,
+    train_streaming_for_key,
 )
 from .service import PredictionService, ServiceError, ServiceStats
 
@@ -72,8 +74,10 @@ __all__ = [
     "load_artifact",
     "load_models",
     "load_models_with_meta",
+    "make_key_trainer",
     "save_artifact",
     "save_models",
     "source_fingerprint",
     "train_for_key",
+    "train_streaming_for_key",
 ]

@@ -67,8 +67,8 @@ class ModelKey:
         return {"device": self.device, "recipe": self.recipe, "features": self.features}
 
 
-def train_for_key(key: ModelKey) -> TrainedModels:
-    """The default trainer: run the key's recipe end to end."""
+def _recipe_workload(key: ModelKey):
+    """Resolve a key's (device, specs, settings) from the shared recipe table."""
     try:
         stride, budget = TRAINING_RECIPES[key.recipe]
     except KeyError:
@@ -76,13 +76,65 @@ def train_for_key(key: ModelKey) -> TrainedModels:
             f"unknown recipe {key.recipe!r}; known: {sorted(TRAINING_RECIPES)}"
         ) from None
     device = key.device_spec()
-    backend = SimulatorBackend(device)
     micro = generate_micro_benchmarks()[::stride]
     settings = sample_training_settings(device, total=budget)
+    return device, micro, settings
+
+
+def train_for_key(key: ModelKey) -> TrainedModels:
+    """The default trainer: run the key's recipe end to end."""
+    device, micro, settings = _recipe_workload(key)
+    backend = SimulatorBackend(device)
     models, _dataset = train_from_specs(
         backend, micro, settings, interactions=key.interactions
     )
     return models
+
+
+def train_streaming_for_key(key: ModelKey, batch_rows: int = 4096) -> TrainedModels:
+    """Out-of-core trainer: measure once into a temp trace, stream-fit it.
+
+    The sweep happens exactly once (recorded to a scratch JSONL trace);
+    the two streaming passes then replay that file in ``batch_rows``-bound
+    mini-batches, so the dense design matrix never materializes.
+    """
+    import tempfile
+
+    from ..core.dataset import iter_kernel_measurements
+    from ..core.incremental import train_streaming_from_trace
+    from ..measure.trace import TraceWriter
+
+    device, micro, settings = _recipe_workload(key)
+    backend = SimulatorBackend(device)
+    with tempfile.TemporaryDirectory(prefix="repro-train-") as tmp:
+        trace_path = pathlib.Path(tmp) / "train.jsonl"
+        writer = TraceWriter(trace_path, device=device.name)
+        try:
+            for _spec, _static, measurements in iter_kernel_measurements(
+                backend, micro, settings
+            ):
+                writer.write_measurements(measurements)
+        finally:
+            writer.close(success=True)
+        result = train_streaming_from_trace(
+            trace_path,
+            micro,
+            settings,
+            interactions=key.interactions,
+            batch_rows=batch_rows,
+        )
+    return result.models
+
+
+def make_key_trainer(
+    trainer: str = "exact", batch_rows: int = 4096
+) -> Callable[[ModelKey], TrainedModels]:
+    """A registry ``trainer`` callable for the chosen training mode."""
+    if trainer == "exact":
+        return train_for_key
+    if trainer == "streaming":
+        return lambda key: train_streaming_for_key(key, batch_rows=batch_rows)
+    raise ValueError(f"trainer must be 'exact' or 'streaming', got {trainer!r}")
 
 
 @dataclass

@@ -1,0 +1,220 @@
+"""Append-aware streaming retraining through the campaign loop."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignPlan, run_campaign
+from repro.core.config import sample_training_settings
+from repro.core.dataset import iter_kernel_measurements
+from repro.core.incremental import (
+    load_trainer_state,
+    prefix_sha256,
+    train_streaming_from_trace,
+)
+from repro.gpusim.device import make_titan_x
+from repro.measure import SimulatorBackend
+from repro.measure.trace import TraceWriter
+from repro.serve.registry import ModelRegistry
+from repro.store.envelope import read_artifact_meta
+from repro.store.layout import MODELS_SUBDIR, TRAINER_STATE_SUBDIR
+from repro.synthetic import generate_micro_benchmarks
+
+
+def record_trace(path, backend, specs, settings, append=False):
+    writer = TraceWriter(path, device=backend.device.name, append=append)
+    try:
+        for _spec, _static, measurements in iter_kernel_measurements(
+            backend, specs, settings
+        ):
+            writer.write_measurements(measurements)
+    finally:
+        writer.close(success=True)
+
+
+@pytest.fixture
+def spy_offsets(monkeypatch):
+    """Record every trace-iteration pass: its start offset and record count."""
+    from repro.core import incremental
+
+    calls = []
+    real = incremental.iter_trace_records
+
+    def spying(path, start_offset=0):
+        entry = {"start_offset": start_offset, "records": 0}
+        calls.append(entry)
+        for item in real(path, start_offset):
+            entry["records"] += 1
+            yield item
+
+    monkeypatch.setattr(incremental, "iter_trace_records", spying)
+    return calls
+
+
+class TestTrainStreamingFromTrace:
+    @pytest.fixture(scope="class")
+    def workload(self, tmp_path_factory):
+        backend = SimulatorBackend(make_titan_x())
+        specs = generate_micro_benchmarks()[:6]
+        settings = sample_training_settings(backend.device, total=6)
+        trace = tmp_path_factory.mktemp("traces") / "trace.jsonl"
+        record_trace(trace, backend, specs[:4], settings)
+        return backend, specs, settings, trace
+
+    def test_scratch_then_incremental_consumes_only_delta(
+        self, workload, spy_offsets
+    ):
+        backend, specs, settings, trace = workload
+        base = train_streaming_from_trace(trace, specs, settings, batch_rows=16)
+        assert base.mode == "scratch"
+        assert base.delta_records == 4
+        # Scratch = two full passes from byte 0 (scaler, then models).
+        assert [c["start_offset"] for c in spy_offsets] == [0, 0]
+
+        record_trace(trace, backend, specs[4:], settings, append=True)
+        spy_offsets.clear()
+        grown = train_streaming_from_trace(
+            trace, specs, settings, batch_rows=16, prior_state=base.state
+        )
+        assert grown.mode == "incremental"
+        assert grown.delta_records == 2
+        # One pass, starting exactly where the prior state stopped.
+        assert len(spy_offsets) == 1
+        assert spy_offsets[0]["start_offset"] == base.state.consumed_bytes
+        assert spy_offsets[0]["records"] == 2
+        assert grown.state.n_samples == len(specs) * len(settings)
+        assert [event["mode"] for event in grown.state.lineage] == [
+            "scratch",
+            "incremental",
+        ]
+
+    def test_batch_size_invariance(self, workload):
+        _backend, specs, settings, trace = workload
+        small = train_streaming_from_trace(trace, specs, settings, batch_rows=5)
+        large = train_streaming_from_trace(trace, specs, settings, batch_rows=4096)
+        probe = small.models.scaler.mean_[None, :]
+        assert np.allclose(
+            small.models.predict_energy(probe), large.models.predict_energy(probe)
+        )
+        assert np.allclose(
+            small.models.predict_speedup(probe), large.models.predict_speedup(probe)
+        )
+
+    def test_settings_mismatch_falls_back_to_scratch(self, workload):
+        backend, specs, settings, trace = workload
+        base = train_streaming_from_trace(trace, specs, settings, batch_rows=16)
+        other = settings[:4]  # a different sweep grid than the state's
+        other_trace = trace.parent / "other.jsonl"
+        record_trace(other_trace, backend, specs, other)
+        result = train_streaming_from_trace(
+            other_trace, specs, other, batch_rows=16, prior_state=base.state
+        )
+        assert result.mode == "scratch"
+
+    def test_rewritten_prefix_falls_back_to_scratch(self, workload):
+        _backend, specs, settings, trace = workload
+        base = train_streaming_from_trace(trace, specs, settings, batch_rows=16)
+        mutated = trace.parent / "mutated.jsonl"
+        raw = bytearray(trace.read_bytes())
+        # Flip one byte inside the consumed prefix: growth check must fail.
+        idx = base.state.consumed_bytes // 2
+        raw[idx] = ord("9") if raw[idx] != ord("9") else ord("8")
+        mutated.write_bytes(bytes(raw))
+        assert prefix_sha256(mutated, base.state.consumed_bytes) != (
+            base.state.prefix_sha256
+        )
+        result = train_streaming_from_trace(
+            mutated, specs, settings, batch_rows=16, prior_state=base.state
+        )
+        assert result.mode == "scratch"
+
+    def test_empty_trace_rejected(self, tmp_path, workload):
+        backend, specs, settings, _trace = workload
+        empty = tmp_path / "empty.jsonl"
+        writer = TraceWriter(empty, device=backend.device.name)
+        writer.close(success=True)
+        with pytest.raises(ValueError, match="no measurement records"):
+            train_streaming_from_trace(empty, specs, settings)
+
+    def test_unknown_kernel_rejected(self, workload):
+        _backend, specs, settings, trace = workload
+        with pytest.raises(ValueError, match="not in the plan's specs"):
+            train_streaming_from_trace(trace, specs[:1], settings)
+
+
+def streaming_plan(repeats=1):
+    return CampaignPlan(
+        devices=("titan-x",),
+        recipe="quick",
+        repeats=repeats,
+        trainer="streaming",
+        batch_rows=128,
+    )
+
+
+class TestStreamingCampaign:
+    def test_scratch_run_persists_state_and_meta(self, tmp_path):
+        report = run_campaign(streaming_plan(), store_root=tmp_path)
+        result = report.results[0]
+        plan = report.plan
+        key = plan.model_key(plan.device_specs()[0])
+
+        state_path = tmp_path / TRAINER_STATE_SUBDIR / f"{key.slug}.json"
+        state = load_trainer_state(state_path)
+        assert state is not None
+        assert state.batch_rows == 128
+        assert state.n_samples == result.n_samples
+        assert [event["mode"] for event in state.lineage] == ["scratch"]
+
+        meta = read_artifact_meta(result.model_path)
+        assert meta["trainer"] == "streaming"
+        assert meta["trainer_mode"] == "scratch"
+        assert meta["batch_rows"] == 128
+        assert meta["n_samples"] == result.n_samples
+        assert meta["trace_sha256"] == prefix_sha256(result.trace_path)
+
+    def test_repeats_bump_retrains_incrementally(self, tmp_path, spy_offsets):
+        run_campaign(streaming_plan(repeats=1), store_root=tmp_path)
+        first_passes = len(spy_offsets)
+        assert first_passes == 2  # scratch: scaler pass + model pass
+
+        spy_offsets.clear()
+        report = run_campaign(
+            streaming_plan(repeats=2), store_root=tmp_path, resume=True
+        )
+        result = report.results[0]
+        n_kernels = result.n_kernels
+
+        # The grown trace delta-fits: one pass, offset > 0, only the
+        # appended second-pass records parsed.
+        assert len(spy_offsets) == 1
+        assert spy_offsets[0]["start_offset"] > 0
+        assert spy_offsets[0]["records"] == n_kernels
+
+        meta = read_artifact_meta(result.model_path)
+        assert meta["trainer_mode"] == "incremental"
+        assert meta["delta_records"] == n_kernels
+        lineage = meta["trainer_lineage"]
+        assert [event["mode"] for event in lineage] == ["scratch", "incremental"]
+        # Streaming consumes every pass: n_samples doubles on the bump.
+        assert meta["n_samples"] == 2 * result.n_kernels * result.n_settings
+
+    def test_streaming_bundle_loads_and_predicts_from_disk(self, tmp_path):
+        report = run_campaign(streaming_plan(), store_root=tmp_path)
+        plan = report.plan
+        registry = ModelRegistry(tmp_path / MODELS_SUBDIR)
+        models = registry.get(plan.model_key(plan.device_specs()[0]))
+        assert registry.stats.disk_loads == 1
+        spec = plan.kernel_specs()[0]
+        pairs = models.predict_objectives(
+            spec.static_features(), plan.settings_for(plan.device_specs()[0])[:3]
+        )
+        assert len(pairs) == 3
+        assert all(np.isfinite(s) and np.isfinite(e) for s, e in pairs)
+
+    def test_rerun_hash_skips_and_keeps_meta(self, tmp_path):
+        run_campaign(streaming_plan(), store_root=tmp_path)
+        report = run_campaign(streaming_plan(), store_root=tmp_path, resume=True)
+        result = report.results[0]
+        assert result.n_samples == result.n_kernels * result.n_settings
+        meta = read_artifact_meta(result.model_path)
+        assert meta["trainer"] == "streaming"

@@ -1,0 +1,100 @@
+"""Streaming dataset assembly: bounded mini-batches, peak-row accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import sample_training_settings
+from repro.core.dataset import (
+    DatasetAssembler,
+    MiniBatch,
+    build_training_dataset,
+    iter_kernel_measurements,
+)
+from repro.measure import SimulatorBackend
+from repro.obs.instruments import DATASET_PEAK_BYTES, DATASET_PEAK_ROWS
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.synthetic import generate_micro_benchmarks
+
+
+@pytest.fixture(scope="module")
+def workload():
+    backend = SimulatorBackend()
+    specs = generate_micro_benchmarks()[:5]
+    settings = sample_training_settings(backend.device, total=8)
+    return backend, specs, settings
+
+
+def stream_assemble(backend, specs, settings, peak_rows):
+    batches: list[MiniBatch] = []
+    assembler = DatasetAssembler(
+        settings, peak_rows=peak_rows, on_batch=batches.append
+    )
+    for spec, static, measurements in iter_kernel_measurements(
+        backend, specs, settings
+    ):
+        assembler.add(spec, static, measurements)
+    return batches, assembler.finish_streaming()
+
+
+class TestStreamingAssembly:
+    def test_concatenated_batches_bit_identical_to_dense(self, workload):
+        backend, specs, settings = workload
+        dense = build_training_dataset(backend, specs, settings)
+        batches, summary = stream_assemble(backend, specs, settings, peak_rows=8)
+        assert np.array_equal(np.vstack([b.x for b in batches]), dense.x)
+        assert np.array_equal(
+            np.concatenate([b.y_speedup for b in batches]), dense.y_speedup
+        )
+        assert np.array_equal(
+            np.concatenate([b.y_energy for b in batches]), dense.y_energy
+        )
+        assert summary.n_rows == dense.n_samples
+        assert summary.n_kernels == len(specs)
+
+    def test_peak_never_exceeds_cap(self, workload):
+        backend, specs, settings = workload
+        # A cap below one kernel's block (8 rows) forces slicing.
+        batches, summary = stream_assemble(backend, specs, settings, peak_rows=3)
+        assert all(b.n_rows <= 3 for b in batches)
+        assert summary.peak_resident_rows <= 3
+        assert summary.peak_rows_cap == 3
+        # Bytes account rows x (features + 2 targets) x float64.
+        n_cols = batches[0].x.shape[1]
+        assert summary.peak_resident_bytes == summary.peak_resident_rows * (
+            n_cols + 2
+        ) * 8
+
+    def test_peaks_exported_as_gauges(self, workload):
+        backend, specs, settings = workload
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            _, summary = stream_assemble(backend, specs, settings, peak_rows=8)
+        assert registry.value(DATASET_PEAK_ROWS) == summary.peak_resident_rows
+        assert registry.value(DATASET_PEAK_BYTES) == summary.peak_resident_bytes
+
+    def test_gauges_keep_high_water_mark(self, workload):
+        backend, specs, settings = workload
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            stream_assemble(backend, specs, settings, peak_rows=8)
+            high = registry.value(DATASET_PEAK_ROWS)
+            # A smaller later run must not lower the exported peak.
+            stream_assemble(backend, specs, settings, peak_rows=3)
+        assert registry.value(DATASET_PEAK_ROWS) == high
+
+    def test_dense_finish_unavailable_in_streaming_mode(self, workload):
+        backend, specs, settings = workload
+        assembler = DatasetAssembler(
+            settings, peak_rows=4, on_batch=lambda batch: None
+        )
+        with pytest.raises(RuntimeError):
+            assembler.finish()
+
+    def test_streaming_mode_validation(self, workload):
+        _backend, _specs, settings = workload
+        with pytest.raises(ValueError, match="peak_rows"):
+            DatasetAssembler(settings, on_batch=lambda batch: None)
+        with pytest.raises(ValueError, match="on_batch"):
+            DatasetAssembler(settings, peak_rows=4)
+        with pytest.raises(ValueError, match=">= 1"):
+            DatasetAssembler(settings, peak_rows=0, on_batch=lambda batch: None)

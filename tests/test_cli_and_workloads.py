@@ -63,6 +63,28 @@ class TestCLI:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_train_streaming_bounds_resident_rows(self, tmp_path, capsys):
+        save = tmp_path / "models.json"
+        assert main([
+            "train", "--quick", "--trainer", "streaming",
+            "--batch-rows", "64", "--save", str(save),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert save.exists()
+        assert "[streaming]" in out
+        line = next(
+            ln for ln in out.splitlines()
+            if ln.startswith("streaming peak resident rows:")
+        )
+        peak = int(line.split(":")[1].split("(")[0].strip())
+        assert 0 < peak <= 64
+
+    def test_train_rejects_unknown_trainer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--save", "x.json", "--trainer", "bogus"]
+            )
+
 
 class TestKernelSpec:
     def make_spec(self, **kwargs):
