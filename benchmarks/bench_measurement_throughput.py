@@ -32,7 +32,14 @@ from repro.core.dataset import TrainingDataset, build_training_dataset
 from repro.features.vector import build_design_matrix
 from repro.gpusim.executor import GPUSimulator
 from repro.harness.report import format_heading, format_table
-from repro.measure import ParallelBackend, SimulatorBackend, simulator_factory
+from repro.measure import (
+    ParallelBackend,
+    RecordingBackend,
+    ReplayBackend,
+    SimulatorBackend,
+    compact_trace,
+    simulator_factory,
+)
 from repro.synthetic import generate_micro_benchmarks
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK") or os.environ.get("REPRO_QUICK"))
@@ -56,6 +63,12 @@ MIN_INTERLEAVE_SPEEDUP = 1.5
 #: bit-identity); only the wall-clock assertion requires ≥4 CPUs.
 HAVE_CAMPAIGN_CORES = (os.cpu_count() or 1) >= CAMPAIGN_WORKERS
 MIN_CAMPAIGN_SPEEDUP = 2.0
+
+#: replay-columnar mode: serving a recorded sweep off the memory-mapped v3
+#: sidecar must beat cold JSONL replay (scan + per-kernel JSON decode) by
+#: this much at paper scale.  Quick mode records the ratio unasserted —
+#: at 8 kernels the constant costs drown the per-row win.
+MIN_REPLAY_COLUMNAR_SPEEDUP = 5.0
 
 
 def _workload():
@@ -182,6 +195,81 @@ def measure_interleaved_campaign(workers: int = CAMPAIGN_WORKERS, repeats: int =
     return t_seq, t_int, identical
 
 
+def measure_replay_columnar():
+    """Replay-mode sweep service, JSONL vs memory-mapped columnar sidecar.
+
+    One trace is recorded at workload scale, then served four ways:
+    cold (fresh :class:`ReplayBackend` plus one full pass over every
+    kernel — what ``repro train --backend replay`` pays) and warm (a
+    second pass on the same backend, LRU/mmap already primed), for each
+    of the v2 JSONL path and the v3 columnar sidecar.  Returns
+    ``(timings, identical)`` where ``timings`` maps
+    ``jsonl_cold/jsonl_warm/columnar_cold/columnar_warm`` to best-of
+    seconds and ``identical`` is bit-identity of the fully assembled
+    training datasets (checked on every run, quick or not).
+
+    Unlike the simulator benches (whose scalar baseline caps ``_workload``
+    at 30 codes), replay is cheap enough to time at full paper
+    scale — all 106 codes — which is exactly where the JSONL decode cost
+    and the LRU bound bite.
+    """
+    if QUICK:
+        specs, settings = _workload()
+    else:
+        specs = generate_micro_benchmarks()
+        settings = sample_training_settings(
+            GPUSimulator().device, total=N_SETTINGS
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-replay-") as tmp:
+        trace_path = Path(tmp) / "bench.jsonl"
+        recorder = RecordingBackend(SimulatorBackend())
+        for spec in specs:
+            recorder.measure(spec, settings)
+        recorder.save(trace_path)
+
+        def passes(prefer: bool):
+            def cold():
+                backend = ReplayBackend(trace_path, prefer_columnar=prefer)
+                for spec in specs:
+                    backend.measure(spec, settings)
+                return backend
+
+            t_cold, backend = _best_of(cold)
+
+            def warm():
+                for spec in specs:
+                    backend.measure(spec, settings)
+
+            t_warm, _ = _best_of(warm)
+            return t_cold, t_warm
+
+        # JSONL first — the sidecar does not exist yet, but pin the path
+        # explicitly so a stray sidecar could never flatter the baseline.
+        t_jsonl_cold, t_jsonl_warm = passes(prefer=False)
+        compact_trace(trace_path)
+        t_col_cold, t_col_warm = passes(prefer=True)
+
+        ds_jsonl = build_training_dataset(
+            ReplayBackend(trace_path, prefer_columnar=False), specs, settings
+        )
+        ds_col = build_training_dataset(
+            ReplayBackend(trace_path, prefer_columnar=True), specs, settings
+        )
+        identical = (
+            np.array_equal(ds_jsonl.x, ds_col.x)
+            and np.array_equal(ds_jsonl.y_speedup, ds_col.y_speedup)
+            and np.array_equal(ds_jsonl.y_energy, ds_col.y_energy)
+            and ds_jsonl.groups == ds_col.groups
+        )
+    timings = {
+        "jsonl_cold": t_jsonl_cold,
+        "jsonl_warm": t_jsonl_warm,
+        "columnar_cold": t_col_cold,
+        "columnar_warm": t_col_warm,
+    }
+    return timings, identical, len(specs) * len(settings)
+
+
 def regenerate_throughput() -> tuple[str, dict]:
     t_scalar, t_vector, ds_scalar, ds_vector = measure_assembly()
     # The vectorized pass just timed IS the campaign's serial baseline.
@@ -215,6 +303,23 @@ def regenerate_throughput() -> tuple[str, dict]:
         and np.array_equal(ds_serial.y_energy, ds_campaign.y_energy)
     )
     t_seq, t_int, store_identical = measure_interleaved_campaign()
+    replay_t, replay_identical, replay_n_rows = measure_replay_columnar()
+    replay_ratio_cold = replay_t["jsonl_cold"] / replay_t["columnar_cold"]
+    replay_ratio_warm = replay_t["jsonl_warm"] / replay_t["columnar_warm"]
+    replay_rows = [
+        (
+            f"replay {kind}",
+            f"{replay_t[f'{kind}_cold'] * 1e3:9.1f}",
+            f"{replay_n_rows / replay_t[f'{kind}_cold']:12.0f}",
+            f"{replay_t[f'{kind}_warm'] * 1e3:9.1f}",
+            f"{replay_n_rows / replay_t[f'{kind}_warm']:12.0f}",
+        )
+        for kind in ("jsonl", "columnar")
+    ]
+    replay_table = format_table(
+        ["trace replay service", "cold ms", "cold rows/s", "warm ms", "warm rows/s"],
+        replay_rows,
+    )
     data = {
         "quick": QUICK,
         "n_specs": N_SPECS,
@@ -228,21 +333,29 @@ def regenerate_throughput() -> tuple[str, dict]:
             "assembly_campaign": t_campaign,
             "campaign_sequential_legs": t_seq,
             "campaign_interleaved": t_int,
+            "replay_jsonl_cold": replay_t["jsonl_cold"],
+            "replay_jsonl_warm": replay_t["jsonl_warm"],
+            "replay_columnar_cold": replay_t["columnar_cold"],
+            "replay_columnar_warm": replay_t["columnar_warm"],
         },
         "ratios": {
             "vectorized_speedup": t_scalar / t_vector,
             "campaign_speedup": t_serial / t_campaign,
             "interleave_speedup": t_seq / t_int,
+            "replay_columnar_speedup": replay_ratio_cold,
+            "replay_columnar_warm_speedup": replay_ratio_warm,
         },
         "identical": {
             "scalar_vs_vectorized": identical,
             "serial_vs_campaign": campaign_identical,
             "store_artifacts": store_identical,
+            "replay_jsonl_vs_columnar": replay_identical,
         },
         "asserted": {
             "vectorized_speedup_min": MIN_SPEEDUP,
             "campaign_speedup_min": MIN_CAMPAIGN_SPEEDUP,
             "interleave_speedup_min": MIN_INTERLEAVE_SPEEDUP,
+            "replay_columnar_speedup_min": MIN_REPLAY_COLUMNAR_SPEEDUP,
         },
         # Which of those minimums a test actually enforced on THIS run.
         # Quick mode and small machines still *record* every ratio above,
@@ -252,6 +365,7 @@ def regenerate_throughput() -> tuple[str, dict]:
             "vectorized_speedup": True,  # always asserted (quick lowers the bar)
             "campaign_speedup": HAVE_CAMPAIGN_CORES and not QUICK,
             "interleave_speedup": HAVE_CAMPAIGN_CORES and not QUICK,
+            "replay_columnar_speedup": not QUICK,
         },
     }
     return (
@@ -269,6 +383,10 @@ def regenerate_throughput() -> tuple[str, dict]:
         + f"({len(CAMPAIGN_DEVICES)} devices): {t_seq / t_int:.2f}x "
         + f"({t_seq * 1e3:.0f}ms -> {t_int * 1e3:.0f}ms), "
         + f"store artifacts bit-identical: {store_identical}"
+        + "\n" + replay_table
+        + f"\ncolumnar vs JSONL replay: {replay_ratio_cold:.1f}x cold, "
+        + f"{replay_ratio_warm:.1f}x warm; "
+        + f"replay datasets bit-identical: {replay_identical}"
     ), data
 
 
@@ -278,6 +396,7 @@ def test_measurement_throughput():
     assert "bit-identical: True" in text
     assert "campaign-parallel datasets bit-identical: True" in text
     assert "store artifacts bit-identical: True" in text
+    assert "replay datasets bit-identical: True" in text
 
 
 def test_interleaved_campaign_matches_sequential_bitwise():
@@ -335,3 +454,21 @@ def test_interleaved_campaign_at_least_1_5x_faster():
     t_seq, t_int, identical = measure_interleaved_campaign(repeats=3)
     assert identical
     assert t_seq / t_int >= MIN_INTERLEAVE_SPEEDUP, (t_seq, t_int)
+
+
+def test_replay_columnar_matches_jsonl_bitwise():
+    """Bit-identity of the served datasets holds at any scale, every run."""
+    _timings, identical, _n_rows = measure_replay_columnar()
+    assert identical
+
+
+@pytest.mark.skipif(
+    QUICK, reason="quick mode exercises columnar replay but does not time it"
+)
+def test_replay_columnar_at_least_5x_faster():
+    """The PR 8 acceptance bar: cold replay off the memory-mapped v3
+    sidecar beats cold JSONL replay by >= 5x at paper scale."""
+    timings, identical, _n_rows = measure_replay_columnar()
+    assert identical
+    ratio = timings["jsonl_cold"] / timings["columnar_cold"]
+    assert ratio >= MIN_REPLAY_COLUMNAR_SPEEDUP, timings

@@ -39,6 +39,7 @@ from .engine import (
     run_campaign,
     run_device_campaign,
 )
+from .maintenance import StoreCompactionReport, TraceCompaction, compact_store
 from .plan import CAMPAIGN_RECIPES, RECIPE_SUITES, CampaignPlan
 from .progress import CampaignProgress, LegProgress, ProgressCallback
 from .scheduler import LegRun, SweepTask, interleave, prepare_leg, run_legs
@@ -54,9 +55,12 @@ __all__ = [
     "MODELS_SUBDIR",
     "ProgressCallback",
     "RECIPE_SUITES",
+    "StoreCompactionReport",
     "SweepTask",
     "TRACES_SUBDIR",
+    "TraceCompaction",
     "campaign_backend",
+    "compact_store",
     "interleave",
     "prepare_leg",
     "run_campaign",

@@ -251,6 +251,15 @@ def _execute(
             span.end()
         trace_path = trace_registry.path_for(leg.trace_key)
         leg.trace_sha256 = _file_sha256(trace_path)
+        try:
+            # Auto-compact on publish: the columnar sidecar makes every
+            # later replay/retrain of this leg mmap-fast.  Deterministic
+            # bytes keep resume-vs-one-shot stores diff-identical, and a
+            # failure here only costs the speedup — the JSONL stays
+            # authoritative, so the campaign itself must never die on it.
+            trace_registry.compact(leg.trace_key)
+        except Exception:
+            pass
         key = plan.model_key(leg.device)
         meta = model_registry.meta_for(key)
         if meta is not None and meta.get("trace_sha256") == leg.trace_sha256:

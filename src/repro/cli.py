@@ -14,6 +14,14 @@ Subcommands:
   also store-servable via ``--device`` + ``--store``;
 * ``serve-status --store DIR`` — what a campaign store can serve: every
   device with a registered bundle, its aliases, recipe, and provenance;
+* ``traces --store DIR`` — the measurement side of ``serve-status``:
+  every registered trace with its format version (v2 JSONL / v3
+  columnar), record and row counts, bytes, compaction status, and the
+  compacted-prefix sha;
+* ``store compact [--store DIR]`` — one maintenance pass: compact every
+  trace into its memory-mapped v3 columnar sidecar, migrate ``traces/``
+  and ``models/`` to the two-level sharded layout, and expire
+  superseded streaming-trainer states;
 * ``stats --store DIR [--format prom|json]`` — export the store's merged
   ``repro.obs`` metrics (sweep-duration histograms per device, campaign
   counters, serve/cache counters) as Prometheus text exposition or JSON;
@@ -94,15 +102,18 @@ def _resolve_setup(args):
     if kind == "replay":
         if trace and trace_key:
             raise CLIUsageError("pass either --trace PATH or --trace-key KEY, not both")
+        cached = getattr(args, "max_cached_kernels", None)
         if trace:
-            backend = ReplayBackend(trace, device=device)
+            backend = ReplayBackend(trace, device=device, max_cached_kernels=cached)
         elif trace_key:
             from .campaign.engine import TRACES_SUBDIR
 
             registry = TraceRegistry(_store_root(args) / TRACES_SUBDIR)
             # Resolve to the file and construct directly so an explicit
             # --device gets the same mismatch check as --trace PATH.
-            backend = ReplayBackend(registry.resolve(trace_key), device=device)
+            backend = ReplayBackend(
+                registry.resolve(trace_key), device=device, max_cached_kernels=cached
+            )
         else:
             raise CLIUsageError(
                 "--backend replay requires --trace PATH or --trace-key KEY"
@@ -455,6 +466,86 @@ def _cmd_serve_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from .campaign.engine import TRACES_SUBDIR
+    from .harness.report import format_table
+    from .measure import TraceRegistry
+    from .measure.columnar import ColumnarTrace, sidecar_path
+    from .measure.trace import scan_stream_records
+
+    _require_store(_store_root(args))
+    registry = TraceRegistry(_store_root(args) / TRACES_SUBDIR, memory_capacity=1)
+    slugs = registry.entries()
+    if not slugs:
+        raise CLIUsageError(
+            f"no recorded traces under {registry.root} "
+            f"(run `repro campaign --store {_store_root(args)}` first)"
+        )
+    rows = []
+    for slug in sorted(slugs):
+        path = registry.store.path_for_slug(slug)
+        size = path.stat().st_size
+        columnar = ColumnarTrace.open(path)
+        if columnar is not None:
+            version = "v3"
+            records = len(columnar.records)
+            rows_n = columnar.n_rows
+            sha = columnar.prefix_sha256[:12]
+            if size == columnar.prefix_bytes:
+                status = "fresh"
+            else:
+                # Columnar prefix plus appended JSONL tail: count the
+                # tail's records/rows on top of what the sidecar covers.
+                _, scanned = scan_stream_records(path)
+                tail_records = [
+                    r for r in scanned if r.end_offset > columnar.prefix_bytes
+                ]
+                records += len(tail_records)
+                rows_n += sum(len(r.kernel.configs) for r in tail_records)
+                status = "tail"
+        else:
+            version = "v2"
+            _, scanned = scan_stream_records(path)
+            records = len(scanned)
+            rows_n = sum(len(r.kernel.configs) for r in scanned)
+            sha = "-"
+            status = "stale" if sidecar_path(path).exists() else "none"
+        rows.append((slug, version, str(records), str(rows_n), str(size), status, sha))
+    print(f"traces under {registry.root}: {len(rows)} registered")
+    print(
+        format_table(
+            ["trace", "format", "records", "rows", "bytes", "columnar", "prefix sha256"],
+            rows,
+        )
+    )
+    print(f"compact them: repro store compact --store {_store_root(args)}")
+    return 0
+
+
+def _require_store(root) -> None:
+    """Maintenance and inventory commands must not conjure a store.
+
+    Registry construction mkdirs its root, so a typo'd ``--store`` would
+    otherwise leave an empty store skeleton behind and report success.
+    """
+    if not root.is_dir():
+        raise CLIUsageError(
+            f"no campaign store at {root} "
+            f"(run `repro campaign --store {root}` first)"
+        )
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from .campaign import compact_store
+
+    _require_store(_store_root(args))
+    report = compact_store(
+        _store_root(args), migrate=not args.no_migrate, force=args.force
+    )
+    print(report.format())
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import load_store_metrics, to_json, to_prometheus
     from .store.layout import METRICS_SUBDIR
@@ -644,6 +735,12 @@ def _add_device_flags(parser: argparse.ArgumentParser, record: bool = False) -> 
              "(with --backend replay; e.g. titan-x/default)",
     )
     parser.add_argument(
+        "--max-cached-kernels", type=int, metavar="N", dest="max_cached_kernels",
+        help="(with --backend replay) LRU bound on materialized per-kernel "
+             "records; memory-mapped columnar slices bypass the cache "
+             "entirely (default: 64)",
+    )
+    parser.add_argument(
         "--store", metavar="DIR", default=None,
         help="campaign store root: with --trace-key, where traces resolve "
              "from; on predict/predict-batch without --model, serve "
@@ -772,6 +869,44 @@ def build_parser() -> argparse.ArgumentParser:
              "default) or the JSON snapshot document",
     )
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_traces = sub.add_parser(
+        "traces",
+        help="list a campaign store's registered measurement traces: format "
+             "version (v2 JSONL / v3 columnar), record and row counts, "
+             "bytes, compaction status, and compacted-prefix sha",
+    )
+    p_traces.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=f"campaign store root (default: {DEFAULT_STORE})",
+    )
+    p_traces.set_defaults(func=_cmd_traces)
+
+    p_store = sub.add_parser(
+        "store",
+        help="campaign-store maintenance (see `repro store compact --help`)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_compact = store_sub.add_parser(
+        "compact",
+        help="one maintenance pass: compact every trace into its v3 "
+             "columnar sidecar, migrate traces/ and models/ to the sharded "
+             "layout, and expire superseded streaming-trainer states",
+    )
+    p_compact.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=f"campaign store root (default: {DEFAULT_STORE})",
+    )
+    p_compact.add_argument(
+        "--force", action="store_true",
+        help="rewrite sidecars even when already fresh",
+    )
+    p_compact.add_argument(
+        "--no-migrate", action="store_true", dest="no_migrate",
+        help="skip the sharded-layout migration (compaction and trainer-"
+             "state expiry still run)",
+    )
+    p_compact.set_defaults(func=_cmd_store_compact)
 
     p_status = sub.add_parser(
         "serve-status",

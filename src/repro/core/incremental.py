@@ -73,7 +73,7 @@ def prefix_sha256(path: str | pathlib.Path, limit: int | None = None) -> str:
 
 
 def iter_trace_records(
-    path: str | pathlib.Path, start_offset: int = 0
+    path: str | pathlib.Path, start_offset: int = 0, prefer_columnar: bool = True
 ) -> "Iterator[tuple[str, KernelTrace, int]]":
     """Yield ``(kernel name, record, end byte offset)`` from a v2 trace.
 
@@ -81,12 +81,28 @@ def iter_trace_records(
     a non-zero offset must point at a record start (the ``end_offset`` of a
     previously consumed record), which is what makes delta fits possible:
     records are newline-delimited JSON, parseable from any record boundary.
+
+    When a fresh v3 columnar sidecar covers part of the requested range,
+    those records are served from its memory-mapped columns instead of
+    JSON parsing; every yielded ``end_offset`` remains a **source JSONL**
+    byte offset either way, so ``consumed_bytes`` bookkeeping (and with it
+    the trainer-state prefix-sha contract) is identical on both paths, as
+    are the records themselves — float64 round-trips exactly.
     """
     import json
 
     from ..measure.trace import KernelTrace, ReplayError, _is_jsonl_trace
 
     p = pathlib.Path(path).expanduser()
+    if prefer_columnar:
+        from ..measure.columnar import ColumnarTrace
+
+        columnar = ColumnarTrace.open(p)
+        if columnar is not None and start_offset < columnar.prefix_bytes:
+            yield from columnar.iter_records(start_offset)
+            start_offset = columnar.prefix_bytes
+            if p.stat().st_size <= start_offset:
+                return
     with p.open("r") as handle:
         if start_offset:
             handle.seek(start_offset)

@@ -24,6 +24,15 @@ model bundles (device × suite × noise-settings hash).
 """
 
 from .backend import BackendCapabilities, MeasurementBackend, as_backend
+from .columnar import (
+    COLUMNAR_FORMAT,
+    COLUMNAR_VERSION,
+    ColumnarTrace,
+    CompactionResult,
+    TraceCompactor,
+    compact_trace,
+    sidecar_path,
+)
 from .nvml_backend import NvmlBackend
 from .parallel import (
     DevicePool,
@@ -57,8 +66,13 @@ from .trace_registry import (
 
 __all__ = [
     "BackendCapabilities",
+    "COLUMNAR_FORMAT",
+    "COLUMNAR_VERSION",
+    "ColumnarTrace",
+    "CompactionResult",
     "DevicePool",
     "KernelTrace",
+    "TraceCompactor",
     "MeasurementBackend",
     "NvmlBackend",
     "ParallelBackend",
@@ -77,6 +91,7 @@ __all__ = [
     "TraceWriter",
     "as_backend",
     "backend_for_device",
+    "compact_trace",
     "iter_trace",
     "load_trace",
     "noise_settings_hash",
@@ -84,5 +99,6 @@ __all__ = [
     "replay_measurements",
     "save_trace",
     "scan_stream_records",
+    "sidecar_path",
     "simulator_factory",
 ]

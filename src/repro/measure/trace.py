@@ -35,7 +35,7 @@ import os
 import pathlib
 import re
 from dataclasses import dataclass, field
-from typing import IO, TYPE_CHECKING, Iterator
+from typing import IO, TYPE_CHECKING, Iterator, Sequence
 
 TRACE_FORMAT = "repro.measurement-trace"
 #: Current (JSONL) trace version.
@@ -437,7 +437,9 @@ def _record_kernel_name(line: str) -> str:
     return str(json.loads(line)["kernel"])
 
 
-def scan_trace_offsets(path: str | pathlib.Path) -> tuple[dict, dict[str, list[int]]]:
+def scan_trace_offsets(
+    path: str | pathlib.Path, start_offset: int = 0
+) -> tuple[dict | None, dict[str, list[int]]]:
     """One pass over a v2 stream: header + per-kernel byte offsets.
 
     The index is what makes out-of-core replay possible: it holds only
@@ -446,14 +448,23 @@ def scan_trace_offsets(path: str | pathlib.Path) -> tuple[dict, dict[str, list[i
     record's leading kernel name, not its arrays, so indexing costs
     O(names), unlike materializing.  Raises for v1 files — callers fall
     back to materializing those.
+
+    A non-zero ``start_offset`` must point at a record boundary (e.g. a
+    columnar sidecar's ``prefix_bytes``); the scan then indexes only the
+    records from there on — the appended tail — and the returned header
+    is ``None``, since the header line was never visited.
     """
     p = pathlib.Path(path).expanduser()
     offsets: dict[str, list[int]] = {}
+    header: dict | None = None
     with p.open("rb") as handle:
-        first = handle.readline()
-        if not _is_jsonl_trace(first.decode("utf-8", errors="replace")):
-            raise ReplayError(f"trace {p} is not a v{TRACE_VERSION} JSONL stream")
-        header = _parse_header(first.decode("utf-8"), p)
+        if start_offset:
+            handle.seek(start_offset)
+        else:
+            first = handle.readline()
+            if not _is_jsonl_trace(first.decode("utf-8", errors="replace")):
+                raise ReplayError(f"trace {p} is not a v{TRACE_VERSION} JSONL stream")
+            header = _parse_header(first.decode("utf-8"), p)
         position = handle.tell()
         for raw in iter(handle.readline, b""):
             line = raw.decode("utf-8")
@@ -540,15 +551,30 @@ def scan_stream_records(
 
 def read_kernel_at(path: str | pathlib.Path, offset: int) -> KernelTrace:
     """Parse the single record starting at ``offset`` (from the scan index)."""
+    return read_kernels_at(path, (offset,))[0]
+
+
+def read_kernels_at(
+    path: str | pathlib.Path, offsets: Sequence[int]
+) -> list[KernelTrace]:
+    """Parse the records at ``offsets`` through one file handle.
+
+    The batched form of :func:`read_kernel_at`: materializing a kernel
+    with many repeat records (or a whole working set on an LRU miss)
+    opens the trace once, not once per record.
+    """
+    kernels: list[KernelTrace] = []
     with pathlib.Path(path).expanduser().open("r") as handle:
-        handle.seek(offset)
-        line = handle.readline()
-    try:
-        return KernelTrace.from_state(json.loads(line))
-    except (json.JSONDecodeError, KeyError) as exc:
-        raise ReplayError(
-            f"trace {path} record at byte {offset} is corrupt: {exc}"
-        ) from None
+        for offset in offsets:
+            handle.seek(offset)
+            line = handle.readline()
+            try:
+                kernels.append(KernelTrace.from_state(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ReplayError(
+                    f"trace {path} record at byte {offset} is corrupt: {exc}"
+                ) from None
+    return kernels
 
 
 # -- whole-trace I/O ----------------------------------------------------------

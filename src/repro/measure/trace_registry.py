@@ -334,3 +334,26 @@ class TraceRegistry:
 
     def evict_memory(self) -> None:
         self.store.evict_memory()
+
+    # -- columnar compaction ----------------------------------------------------
+
+    def sidecar_path_for(self, key: TraceKey) -> pathlib.Path:
+        """Where ``key``'s v3 columnar sidecar lives (beside the JSONL)."""
+        from .columnar import sidecar_path
+
+        return sidecar_path(self.path_for(key))
+
+    def compact(self, key: TraceKey | str, force: bool = False):
+        """Compact ``key``'s trace into its columnar sidecar (v2 → v3).
+
+        Returns the :class:`~repro.measure.columnar.CompactionResult`;
+        a sidecar already covering the whole trace is skipped (``fresh``)
+        unless ``force``.
+        """
+        from .columnar import compact_trace
+
+        return compact_trace(self.resolve(key), force=force)
+
+    def migrate_to_sharded(self) -> int:
+        """Fan the registry out into the sharded layout; returns moves."""
+        return self.store.migrate_to_sharded()

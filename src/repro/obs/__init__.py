@@ -36,8 +36,14 @@ from .instruments import (
     declare_serve_metrics,
     declare_standard_metrics,
     declare_sweep_metrics,
+    declare_trace_metrics,
+    observe_columnar_open,
+    observe_replay_source,
     observe_sweep,
+    observe_trace_compaction,
     observe_training,
+    replay_source_recorder,
+    sweep_recorder,
 )
 from .metrics import (
     DEFAULT_DURATION_BUCKETS,
@@ -73,14 +79,20 @@ __all__ = [
     "declare_serve_metrics",
     "declare_standard_metrics",
     "declare_sweep_metrics",
+    "declare_trace_metrics",
     "get_registry",
     "load_snapshot",
     "load_store_metrics",
+    "observe_columnar_open",
+    "observe_replay_source",
     "observe_sweep",
+    "observe_trace_compaction",
     "observe_training",
     "read_spans",
+    "replay_source_recorder",
     "save_snapshot",
     "set_registry",
+    "sweep_recorder",
     "to_json",
     "to_prometheus",
     "use_registry",

@@ -21,9 +21,13 @@ back into measurements, datasets, or artifacts.
 
 from __future__ import annotations
 
+from typing import Callable, Sequence
+from weakref import WeakKeyDictionary
+
 from .metrics import (
     DEFAULT_DURATION_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    Metric,
     MetricsRegistry,
     get_registry,
 )
@@ -33,6 +37,12 @@ from .metrics import (
 SWEEP_DURATION_SECONDS = "repro_sweep_duration_seconds"
 SWEEPS_TOTAL = "repro_sweeps_total"
 SWEEP_CONFIGS_TOTAL = "repro_sweep_configs_total"
+
+# -- trace store (columnar compaction + replay sourcing) -----------------------
+
+TRACE_COMPACTIONS_TOTAL = "repro_trace_compactions_total"
+COLUMNAR_OPENS_TOTAL = "repro_trace_columnar_opens_total"
+REPLAY_KERNEL_SOURCE_TOTAL = "repro_replay_kernel_source_total"
 
 # -- campaign layer ------------------------------------------------------------
 
@@ -89,6 +99,27 @@ def declare_sweep_metrics(registry: MetricsRegistry) -> None:
         SWEEP_CONFIGS_TOTAL,
         help="Frequency configurations measured across sweeps.",
         labels=("device", "backend"),
+    )
+
+
+def declare_trace_metrics(registry: MetricsRegistry) -> None:
+    registry.counter(
+        TRACE_COMPACTIONS_TOTAL,
+        help="Trace v2→v3 compactions, by result "
+        "(written/fresh/empty/failed).",
+        labels=("result",),
+    )
+    registry.counter(
+        COLUMNAR_OPENS_TOTAL,
+        help="Columnar sidecar open attempts, by result "
+        "(hit/missing/stale/torn).",
+        labels=("result",),
+    )
+    registry.counter(
+        REPLAY_KERNEL_SOURCE_TOTAL,
+        help="Replayed kernel materializations, by serving source "
+        "(columnar-mmap/columnar/jsonl).",
+        labels=("source",),
     )
 
 
@@ -204,6 +235,7 @@ def declare_fleet_metrics(registry: MetricsRegistry) -> None:
 def declare_standard_metrics(registry: MetricsRegistry) -> None:
     """Declare every family the stack records (idempotent)."""
     declare_sweep_metrics(registry)
+    declare_trace_metrics(registry)
     declare_campaign_metrics(registry)
     declare_dataset_metrics(registry)
     declare_serve_metrics(registry)
@@ -212,6 +244,32 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
 
 
 # -- recording helpers (hot paths) ---------------------------------------------
+
+#: Bound family handles per registry.  The replay mmap fast path serves a
+#: kernel in ~10us; running a declare-or-get round (family signature
+#: rebuild included) per observation would dominate it, so hot-path
+#: helpers resolve their handles once per registry and reuse them.
+#: Handles stay valid for a registry's lifetime — declarations are
+#: idempotent and family data is never replaced once declared.
+_HANDLE_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _handles(
+    reg: MetricsRegistry,
+    declare: Callable[[MetricsRegistry], None],
+    names: Sequence[str],
+) -> list[Metric]:
+    cache = _HANDLE_CACHE.get(reg)
+    if cache is None:
+        cache = {}
+        _HANDLE_CACHE[reg] = cache
+    try:
+        return [cache[name] for name in names]
+    except KeyError:
+        declare(reg)
+        for name in names:
+            cache[name] = reg.get(name)
+        return [cache[name] for name in names]
 
 
 def observe_sweep(
@@ -223,11 +281,93 @@ def observe_sweep(
 ) -> None:
     """Record one completed kernel sweep (called *after* the sweep)."""
     reg = registry if registry is not None else get_registry()
-    declare_sweep_metrics(reg)
+    sweep_recorder(backend_kind, device_slug, registry=reg)(n_configs, seconds)
+
+
+def sweep_recorder(
+    backend_kind: str,
+    device_slug: str,
+    registry: MetricsRegistry | None = None,
+) -> Callable[[int, float], None]:
+    """A prebound sweep recorder: ``record(n_configs, seconds)``.
+
+    For per-sweep hot loops (a replay backend serves a kernel in ~10us
+    off the mmap fast path): label keys and series handles resolve once
+    here, so each recording is a few dict operations under the registry
+    lock.  Reaching into :class:`Metric` internals is deliberate — this
+    module is the metrics package's own hot-path facade, and the series
+    dict plus its key tuple are stable for a family's lifetime.
+    """
+    reg = registry if registry is not None else get_registry()
+    duration, sweeps, sweep_configs = _handles(
+        reg,
+        declare_sweep_metrics,
+        (SWEEP_DURATION_SECONDS, SWEEPS_TOTAL, SWEEP_CONFIGS_TOTAL),
+    )
     labels = {"device": device_slug, "backend": backend_kind}
-    reg.get(SWEEP_DURATION_SECONDS).observe(seconds, **labels)  # type: ignore[union-attr]
-    reg.get(SWEEPS_TOTAL).inc(1.0, **labels)  # type: ignore[union-attr]
-    reg.get(SWEEP_CONFIGS_TOTAL).inc(float(n_configs), **labels)  # type: ignore[union-attr]
+    child = duration.child(**labels)
+    key = sweeps._key(labels)
+    sweep_series = sweeps._data.series
+    config_series = sweep_configs._data.series
+    lock = reg._lock
+
+    def record(n_configs: int, seconds: float) -> None:
+        with lock:
+            child.observe(seconds)
+            sweep_series[key] = float(sweep_series.get(key, 0.0)) + 1.0  # type: ignore[arg-type]
+            config_series[key] = float(config_series.get(key, 0.0)) + float(
+                n_configs
+            )  # type: ignore[arg-type]
+
+    return record
+
+
+def replay_source_recorder(
+    source: str, registry: MetricsRegistry | None = None
+) -> Callable[[], None]:
+    """A prebound :func:`observe_replay_source` for one fixed source."""
+    reg = registry if registry is not None else get_registry()
+    (sources,) = _handles(
+        reg, declare_trace_metrics, (REPLAY_KERNEL_SOURCE_TOTAL,)
+    )
+    key = sources._key({"source": source})
+    series = sources._data.series
+    lock = reg._lock
+
+    def record() -> None:
+        with lock:
+            series[key] = float(series.get(key, 0.0)) + 1.0  # type: ignore[arg-type]
+
+    return record
+
+
+def observe_trace_compaction(
+    result: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one compaction attempt (written/fresh/empty/failed)."""
+    reg = registry if registry is not None else get_registry()
+    declare_trace_metrics(reg)
+    reg.get(TRACE_COMPACTIONS_TOTAL).inc(1.0, result=result)  # type: ignore[union-attr]
+
+
+def observe_columnar_open(
+    result: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one sidecar open attempt (hit/missing/stale/torn)."""
+    reg = registry if registry is not None else get_registry()
+    declare_trace_metrics(reg)
+    reg.get(COLUMNAR_OPENS_TOTAL).inc(1.0, result=result)  # type: ignore[union-attr]
+
+
+def observe_replay_source(
+    source: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record where one replayed kernel came from (mmap/columnar/jsonl)."""
+    reg = registry if registry is not None else get_registry()
+    (sources,) = _handles(
+        reg, declare_trace_metrics, (REPLAY_KERNEL_SOURCE_TOTAL,)
+    )
+    sources.inc(1.0, source=source)
 
 
 def observe_dataset_peak(

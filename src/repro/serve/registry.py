@@ -242,7 +242,9 @@ class ModelRegistry:
 
         keys: list[ModelKey] = []
         for slug in self.entries():
-            path = self.root / f"{slug}{self._store.suffix}"
+            # Resolved through the store, not root/slug concatenation —
+            # the artifact may live inside a shard bucket.
+            path = self._store.path_for_slug(slug)
             try:
                 meta = read_artifact_meta(path) or {}
                 key = ModelKey(
@@ -255,6 +257,10 @@ class ModelRegistry:
             if key.slug == slug:
                 keys.append(key)
         return keys
+
+    def migrate_to_sharded(self) -> int:
+        """Fan the registry out into the sharded layout; returns moves."""
+        return self._store.migrate_to_sharded()
 
     def invalidate(self, key: ModelKey) -> None:
         """Drop one key's in-process copy (its artifact stays on disk)."""

@@ -25,17 +25,24 @@ from .envelope import (
     read_artifact_meta,
     save_artifact,
 )
-from .layout import MODELS_SUBDIR, TRACES_SUBDIR
+from .layout import (
+    MODELS_SUBDIR,
+    SHARDED_MARKER_FILENAME,
+    TRACES_SUBDIR,
+    shard_for,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "ArtifactStore",
     "MODELS_SUBDIR",
+    "SHARDED_MARKER_FILENAME",
     "StoreKey",
     "StoreMiss",
     "StoreStats",
     "TRACES_SUBDIR",
+    "shard_for",
     "atomic_write_text",
     "load_artifact",
     "make_envelope",

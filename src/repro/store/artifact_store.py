@@ -24,6 +24,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, runtime_checkable
 
+from .layout import SHARD_HEX_CHARS, SHARDED_MARKER_FILENAME, shard_for
+
+#: Glob matching every shard bucket directory under a registry root.
+_SHARD_GLOB = "[0-9a-f]" * SHARD_HEX_CHARS
+
 
 @runtime_checkable
 class StoreKey(Protocol):
@@ -109,8 +114,29 @@ class ArtifactStore:
 
     # -- tiers ------------------------------------------------------------------
 
+    @property
+    def sharded(self) -> bool:
+        """True when this store routes **new** artifacts into shard buckets."""
+        return (self.root / SHARDED_MARKER_FILENAME).exists()
+
+    def path_for_slug(self, slug: str) -> pathlib.Path:
+        """Resolve a slug across both layout generations.
+
+        Resolution order: an existing flat file wins (legacy stores read
+        unmigrated, and mid-migration both generations stay servable),
+        then an existing sharded file, then — for keys that exist nowhere
+        yet — the layout the ``.sharded`` marker selects for new writes.
+        """
+        flat = self.root / f"{slug}{self.suffix}"
+        if flat.exists():
+            return flat
+        sharded = self.root / shard_for(slug) / f"{slug}{self.suffix}"
+        if sharded.exists() or self.sharded:
+            return sharded
+        return flat
+
     def path_for(self, key: StoreKey) -> pathlib.Path:
-        return self.root / f"{key.slug}{self.suffix}"
+        return self.path_for_slug(key.slug)
 
     def __contains__(self, key: StoreKey) -> bool:
         return key.slug in self._memory or self.path_for(key).exists()
@@ -139,6 +165,7 @@ class ArtifactStore:
             self.stats.disk_loads += 1
         elif self._builder is not None:
             value = self._builder(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
             self._write(path, value, key.as_meta())
             self.stats.builds += 1
         else:
@@ -159,7 +186,10 @@ class ArtifactStore:
         collision, since they *are* the artifact's identity.
         """
         meta = {**(extra_meta or {}), **key.as_meta()}
-        path = self._write(self.path_for(key), value, meta)
+        target = self.path_for(key)
+        # A sharded store's first artifact in a bucket creates it here.
+        target.parent.mkdir(parents=True, exist_ok=True)
+        path = self._write(target, value, meta)
         self._remember(key.slug, value)
         self.stats.puts += 1
         return path
@@ -176,8 +206,41 @@ class ArtifactStore:
         self._memory.pop(key.slug, None)
 
     def entries(self) -> list[str]:
-        """Slugs of every persisted artifact under the store root."""
-        return sorted(p.name[: -len(self.suffix)] for p in self.root.glob(f"*{self.suffix}"))
+        """Slugs of every persisted artifact under the store root.
+
+        Covers both layout generations — flat files beside the root and
+        files inside two-hex-digit shard buckets — deduplicated (a slug
+        mid-migration resolves once).
+        """
+        slugs = {
+            p.name[: -len(self.suffix)] for p in self.root.glob(f"*{self.suffix}")
+        }
+        slugs.update(
+            p.name[: -len(self.suffix)]
+            for p in self.root.glob(f"{_SHARD_GLOB}/*{self.suffix}")
+        )
+        return sorted(slugs)
+
+    def migrate_to_sharded(self) -> int:
+        """Move every flat artifact into its shard bucket; returns count moved.
+
+        Creates the ``.sharded`` marker first, so new writes racing the
+        migration land sharded.  Each artifact's name-prefixed siblings
+        (``<name>.partial`` streams, ``<name>.npz`` columnar sidecars,
+        ``<name>.npz.partial`` debris) move with it — they are one unit of
+        state.  Idempotent: an already-sharded store migrates zero files.
+        """
+        import os
+
+        (self.root / SHARDED_MARKER_FILENAME).touch()
+        moved = 0
+        for flat in sorted(self.root.glob(f"*{self.suffix}")):
+            bucket = self.root / shard_for(flat.name[: -len(self.suffix)])
+            bucket.mkdir(exist_ok=True)
+            for source in [flat, *sorted(self.root.glob(f"{flat.name}.*"))]:
+                os.replace(source, bucket / source.name)
+            moved += 1
+        return moved
 
     def evict_memory(self) -> None:
         """Drop in-process copies (artifacts on disk are untouched)."""

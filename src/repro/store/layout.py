@@ -22,6 +22,8 @@ same bytes whether or not metrics were recorded.
 
 from __future__ import annotations
 
+import hashlib
+
 #: Subdirectory of a campaign store holding the trace registry.
 TRACES_SUBDIR = "traces"
 
@@ -40,3 +42,32 @@ CAMPAIGN_METRICS_FILENAME = "campaign.json"
 
 #: The store's append-only span log (at the store root).
 SPANS_FILENAME = "spans.jsonl"
+
+# -- sharded fan-out -----------------------------------------------------------
+#
+# At fleet scale (thousands of device×suite×noise keys) a flat registry
+# directory stops scaling: every lookup lists or hashes against one huge
+# directory, and rsync/inotify costs grow with total key count.  The
+# sharded layout fans artifacts out into 256 two-hex-digit buckets::
+#
+#     <registry root>/
+#         .sharded              # marker: new writes go to shards
+#         a3/<slug>.jsonl       # shard = sha256(slug)[:2]
+#         a3/<slug>.jsonl.npz   # siblings (sidecars, partials) follow
+#
+# The layout is opt-in per registry (created by `repro store compact` /
+# ArtifactStore.migrate_to_sharded) and readers are transparent across
+# both generations: a flat file always wins resolution, so a legacy
+# store keeps working unmigrated and a migrated store may still be
+# *read* by path from old clients that know the shard rule.
+
+#: Marker file whose presence routes a registry's new writes to shards.
+SHARDED_MARKER_FILENAME = ".sharded"
+
+#: Hex digits of the shard fan-out (2 → 256 buckets).
+SHARD_HEX_CHARS = 2
+
+
+def shard_for(slug: str) -> str:
+    """The shard bucket of one artifact slug (stable across processes)."""
+    return hashlib.sha256(slug.encode("utf-8")).hexdigest()[:SHARD_HEX_CHARS]

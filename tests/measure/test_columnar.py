@@ -1,0 +1,199 @@
+"""v3 columnar sidecars: compaction, mmap replay, fallback, determinism."""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.config import sample_training_settings
+from repro.core.dataset import build_training_dataset
+from repro.gpusim.device import make_titan_x
+from repro.measure import (
+    ColumnarTrace,
+    RecordingBackend,
+    ReplayBackend,
+    SimulatorBackend,
+    TraceWriter,
+    compact_trace,
+    sidecar_path,
+)
+from repro.measure.columnar import sidecar_partial_path
+from repro.synthetic.generator import generate_micro_benchmarks
+
+SETTINGS = sample_training_settings(make_titan_x(), total=10)
+SPECS = generate_micro_benchmarks()[::40]
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with RecordingBackend(SimulatorBackend(), stream=path) as rec:
+        for spec in SPECS:
+            rec.measure(spec, SETTINGS)
+    return path
+
+
+def dataset(path, prefer_columnar):
+    backend = ReplayBackend(path, prefer_columnar=prefer_columnar)
+    return build_training_dataset(backend, SPECS, SETTINGS)
+
+
+def assert_datasets_identical(a, b):
+    assert np.array_equal(a.x, b.x)
+    assert np.array_equal(a.y_speedup, b.y_speedup)
+    assert np.array_equal(a.y_energy, b.y_energy)
+    assert a.groups == b.groups
+
+
+class TestCompaction:
+    def test_compact_writes_sidecar_covering_whole_file(self, trace_path):
+        result = compact_trace(trace_path)
+        assert result.action == "written"
+        assert result.sidecar == sidecar_path(trace_path)
+        assert result.sidecar.exists()
+        assert result.prefix_bytes == trace_path.stat().st_size
+
+        columnar = ColumnarTrace.open(trace_path)
+        assert columnar is not None
+        assert sorted(columnar.kernels) == sorted(s.name for s in SPECS)
+        assert columnar.n_rows == len(SPECS) * len(SETTINGS)
+        assert len(columnar.records) == len(SPECS)
+
+    def test_fresh_sidecar_is_skipped_and_force_rewrites(self, trace_path):
+        compact_trace(trace_path)
+        before = sidecar_path(trace_path).read_bytes()
+        assert compact_trace(trace_path).action == "fresh"
+        assert compact_trace(trace_path, force=True).action == "written"
+        # Deterministic bytes: recompacting the same JSONL is a no-op.
+        assert sidecar_path(trace_path).read_bytes() == before
+
+    def test_resumed_compaction_equals_one_shot(self, trace_path, tmp_path):
+        """Compact, append, recompact == compacting the final bytes once."""
+        compact_trace(trace_path)
+        backend = SimulatorBackend()
+        with TraceWriter(trace_path, device=backend.device.name, append=True) as w:
+            for spec in SPECS[:2]:
+                w.write_measurements(backend.measure(spec, SETTINGS[::-1]))
+        resumed = compact_trace(trace_path)
+        assert resumed.action == "written"
+
+        one_shot = tmp_path / "copy.jsonl"
+        shutil.copyfile(trace_path, one_shot)
+        compact_trace(one_shot)
+        assert (
+            sidecar_path(trace_path).read_bytes()
+            == sidecar_path(one_shot).read_bytes()
+        )
+
+    def test_empty_stream_compacts_to_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with TraceWriter(path, device="NVIDIA GTX Titan X"):
+            pass
+        assert compact_trace(path).action == "empty"
+        assert not sidecar_path(path).exists()
+
+    def test_partial_debris_is_replaced_not_read(self, trace_path):
+        partial = sidecar_partial_path(trace_path)
+        partial.write_bytes(b"crashed mid-compaction")
+        result = compact_trace(trace_path)
+        assert result.action == "written"
+        assert not partial.exists()
+        assert ColumnarTrace.open(trace_path) is not None
+        # Fresh re-run also sweeps new debris away.
+        partial.write_bytes(b"crashed again")
+        assert compact_trace(trace_path).action == "fresh"
+        assert not partial.exists()
+
+
+class TestMmapReplay:
+    def test_datasets_bit_identical_jsonl_vs_columnar(self, trace_path):
+        compact_trace(trace_path)
+        assert_datasets_identical(
+            dataset(trace_path, prefer_columnar=False),
+            dataset(trace_path, prefer_columnar=True),
+        )
+
+    def test_fast_path_serves_without_materializing(self, trace_path):
+        compact_trace(trace_path)
+        backend = ReplayBackend(trace_path)
+        backend.measure(SPECS[0], SETTINGS)
+        assert SPECS[0].name in backend._mmap_prepared
+        assert len(backend._stream._cache) == 0  # no KernelTrace built
+
+    def test_reordered_and_subset_requests_fall_back_identically(
+        self, trace_path
+    ):
+        compact_trace(trace_path)
+        jsonl = ReplayBackend(trace_path, prefer_columnar=False)
+        columnar = ReplayBackend(trace_path, prefer_columnar=True)
+        for request in (SETTINGS[::-1], SETTINGS[:3], SETTINGS):
+            a = jsonl.measure(SPECS[0], request)
+            b = columnar.measure(SPECS[0], request)
+            assert np.array_equal(a.time_ms, b.time_ms)
+            assert np.array_equal(a.power_w, b.power_w)
+            assert np.array_equal(a.energy_j, b.energy_j)
+
+    def test_appended_delta_tail_served_with_prefix(self, trace_path):
+        compact_trace(trace_path)
+        backend = SimulatorBackend()
+        extra = generate_micro_benchmarks()[1]
+        assert extra.name not in {s.name for s in SPECS}
+        with TraceWriter(trace_path, device=backend.device.name, append=True) as w:
+            w.write_measurements(backend.measure(extra, SETTINGS))
+        # Sidecar still fresh for its prefix; the new kernel comes off the
+        # JSONL tail, and both paths agree bit for bit.
+        assert ColumnarTrace.open(trace_path) is not None
+        specs = [*SPECS, extra]
+        a = build_training_dataset(
+            ReplayBackend(trace_path, prefer_columnar=False), specs, SETTINGS
+        )
+        b = build_training_dataset(
+            ReplayBackend(trace_path, prefer_columnar=True), specs, SETTINGS
+        )
+        assert_datasets_identical(a, b)
+
+
+class TestFallback:
+    def test_missing_sidecar_opens_as_none(self, trace_path):
+        assert ColumnarTrace.open(trace_path) is None
+
+    def test_torn_sidecar_falls_back_byte_identically(self, trace_path):
+        baseline = dataset(trace_path, prefer_columnar=False)
+        compact_trace(trace_path)
+        side = sidecar_path(trace_path)
+        side.write_bytes(side.read_bytes()[: side.stat().st_size // 2])
+        assert ColumnarTrace.open(trace_path) is None
+        assert_datasets_identical(
+            baseline, dataset(trace_path, prefer_columnar=True)
+        )
+
+    def test_garbage_sidecar_falls_back_byte_identically(self, trace_path):
+        baseline = dataset(trace_path, prefer_columnar=False)
+        compact_trace(trace_path)
+        sidecar_path(trace_path).write_bytes(b"\x00not a zip archive")
+        assert ColumnarTrace.open(trace_path) is None
+        assert_datasets_identical(
+            baseline, dataset(trace_path, prefer_columnar=True)
+        )
+
+    def test_rewritten_jsonl_marks_sidecar_stale(self, trace_path):
+        compact_trace(trace_path)
+        # Rewrite (not append): same kernels, different sweep — the
+        # sidecar's prefix sha no longer matches and must never serve.
+        with RecordingBackend(SimulatorBackend(), stream=trace_path) as rec:
+            for spec in SPECS:
+                rec.measure(spec, SETTINGS[:5])
+        assert ColumnarTrace.open(trace_path) is None
+        backend = ReplayBackend(trace_path, prefer_columnar=True)
+        fresh = backend.measure(SPECS[0], SETTINGS[:5])
+        reference = ReplayBackend(trace_path, prefer_columnar=False).measure(
+            SPECS[0], SETTINGS[:5]
+        )
+        assert np.array_equal(fresh.time_ms, reference.time_ms)
+
+    def test_torn_sidecar_recompacts_cleanly(self, trace_path):
+        compact_trace(trace_path)
+        good = sidecar_path(trace_path).read_bytes()
+        sidecar_path(trace_path).write_bytes(good[:100])
+        assert compact_trace(trace_path).action == "written"
+        assert sidecar_path(trace_path).read_bytes() == good

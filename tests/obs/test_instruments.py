@@ -1,0 +1,46 @@
+"""Recording helpers: prebound hot-path recorders match the plain API."""
+
+from repro.obs import (
+    MetricsRegistry,
+    observe_replay_source,
+    observe_sweep,
+    replay_source_recorder,
+    sweep_recorder,
+    to_json,
+)
+from repro.obs.instruments import (
+    REPLAY_KERNEL_SOURCE_TOTAL,
+    SWEEP_CONFIGS_TOTAL,
+    SWEEP_DURATION_SECONDS,
+    SWEEPS_TOTAL,
+)
+
+
+def test_sweep_recorder_matches_observe_sweep():
+    plain, prebound = MetricsRegistry(), MetricsRegistry()
+    record = sweep_recorder("replay", "titan-x", registry=prebound)
+    for n, seconds in ((40, 0.002), (40, 0.004), (12, 1.5)):
+        observe_sweep("replay", "titan-x", n, seconds, registry=plain)
+        record(n, seconds)
+    assert to_json(plain.snapshot()) == to_json(prebound.snapshot())
+
+
+def test_sweep_recorder_declares_on_fresh_registry():
+    reg = MetricsRegistry()
+    sweep_recorder("simulator", "p100", registry=reg)(10, 0.1)
+    labels = {"device": "p100", "backend": "simulator"}
+    assert reg.value(SWEEPS_TOTAL, **labels) == 1.0
+    assert reg.value(SWEEP_CONFIGS_TOTAL, **labels) == 10.0
+    assert reg.get(SWEEP_DURATION_SECONDS).child(**labels).count == 1
+
+
+def test_replay_source_recorder_matches_observe_replay_source():
+    plain, prebound = MetricsRegistry(), MetricsRegistry()
+    record = replay_source_recorder("columnar-mmap", registry=prebound)
+    for _ in range(3):
+        observe_replay_source("columnar-mmap", registry=plain)
+        record()
+    observe_replay_source("jsonl", registry=plain)
+    observe_replay_source("jsonl", registry=prebound)
+    assert to_json(plain.snapshot()) == to_json(prebound.snapshot())
+    assert prebound.value(REPLAY_KERNEL_SOURCE_TOTAL, source="columnar-mmap") == 3.0

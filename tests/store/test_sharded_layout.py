@@ -1,0 +1,112 @@
+"""Sharded registry fan-out: resolution across generations, migration."""
+
+import json
+from dataclasses import dataclass
+
+from repro.store import ArtifactStore
+from repro.store.layout import SHARDED_MARKER_FILENAME, shard_for
+
+
+@dataclass(frozen=True)
+class Key:
+    name: str
+
+    @property
+    def slug(self) -> str:
+        return self.name
+
+    def as_meta(self) -> dict:
+        return {"name": self.name}
+
+
+def _write(path, value, meta):
+    path.write_text(json.dumps({"value": value, "meta": meta}))
+    return path
+
+
+def _read(path):
+    return json.loads(path.read_text())["value"]
+
+
+def make_store(root, **kwargs):
+    return ArtifactStore(root, write=_write, read=_read, **kwargs)
+
+
+def test_shard_is_stable_and_two_hex_chars():
+    assert shard_for("titan-x__default") == shard_for("titan-x__default")
+    for slug in ("a", "b", "titan-x__default__123"):
+        bucket = shard_for(slug)
+        assert len(bucket) == 2
+        assert set(bucket) <= set("0123456789abcdef")
+
+
+class TestResolution:
+    def test_flat_store_stays_flat(self, tmp_path):
+        store = make_store(tmp_path)
+        assert not store.sharded
+        path = store.put(Key("alpha"), 1)
+        assert path == tmp_path / "alpha.json"
+        assert store.path_for_slug("alpha") == path
+
+    def test_marker_routes_new_writes_to_shards(self, tmp_path):
+        store = make_store(tmp_path)
+        (tmp_path / SHARDED_MARKER_FILENAME).touch()
+        path = store.put(Key("alpha"), 1)
+        assert path == tmp_path / shard_for("alpha") / "alpha.json"
+        assert store.get(Key("alpha")) == 1
+
+    def test_flat_file_wins_over_shard(self, tmp_path):
+        """Mid-migration, the legacy flat artifact stays authoritative."""
+        store = make_store(tmp_path)
+        store.put(Key("alpha"), 1)
+        (tmp_path / SHARDED_MARKER_FILENAME).touch()
+        assert store.path_for_slug("alpha") == tmp_path / "alpha.json"
+
+    def test_sharded_file_read_without_marker(self, tmp_path):
+        """A migrated store stays readable even if the marker is lost."""
+        store = make_store(tmp_path)
+        store.put(Key("alpha"), 1)
+        store.migrate_to_sharded()
+        (tmp_path / SHARDED_MARKER_FILENAME).unlink()
+        fresh = make_store(tmp_path)
+        assert fresh.get(Key("alpha")) == 1
+
+    def test_entries_cover_both_generations(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(Key("flat-one"), 1)
+        (tmp_path / SHARDED_MARKER_FILENAME).touch()
+        store.put(Key("sharded-one"), 2)
+        assert store.entries() == ["flat-one", "sharded-one"]
+
+
+class TestMigration:
+    def test_migrate_moves_artifacts_and_siblings(self, tmp_path):
+        store = make_store(tmp_path, suffix=".jsonl")
+        store.put(Key("trace-a"), 1)
+        # Name-prefixed siblings (columnar sidecar, partial debris) are
+        # one unit of state with the artifact.
+        (tmp_path / "trace-a.jsonl.npz").write_bytes(b"sidecar")
+        (tmp_path / "trace-a.jsonl.npz.partial").write_bytes(b"debris")
+        assert store.migrate_to_sharded() == 1
+        bucket = tmp_path / shard_for("trace-a")
+        assert (bucket / "trace-a.jsonl").exists()
+        assert (bucket / "trace-a.jsonl.npz").read_bytes() == b"sidecar"
+        assert (bucket / "trace-a.jsonl.npz.partial").exists()
+        assert not (tmp_path / "trace-a.jsonl").exists()
+        assert store.sharded
+
+    def test_migration_is_idempotent(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(Key("alpha"), 1)
+        store.put(Key("beta"), 2)
+        assert store.migrate_to_sharded() == 2
+        assert store.migrate_to_sharded() == 0
+        assert store.entries() == ["alpha", "beta"]
+
+    def test_values_survive_migration(self, tmp_path):
+        store = make_store(tmp_path)
+        for i, name in enumerate(("alpha", "beta", "gamma")):
+            store.put(Key(name), i)
+        store.migrate_to_sharded()
+        fresh = make_store(tmp_path)
+        assert [fresh.get(Key(n)) for n in ("alpha", "beta", "gamma")] == [0, 1, 2]

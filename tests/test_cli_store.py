@@ -1,0 +1,117 @@
+"""CLI store maintenance: `repro traces`, `repro store compact`, replay LRU."""
+
+import pytest
+
+from repro.cli import main
+from repro.measure import TraceWriter, sidecar_path
+from repro.measure.trace_registry import TraceRegistry
+from repro.store.layout import TRACES_SUBDIR
+
+
+@pytest.fixture()
+def store(tmp_path):
+    root = tmp_path / "store"
+    assert main([
+        "campaign", "--devices", "titan-x", "--quick", "--no-progress",
+        "--store", str(root),
+    ]) == 0
+    return root
+
+
+def test_traces_compact_then_replay_train(store, tmp_path, capsys):
+    # The campaign auto-compacted its published leg: v3, fresh, no
+    # maintenance needed.
+    assert main(["traces", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "v3" in out
+    assert "fresh" in out
+
+    # Drop the sidecar: the store falls back to plain v2 JSONL ...
+    registry = TraceRegistry(store / TRACES_SUBDIR)
+    (slug,) = registry.entries()
+    sidecar_path(registry.store.path_for_slug(slug)).unlink()
+    assert main(["traces", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "v2" in out
+    assert "none" in out
+
+    # ... and one maintenance pass rebuilds it and shards the layout.
+    assert main(["store", "compact", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "compacted 1/1" in out
+    assert "1 trace file(s)" in out
+
+    assert main(["traces", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "v3" in out
+    assert "fresh" in out
+
+    # A second maintenance pass is a no-op.
+    assert main(["store", "compact", "--store", str(store)]) == 0
+    assert "compacted 0/1" in capsys.readouterr().out
+
+    # Replay training off the compacted, sharded store — with the
+    # satellite LRU bound threaded through the CLI.
+    artifact = tmp_path / "replayed.json"
+    assert main([
+        "train", "--quick", "--backend", "replay",
+        "--trace-key", "titan-x/quick", "--store", str(store),
+        "--max-cached-kernels", "2", "--save", str(artifact),
+    ]) == 0
+    assert artifact.exists()
+
+
+def test_traces_reports_delta_tail_until_recompacted(store, capsys):
+    assert main(["store", "compact", "--store", str(store)]) == 0
+    capsys.readouterr()
+
+    registry = TraceRegistry(store / TRACES_SUBDIR)
+    (slug,) = registry.entries()
+    trace_path = registry.store.path_for_slug(slug)
+    with TraceWriter(
+        trace_path, device="NVIDIA GTX Titan X", append=True
+    ) as writer:
+        writer.write_kernel(
+            "appended-later",
+            _kernel_trace(),
+        )
+
+    assert main(["traces", "--store", str(store)]) == 0
+    assert "tail" in capsys.readouterr().out
+
+    assert main(["store", "compact", "--store", str(store)]) == 0
+    assert "compacted 1/1" in capsys.readouterr().out
+    assert main(["traces", "--store", str(store)]) == 0
+    assert "fresh" in capsys.readouterr().out
+
+
+def _kernel_trace():
+    from repro.measure import KernelTrace
+
+    return KernelTrace(
+        baseline_core_mhz=1000.0,
+        baseline_mem_mhz=3500.0,
+        baseline_time_ms=1.0,
+        baseline_power_w=100.0,
+        baseline_energy_j=0.1,
+        configs=[(500.0, 3500.0)],
+        time_ms=[2.0],
+        power_w=[60.0],
+        energy_j=[0.12],
+    )
+
+
+def test_traces_empty_store_is_a_usage_error(tmp_path, capsys):
+    assert main(["traces", "--store", str(tmp_path)]) == 2
+    assert "no recorded traces" in capsys.readouterr().err
+
+
+def test_maintenance_refuses_to_conjure_a_store(tmp_path, capsys):
+    """A typo'd --store must error out, not leave a store skeleton behind."""
+    missing = tmp_path / "typo"
+    assert main(["store", "compact", "--store", str(missing)]) == 2
+    assert "no campaign store" in capsys.readouterr().err
+    assert not missing.exists()
+    assert main(["traces", "--store", str(missing)]) == 2
+    assert "no campaign store" in capsys.readouterr().err
+    assert not missing.exists()
