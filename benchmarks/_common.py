@@ -16,6 +16,7 @@ without parsing formatted tables.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -47,6 +48,29 @@ def write_artifact(name: str, text: str, data: dict | None = None) -> pathlib.Pa
     )
     print(text)
     return path
+
+
+def latency_summary(samples: list[float]) -> dict:
+    """p50/p99 (plus mean and count) over raw per-request latencies.
+
+    The shared percentile convention for every serving bench's
+    ``BENCH_*.json`` payload: nearest-rank on the sorted samples, so the
+    numbers are actual observed latencies, never interpolated ones.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return {"n": 0, "p50": 0.0, "p99": 0.0, "mean": 0.0}
+
+    def rank(q: float) -> float:
+        index = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    return {
+        "n": len(ordered),
+        "p50": rank(0.50),
+        "p99": rank(0.99),
+        "mean": sum(ordered) / len(ordered),
+    }
 
 
 def series_table(rows: list[tuple[float, float, float]]) -> str:

@@ -13,7 +13,7 @@ import os
 import tempfile
 import time
 
-from _common import write_artifact
+from _common import latency_summary, write_artifact
 
 from repro.harness.context import quick_context
 from repro.harness.report import format_heading, format_table
@@ -75,29 +75,40 @@ def measure_routing(root) -> tuple[float, float, int]:
                 (p.config, p.objectives) for p in plain.front
             ], f"fleet routing changed the answer for {name} on {alias}"
 
-    def sweep(predict):
+    def sweep(predict, samples):
         start = time.perf_counter()
         for source, name in requests:
             for alias in ALIASES:
+                t0 = time.perf_counter()
                 predict(alias, source, name)
+                samples.append(time.perf_counter() - t0)
         return time.perf_counter() - start
 
+    direct_samples: list[float] = []
+    fleet_samples: list[float] = []
     t_direct = min(
-        sweep(lambda a, s, n: direct[a].predict(s, kernel_name=n))
+        sweep(lambda a, s, n: direct[a].predict(s, kernel_name=n), direct_samples)
         for _ in range(ROUNDS)
     )
     t_fleet = min(
-        sweep(lambda a, s, n: fleet.predict(s, kernel_name=n, device=a))
+        sweep(
+            lambda a, s, n: fleet.predict(s, kernel_name=n, device=a),
+            fleet_samples,
+        )
         for _ in range(ROUNDS)
     )
-    return t_direct, t_fleet, len(requests) * len(ALIASES)
+    latencies = {
+        "direct": latency_summary(direct_samples),
+        "fleet_routed": latency_summary(fleet_samples),
+    }
+    return t_direct, t_fleet, len(requests) * len(ALIASES), latencies
 
 
-def regenerate() -> tuple[str, float, float]:
+def regenerate() -> tuple[str, float, float, dict]:
     with tempfile.TemporaryDirectory(prefix="fleet-bench-") as tmp:
         import pathlib
 
-        t_direct, t_fleet, n = measure_routing(pathlib.Path(tmp))
+        t_direct, t_fleet, n, latencies = measure_routing(pathlib.Path(tmp))
     rows = [
         ("direct per-device PredictionService", f"{t_direct * 1e3:8.2f}",
          f"{t_direct / n * 1e6:9.1f}", "1.00x"),
@@ -114,16 +125,17 @@ def regenerate() -> tuple[str, float, float]:
         + "\n" + table
         + f"\n(2 devices interleaved, {n // 2} kernels, best of {ROUNDS})"
     )
-    return text, t_direct, t_fleet
+    return text, t_direct, t_fleet, latencies
 
 
 def test_fleet_routing_overhead_bounded():
-    text, t_direct, t_fleet = regenerate()
+    text, t_direct, t_fleet, latencies = regenerate()
     data = {
         "quick": QUICK,
         "n_kernels": N_KERNELS,
         "rounds": ROUNDS,
         "timings_s": {"direct": t_direct, "fleet_routed": t_fleet},
+        "latency_s": latencies,
         "ratios": {"routing_overhead": t_fleet / t_direct},
         "asserted": {"routing_overhead_max": MAX_OVERHEAD},
     }

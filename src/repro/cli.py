@@ -11,9 +11,17 @@ Subcommands:
   no model file needed);
 * ``predict-batch <kernel.cl>...`` — predict many kernels through the
   serving path (one vectorized model pass) and print per-kernel fronts;
-  also store-servable via ``--device`` + ``--store``;
+  also store-servable via ``--device`` + ``--store``, and bulk-drivable
+  via ``--requests FILE.jsonl`` (one request object per line, each with
+  its own device);
 * ``serve-status --store DIR`` — what a campaign store can serve: every
   device with a registered bundle, its aliases, recipe, and provenance;
+* ``serve-daemon --store DIR`` — the long-lived HTTP front door over the
+  store's fleet: micro-batched grouped predictions (``--batch-window-ms``
+  / ``--max-batch``), per-device admission control (``--max-queue``, 503 +
+  Retry-After), hot reload when a campaign publishes new bundles, and
+  ``/predict``, ``/predict-batch``, ``/pareto``, ``/healthz``, ``/stats``
+  endpoints;
 * ``traces --store DIR`` — the measurement side of ``serve-status``:
   every registered trace with its format version (v2 JSONL / v3
   columnar), record and row counts, bytes, compaction status, and the
@@ -167,31 +175,10 @@ def _cmd_features(args: argparse.Namespace) -> int:
     return 0
 
 
-def _front_rows(result) -> list[tuple[str, str, str, str, str]]:
-    rows = []
-    for p in result.front:
-        rows.append(
-            (
-                f"{p.core_mhz:.0f}",
-                f"{p.mem_mhz:.0f}",
-                f"{p.speedup:.3f}" if p.modeled else "-",
-                f"{p.norm_energy:.3f}" if p.modeled else "-",
-                "model" if p.modeled else "mem-L heuristic",
-            )
-        )
-    return rows
-
-
 def _print_front(result) -> None:
-    from .harness.report import format_table
+    from .harness.report import format_front
 
-    print(f"predicted Pareto set for {result.kernel!r}:")
-    print(
-        format_table(
-            ["core MHz", "mem MHz", "pred speedup", "pred norm energy", "origin"],
-            _front_rows(result),
-        )
-    )
+    print(format_front(result))
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -387,18 +374,93 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_request_lines(
+    path: pathlib.Path,
+) -> list[tuple[str | None, str, str | None, str]]:
+    """Parse a --requests JSONL file → (device, source, name, label) rows.
+
+    Each line is one request object carrying ``source`` (inline kernel
+    text) or ``kernel`` (a path to read), optionally ``device`` and
+    ``name``.  Blank lines and ``#`` comments are skipped.
+    """
+    import json
+
+    if not path.exists():
+        raise CLIUsageError(f"--requests file not found: {path}")
+    entries: list[tuple[str | None, str, str | None, str]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CLIUsageError(f"{path}:{lineno}: not valid JSON ({exc})")
+        if not isinstance(obj, dict):
+            raise CLIUsageError(
+                f"{path}:{lineno}: each request must be a JSON object"
+            )
+        source = obj.get("source")
+        kernel = obj.get("kernel")
+        if (source is None) == (kernel is None):
+            raise CLIUsageError(
+                f"{path}:{lineno}: each request needs exactly one of "
+                f"'source' (inline text) or 'kernel' (a file path)"
+            )
+        if kernel is not None:
+            kernel_path = pathlib.Path(kernel)
+            if not kernel_path.exists():
+                raise CLIUsageError(
+                    f"{path}:{lineno}: kernel file not found: {kernel}"
+                )
+            source = kernel_path.read_text()
+            label = str(kernel)
+        else:
+            label = obj.get("name") or f"{path.name}:{lineno}"
+        entries.append((obj.get("device"), source, obj.get("name"), label))
+    if not entries:
+        raise CLIUsageError(f"{path}: no requests (file is empty)")
+    return entries
+
+
 def _cmd_predict_batch(args: argparse.Namespace) -> int:
     from .serve.service import PredictionService
 
+    requests_file = getattr(args, "requests", None)
+    if requests_file and args.kernels:
+        raise CLIUsageError(
+            "pass kernel file paths or --requests FILE.jsonl, not both"
+        )
+    if not requests_file and not args.kernels:
+        raise CLIUsageError(
+            "pass kernel file paths or --requests FILE.jsonl"
+        )
+
     if _serves_from_store(args):
         fleet = _fleet_for(args)
-        device = _fleet_device(fleet, args)
-        sources = [pathlib.Path(p).read_text() for p in args.kernels]
-        results = fleet.predict_batch(
-            [(device, source, args.name) for source in sources]
-        )
-        for kernel_path, result in zip(args.kernels, results):
-            print(f"== {kernel_path}")
+        if requests_file:
+            entries = _load_request_lines(pathlib.Path(requests_file))
+            default_device: str | None = None
+            items = []
+            labels = []
+            for device, source, name, label in entries:
+                if device is None:
+                    if default_device is None:
+                        # --device, or the store's only device.
+                        default_device = _fleet_device(fleet, args)
+                    device = default_device
+                items.append((device, source, name))
+                labels.append(f"{label} @ {device}")
+        else:
+            device = _fleet_device(fleet, args)
+            items = [
+                (device, pathlib.Path(p).read_text(), args.name)
+                for p in args.kernels
+            ]
+            labels = list(args.kernels)
+        results = fleet.predict_batch(items)
+        for label, result in zip(labels, results):
+            print(f"== {label}")
             _print_front(result)
         if args.stats:
             print("-- fleet stats")
@@ -413,17 +475,83 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
         ctx, _ = _context_for(args)
         service = PredictionService(models=ctx.models, device=ctx.device)
 
-    requests = []
-    for kernel_path in args.kernels:
-        requests.append((pathlib.Path(kernel_path).read_text(), args.name))
+    if requests_file:
+        entries = _load_request_lines(pathlib.Path(requests_file))
+        routed = sorted({d for d, *_ in entries if d is not None})
+        if routed:
+            raise CLIUsageError(
+                f"--requests lines name devices ({', '.join(routed)}) but "
+                f"there is no fleet to route them; add --store DIR"
+            )
+        requests = [(source, name) for _, source, name, _ in entries]
+        labels = [label for *_, label in entries]
+    else:
+        requests = [
+            (pathlib.Path(p).read_text(), args.name) for p in args.kernels
+        ]
+        labels = list(args.kernels)
     results = service.predict_batch(requests)
-    for kernel_path, result in zip(args.kernels, results):
-        print(f"== {kernel_path}")
+    for label, result in zip(labels, results):
+        print(f"== {label}")
         _print_front(result)
     if args.stats:
         print("-- service stats")
         _print_stats(service.stats_summary())
     _save_metrics_out(service.stats.registry.snapshot(), args)
+    return 0
+
+
+def _cmd_serve_daemon(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve.daemon import DaemonConfig, ServeDaemon
+
+    _require_store(_store_root(args))
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        reload_interval_s=args.reload_interval,
+    )
+    daemon = ServeDaemon.from_store(
+        _store_root(args),
+        config=config,
+        recipe="quick" if args.quick else None,
+        max_services=args.max_services,
+    )
+    if args.warm:
+        daemon.fleet.warm()
+    daemon.start()
+    host, port = daemon.address
+    print(
+        f"repro serve-daemon: {len(daemon.fleet.devices())} device(s) from "
+        f"{_store_root(args)} at http://{host}:{port} "
+        f"(window {config.batch_window_ms}ms, max-batch {config.max_batch}, "
+        f"max-queue {config.max_queue})",
+        flush=True,
+    )
+    print(
+        "endpoints: POST /predict /predict-batch /pareto; GET /healthz /stats",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    stop.wait()
+    daemon.close()
+    print(
+        f"serve-daemon shut down cleanly: {daemon.request_count()} HTTP "
+        f"request(s), {daemon.fleet.stats.requests_routed} prediction(s) "
+        f"served",
+        flush=True,
+    )
     return 0
 
 
@@ -820,7 +948,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="predict many kernels via the batched serving path",
     )
     p_batch.add_argument(
-        "kernels", nargs="+", help="paths to OpenCL .cl source files"
+        "kernels", nargs="*", help="paths to OpenCL .cl source files"
+    )
+    p_batch.add_argument(
+        "--requests", metavar="FILE",
+        help="bulk requests from a JSONL file instead of kernel paths: one "
+             '{"device": ..., "source": ...|"kernel": PATH[, "name": ...]} '
+             "object per line; per-line devices need --store routing",
     )
     p_batch.add_argument(
         "--name",
@@ -918,6 +1052,62 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"campaign store root (default: {DEFAULT_STORE})",
     )
     p_status.set_defaults(func=_cmd_serve_status)
+
+    p_daemon = sub.add_parser(
+        "serve-daemon",
+        help="serve a campaign store over HTTP: micro-batched grouped "
+             "predictions, per-device admission control (503 + Retry-After), "
+             "hot reload when a campaign publishes new bundles",
+    )
+    p_daemon.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=f"campaign store root to serve (default: {DEFAULT_STORE})",
+    )
+    p_daemon.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p_daemon.add_argument(
+        "--port", type=int, default=8077,
+        help="bind port; 0 picks a free one (default: 8077)",
+    )
+    p_daemon.add_argument(
+        "--batch-window-ms", type=float, default=5.0, dest="batch_window_ms",
+        metavar="W",
+        help="how long the first request of a micro-batch waits for company "
+             "before the grouped model pass runs (default: 5.0)",
+    )
+    p_daemon.add_argument(
+        "--max-batch", type=int, default=32, dest="max_batch", metavar="N",
+        help="most requests coalesced into one grouped pass; 1 disables "
+             "micro-batching (default: 32)",
+    )
+    p_daemon.add_argument(
+        "--max-queue", type=int, default=64, dest="max_queue", metavar="Q",
+        help="per-device admission bound on queued + in-flight requests; "
+             "beyond it the daemon sheds with 503 (default: 64)",
+    )
+    p_daemon.add_argument(
+        "--reload-interval", type=float, default=2.0, dest="reload_interval",
+        metavar="SECONDS",
+        help="how often to poll the store for newly published bundles; "
+             "0 disables hot reload (default: 2.0)",
+    )
+    p_daemon.add_argument(
+        "--max-services", type=int, default=None, dest="max_services",
+        metavar="N",
+        help="LRU bound on concurrently loaded per-device services",
+    )
+    p_daemon.add_argument(
+        "--quick", action="store_true",
+        help="route only quick-recipe bundles",
+    )
+    p_daemon.add_argument(
+        "--no-warm", action="store_false", dest="warm",
+        help="skip materializing every device's bundle at startup (first "
+             "request per device then pays the disk load)",
+    )
+    p_daemon.set_defaults(func=_cmd_serve_daemon, warm=True)
 
     p_camp = sub.add_parser(
         "campaign",

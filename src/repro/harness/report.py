@@ -115,3 +115,28 @@ def ascii_scatter(
 
 def format_heading(text: str, char: str = "=") -> str:
     return f"\n{text}\n{char * len(text)}"
+
+
+def format_front(result) -> str:
+    """Render a predicted Pareto set the way ``repro predict`` prints it.
+
+    The single rendering shared by the CLI and the serve daemon's
+    ``?format=text`` responses — CI compares the two byte-for-byte, so
+    there must be exactly one formatter.  ``result`` is any
+    :class:`~repro.core.predictor.PredictedParetoSet`-shaped object.
+    """
+    rows = []
+    for p in result.front:
+        rows.append(
+            (
+                f"{p.core_mhz:.0f}",
+                f"{p.mem_mhz:.0f}",
+                f"{p.speedup:.3f}" if p.modeled else "-",
+                f"{p.norm_energy:.3f}" if p.modeled else "-",
+                "model" if p.modeled else "mem-L heuristic",
+            )
+        )
+    return f"predicted Pareto set for {result.kernel!r}:\n" + format_table(
+        ["core MHz", "mem MHz", "pred speedup", "pred norm energy", "origin"],
+        rows,
+    )

@@ -32,6 +32,7 @@ from .export import (
 from .instruments import (
     declare_cache_metrics,
     declare_campaign_metrics,
+    declare_daemon_metrics,
     declare_fleet_metrics,
     declare_serve_metrics,
     declare_standard_metrics,
@@ -75,6 +76,7 @@ __all__ = [
     "SpanLog",
     "declare_cache_metrics",
     "declare_campaign_metrics",
+    "declare_daemon_metrics",
     "declare_fleet_metrics",
     "declare_serve_metrics",
     "declare_standard_metrics",

@@ -74,6 +74,18 @@ FLEET_SERVICE_LOADS_TOTAL = "repro_fleet_service_loads_total"
 FLEET_SERVICE_HITS_TOTAL = "repro_fleet_service_hits_total"
 FLEET_SERVICE_EVICTIONS_TOTAL = "repro_fleet_service_evictions_total"
 
+# -- serve daemon (micro-batched HTTP front door) ------------------------------
+
+DAEMON_REQUESTS_TOTAL = "repro_daemon_requests_total"
+DAEMON_REQUEST_SECONDS = "repro_daemon_request_seconds"
+DAEMON_QUEUE_WAIT_SECONDS = "repro_daemon_queue_wait_seconds"
+DAEMON_QUEUE_DEPTH = "repro_daemon_queue_depth"
+DAEMON_SHED_TOTAL = "repro_daemon_shed_total"
+DAEMON_BATCHES_TOTAL = "repro_daemon_batches_total"
+DAEMON_BATCHED_KERNELS_TOTAL = "repro_daemon_batched_kernels_total"
+DAEMON_COALESCED_TOTAL = "repro_daemon_coalesced_total"
+DAEMON_RELOADS_TOTAL = "repro_daemon_reloads_total"
+
 
 # -- declarations --------------------------------------------------------------
 #
@@ -210,26 +222,87 @@ def declare_cache_metrics(registry: MetricsRegistry) -> None:
 
 
 def declare_fleet_metrics(registry: MetricsRegistry) -> None:
+    # Unlabeled counters are touch()ed so a fleet that merely exists
+    # already exports every routing counter at zero — the Prometheus
+    # exposition and the JSON path report the same family set, and
+    # operators can alert on absence vs. zero.
     registry.counter(
         FLEET_REQUESTS_ROUTED_TOTAL,
         help="Requests routed through the fleet front door.",
-    )
+    ).touch()
     registry.counter(
         FLEET_BATCHES_ROUTED_TOTAL,
         help="Batch requests routed through the fleet front door.",
-    )
+    ).touch()
     registry.counter(
         FLEET_SERVICE_LOADS_TOTAL,
         help="Per-device services materialized from the model registry.",
-    )
+    ).touch()
     registry.counter(
         FLEET_SERVICE_HITS_TOTAL,
         help="Requests served by an already-loaded per-device service.",
-    )
+    ).touch()
     registry.counter(
         FLEET_SERVICE_EVICTIONS_TOTAL,
         help="Per-device services evicted by the max_services LRU bound.",
+    ).touch()
+
+
+def declare_daemon_metrics(registry: MetricsRegistry) -> None:
+    registry.counter(
+        DAEMON_REQUESTS_TOTAL,
+        help="HTTP requests handled by the serve daemon, "
+        "by endpoint and status code.",
+        labels=("endpoint", "status"),
     )
+    registry.histogram(
+        DAEMON_REQUEST_SECONDS,
+        help="End-to-end request latency at the daemon (queue wait, "
+        "batching window and model pass included), by endpoint.",
+        labels=("endpoint",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    registry.histogram(
+        DAEMON_QUEUE_WAIT_SECONDS,
+        help="Seconds a request sat queued before its micro-batch "
+        "started, by device.",
+        labels=("device",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    registry.gauge(
+        DAEMON_QUEUE_DEPTH,
+        help="Requests queued or in flight on a device lane right now.",
+        labels=("device",),
+    )
+    registry.counter(
+        DAEMON_SHED_TOTAL,
+        help="Requests shed by admission control (503), by device.",
+        labels=("device",),
+    )
+    registry.counter(
+        DAEMON_BATCHES_TOTAL,
+        help="Micro-batch passes executed, by device.",
+        labels=("device",),
+    )
+    registry.counter(
+        DAEMON_BATCHED_KERNELS_TOTAL,
+        help="Unique kernels predicted through micro-batch passes, by device.",
+        labels=("device",),
+    )
+    registry.counter(
+        DAEMON_COALESCED_TOTAL,
+        help="Requests answered by another request's prediction in the "
+        "same micro-batch (identical source and kernel), by device.",
+        labels=("device",),
+    )
+    reloads = registry.counter(
+        DAEMON_RELOADS_TOTAL,
+        help="Hot-reload polls that found the store changed, by result "
+        "(changed/unchanged/failed).",
+        labels=("result",),
+    )
+    for result in ("changed", "unchanged", "failed"):
+        reloads.touch(result=result)
 
 
 def declare_standard_metrics(registry: MetricsRegistry) -> None:
@@ -241,6 +314,7 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
     declare_serve_metrics(registry)
     declare_cache_metrics(registry)
     declare_fleet_metrics(registry)
+    declare_daemon_metrics(registry)
 
 
 # -- recording helpers (hot paths) ---------------------------------------------

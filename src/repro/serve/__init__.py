@@ -44,7 +44,8 @@ from .artifacts import (
     save_models,
 )
 from .cache import CacheStats, KernelFeatureCache, source_fingerprint
-from .fleet import FleetError, FleetService, FleetStats
+from .daemon import DaemonConfig, DaemonError, Overloaded, ServeDaemon
+from .fleet import FleetError, FleetReload, FleetService, FleetStats
 from .registry import (
     TRAINING_RECIPES,
     ModelKey,
@@ -60,10 +61,15 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "CacheStats",
+    "DaemonConfig",
+    "DaemonError",
     "FleetError",
+    "FleetReload",
     "FleetService",
     "FleetStats",
     "KernelFeatureCache",
+    "Overloaded",
+    "ServeDaemon",
     "ModelKey",
     "ModelRegistry",
     "PredictionService",

@@ -16,6 +16,7 @@ the extractor configuration, so:
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -74,7 +75,14 @@ class CacheStats:
 
 
 class KernelFeatureCache:
-    """LRU map from source fingerprints to extracted features."""
+    """LRU map from source fingerprints to extracted features.
+
+    Thread-safe: the serve daemon's per-device lanes share one instance
+    across worker threads, so lookups, LRU bookkeeping and the stats
+    counters are serialized under a lock.  Extraction runs inside the
+    lock too — it is pure, and a concurrent miss on the same source would
+    otherwise extract twice and race the insert.
+    """
 
     def __init__(
         self,
@@ -88,9 +96,11 @@ class KernelFeatureCache:
         self.stats = CacheStats()
         self._entries: OrderedDict[str, StaticFeatures] = OrderedDict()
         self._metrics: MetricsRegistry | None = None
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
         """Mirror the cache counters into a ``repro.obs`` registry.
@@ -123,26 +133,29 @@ class KernelFeatureCache:
     def get(self, source: str, kernel_name: str | None = None) -> StaticFeatures:
         """Return features for ``source``, extracting only on a miss."""
         key = source_fingerprint(source, kernel_name, self.extractor.config)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            self._mirror(FEATURE_CACHE_REQUESTS_TOTAL, result="hit")
-            return cached
-        self.stats.misses += 1
-        self._mirror(FEATURE_CACHE_REQUESTS_TOTAL, result="miss")
-        features = self.extractor.extract(source, kernel_name)
-        self._entries[key] = features
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            self._mirror(FEATURE_CACHE_EVICTIONS_TOTAL)
-        return features
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                self._mirror(FEATURE_CACHE_REQUESTS_TOTAL, result="hit")
+                return cached
+            self.stats.misses += 1
+            self._mirror(FEATURE_CACHE_REQUESTS_TOTAL, result="miss")
+            features = self.extractor.extract(source, kernel_name)
+            self._entries[key] = features
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                self._mirror(FEATURE_CACHE_EVICTIONS_TOTAL)
+            return features
 
     def peek(self, source: str, kernel_name: str | None = None) -> StaticFeatures | None:
         """Non-mutating lookup (no extraction, no LRU/statistics update)."""
         key = source_fingerprint(source, kernel_name, self.extractor.config)
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

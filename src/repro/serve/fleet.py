@@ -70,6 +70,52 @@ def _key_rank(key: ModelKey) -> tuple[int, str, int, str]:
     return (recipe_rank, key.recipe, 0 if key.interactions else 1, key.features)
 
 
+def _discover_routes(
+    registry: ModelRegistry,
+    recipe: str | None = None,
+    features: str | None = None,
+) -> dict[str, ModelKey]:
+    """Device slug → preferred :class:`ModelKey` from envelope metadata.
+
+    The deterministic discovery rule shared by :meth:`FleetService.from_campaign_store`
+    and hot reload: narrow by ``recipe``/``features`` if given, then let
+    :data:`RECIPE_PREFERENCE` pick one bundle per device.
+    """
+    keys = registry.known_keys()
+    if recipe is not None:
+        keys = [k for k in keys if k.recipe == recipe]
+    if features is not None:
+        keys = [k for k in keys if k.features == features]
+    chosen: dict[str, ModelKey] = {}
+    for key in sorted(keys, key=_key_rank):
+        try:
+            slug = device_slug(key.device)
+        except KeyError:
+            continue  # bundle for a device this build does not know
+        chosen.setdefault(slug, key)
+    return chosen
+
+
+@dataclass(frozen=True)
+class FleetReload:
+    """What one :meth:`FleetService.refresh_from_store` pass changed."""
+
+    added: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    updated: tuple[str, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed or self.updated)
+
+    def as_dict(self) -> dict:
+        return {
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "updated": list(self.updated),
+        }
+
+
 def _normalize_request(request) -> tuple[str, str, str | None]:
     """A batch item → ``(device, source, kernel_name)``."""
     if isinstance(request, str):
@@ -193,6 +239,12 @@ class FleetService:
         self._services: OrderedDict[str, PredictionService] = OrderedDict()
         #: slug → cumulative serving counters; survives service eviction.
         self._device_stats: dict[str, ServiceStats] = {}
+        #: Discovery filters when built by from_campaign_store (enables
+        #: refresh_from_store); None for hand-assembled fleets.
+        self._discovery: tuple[str | None, str | None] | None = None
+        #: slug → (key, mtime_ns, size) of the bundle file each route was
+        #: resolved against; lets a reload tell re-published from unchanged.
+        self._route_prints: dict[str, tuple] = self._fingerprint_routes()
 
     # -- constructors -----------------------------------------------------------
 
@@ -223,18 +275,7 @@ class FleetService:
         registry = ModelRegistry(
             models_root, memory_capacity=kwargs.get("max_services")
         )
-        keys = registry.known_keys()
-        if recipe is not None:
-            keys = [k for k in keys if k.recipe == recipe]
-        if features is not None:
-            keys = [k for k in keys if k.features == features]
-        chosen: dict[str, ModelKey] = {}
-        for key in sorted(keys, key=_key_rank):
-            try:
-                slug = device_slug(key.device)
-            except KeyError:
-                continue  # bundle for a device this build does not know
-            chosen.setdefault(slug, key)
+        chosen = _discover_routes(registry, recipe=recipe, features=features)
         if not chosen:
             wanted = [
                 f"{name}={value!r}"
@@ -245,7 +286,9 @@ class FleetService:
                 f"no servable model bundles under {models_root}"
                 + (f" matching {', '.join(wanted)}" if wanted else "")
             )
-        return cls(registry, chosen.values(), **kwargs)
+        fleet = cls(registry, chosen.values(), **kwargs)
+        fleet._discovery = (recipe, features)
+        return fleet
 
     # -- routing ----------------------------------------------------------------
 
@@ -261,7 +304,8 @@ class FleetService:
         """Devices with a live in-memory service right now (LRU order)."""
         return [self._keys[slug].device_spec().name for slug in self._services]
 
-    def _slug_for(self, device: str) -> str:
+    def slug_for(self, device: str) -> str:
+        """The routing slug for a device name/alias; FleetError if unrouted."""
         try:
             slug = device_slug(device)
         except KeyError:
@@ -275,6 +319,9 @@ class FleetService:
                 f"fleet; it serves: {', '.join(self.devices())}"
             )
         return slug
+
+    # Backwards-compatible private spelling (pre-daemon callers).
+    _slug_for = slug_for
 
     def _service_for_slug(self, slug: str) -> PredictionService:
         service = self._services.get(slug)
@@ -325,6 +372,67 @@ class FleetService:
         return [
             self._service_for_slug(slug).device.name for slug in slugs
         ]
+
+    # -- hot reload -------------------------------------------------------------
+
+    def _fingerprint_routes(self) -> dict[str, tuple]:
+        """(key, mtime_ns, size) of each route's bundle file on disk."""
+        prints: dict[str, tuple] = {}
+        for slug, key in self._keys.items():
+            try:
+                stat = self.registry.path_for(key).stat()
+                prints[slug] = (key, stat.st_mtime_ns, stat.st_size)
+            except OSError:
+                prints[slug] = (key, None, None)
+        return prints
+
+    def refresh_from_store(self) -> FleetReload:
+        """Re-discover routes against the store; pick up published bundles.
+
+        The hot-reload primitive behind the serve daemon: re-reads
+        envelope metadata under the registry root (same preference rules
+        as :meth:`from_campaign_store`), then for every route that is new,
+        re-published (same key, new bytes on disk) or re-keyed, drops the
+        live service and the registry's in-process bundle copy so the next
+        request loads the fresh artifact.  Per-device counters and the
+        metrics registry survive — a reload is a routing event, not a
+        telemetry reset.
+
+        In-flight work is untouched: a caller already holding a
+        :class:`PredictionService` keeps predicting against the bundle it
+        resolved — a reload never changes an in-flight response.
+
+        If the store is transiently empty (e.g. mid-publish), the current
+        routing table is kept: a serving fleet never tears itself down.
+        """
+        if self._discovery is None:
+            raise FleetError(
+                "this fleet was not built from a campaign store; "
+                "refresh_from_store has nothing to re-discover"
+            )
+        recipe, features = self._discovery
+        chosen = _discover_routes(self.registry, recipe=recipe, features=features)
+        if not chosen:
+            return FleetReload()
+        added = tuple(sorted(slug for slug in chosen if slug not in self._keys))
+        removed = tuple(sorted(slug for slug in self._keys if slug not in chosen))
+        self._keys = chosen
+        new_prints = self._fingerprint_routes()
+        updated = tuple(
+            sorted(
+                slug
+                for slug in chosen
+                if slug not in added
+                and new_prints[slug] != self._route_prints.get(slug)
+            )
+        )
+        for slug in removed + updated:
+            old = self._route_prints.get(slug)
+            if old is not None:
+                self.registry.invalidate(old[0])
+            self._services.pop(slug, None)
+        self._route_prints = new_prints
+        return FleetReload(added=added, removed=removed, updated=updated)
 
     # -- serving ----------------------------------------------------------------
 

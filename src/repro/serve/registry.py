@@ -190,6 +190,10 @@ class ModelRegistry:
     def path_for(self, key: ModelKey) -> pathlib.Path:
         return self._store.path_for(key)
 
+    def path_for_slug(self, slug: str) -> pathlib.Path:
+        """Resolve a persisted slug's artifact path (shard-aware)."""
+        return self._store.path_for_slug(slug)
+
     def __contains__(self, key: ModelKey) -> bool:
         return key in self._store
 
@@ -262,9 +266,13 @@ class ModelRegistry:
         """Fan the registry out into the sharded layout; returns moves."""
         return self._store.migrate_to_sharded()
 
-    def invalidate(self, key: ModelKey) -> None:
-        """Drop one key's in-process copy (its artifact stays on disk)."""
-        self._store.invalidate(key)
+    def invalidate(self, key: ModelKey | None = None) -> None:
+        """Drop in-process copies: one key's, or — with no key — every
+        key's (hot-reload path; artifacts on disk stay untouched)."""
+        if key is None:
+            self._store.evict_memory()
+        else:
+            self._store.invalidate(key)
 
     def evict_memory(self) -> None:
         """Drop in-process copies (artifacts on disk are untouched)."""

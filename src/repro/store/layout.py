@@ -40,6 +40,11 @@ TRAINER_STATE_SUBDIR = "trainer_state"
 #: The campaign engine's per-run metric snapshot inside METRICS_SUBDIR.
 CAMPAIGN_METRICS_FILENAME = "campaign.json"
 
+#: The serve daemon's metric snapshot inside METRICS_SUBDIR (written
+#: periodically while serving and once more at shutdown, so `repro stats`
+#: over the store surfaces serving counters after the daemon exits).
+DAEMON_METRICS_FILENAME = "serve-daemon.json"
+
 #: The store's append-only span log (at the store root).
 SPANS_FILENAME = "spans.jsonl"
 

@@ -5,6 +5,8 @@ every test here exercises the actual deployment path: campaign store on
 disk → fleet discovery from envelope metadata → routed predictions.
 """
 
+import json
+
 import pytest
 
 from repro.campaign import MODELS_SUBDIR, CampaignPlan, run_campaign
@@ -21,6 +23,13 @@ SAXPY = """
 __kernel void saxpy(__global float* x, __global float* y, float a) {
   int i = get_global_id(0);
   y[i] = a * x[i] + y[i];
+}
+"""
+
+SCALE = """
+__kernel void scale(__global float* x, float a) {
+  int i = get_global_id(0);
+  x[i] = a * x[i];
 }
 """
 
@@ -181,6 +190,74 @@ class TestBatch:
     def test_bare_string_requests_rejected(self, fleet):
         with pytest.raises(FleetError, match="must name a device"):
             fleet.predict_batch([SAXPY])
+
+    def test_interleaved_devices_preserve_request_order(self, fleet):
+        # Grouping by device reorders the *model passes*, never the
+        # results: distinct kernels alternating devices come back exactly
+        # where their requests went in.
+        items = [
+            ("titan-x", SAXPY, "saxpy"),
+            ("p100", SCALE, "scale"),
+            ("titan-x", SCALE, "scale"),
+            ("p100", SAXPY, "saxpy"),
+        ]
+        results = fleet.predict_batch(items)
+        assert [r.kernel for r in results] == ["saxpy", "scale", "scale", "saxpy"]
+        for (device, source, name), result in zip(items, results):
+            direct = fleet.predict(source, kernel_name=name, device=device)
+            assert [p.config for p in result.front] == [
+                p.config for p in direct.front
+            ]
+
+    def test_unknown_device_mid_batch_does_no_partial_work(self, store):
+        # Slug resolution covers the whole batch before any model pass, so
+        # a bad device fails the batch atomically: no kernel is served, no
+        # feature extraction pollutes the shared cache.
+        fleet = FleetService.from_campaign_store(store)
+        fleet.predict(SAXPY, device="titan-x")  # warm one service
+        served_before = fleet.stats_summary()["merged"]["kernels_served"]
+        misses_before = fleet.feature_cache.stats.misses
+        routed_before = fleet.stats.requests_routed
+        fresh_kernel = SAXPY.replace("saxpy", "saxpy_unseen")
+        with pytest.raises(FleetError, match="no-such-gpu"):
+            fleet.predict_batch(
+                [
+                    ("titan-x", fresh_kernel, "saxpy_unseen"),
+                    ("no-such-gpu", fresh_kernel, "saxpy_unseen"),
+                    ("p100", fresh_kernel, "saxpy_unseen"),
+                ]
+            )
+        assert fleet.stats_summary()["merged"]["kernels_served"] == served_before
+        assert fleet.feature_cache.stats.misses == misses_before
+        assert fleet.stats.requests_routed == routed_before
+
+    def test_eviction_racing_a_batch_still_answers_correctly(self, store):
+        # With max_services=1, a cross-device batch forces an eviction
+        # between its two grouped passes; both groups must still serve
+        # from a fully loaded service and match direct predictions.
+        fleet = FleetService.from_campaign_store(store, max_services=1)
+        results = fleet.predict_batch(
+            [
+                ("titan-x", SAXPY, "saxpy"),
+                ("p100", SAXPY, "saxpy"),
+                ("titan-x", SCALE, "scale"),
+                ("p100", SCALE, "scale"),
+            ]
+        )
+        assert fleet.stats.service_evictions >= 1
+        assert len(fleet.loaded_devices()) == 1
+        oracle = FleetService.from_campaign_store(store)
+        for (device, source, name), result in zip(
+            [
+                ("titan-x", SAXPY, "saxpy"),
+                ("p100", SAXPY, "saxpy"),
+                ("titan-x", SCALE, "scale"),
+                ("p100", SCALE, "scale"),
+            ],
+            results,
+        ):
+            direct = oracle.predict(source, kernel_name=name, device=device)
+            assert front_bytes(result) == front_bytes(direct)
 
 
 class TestSharedFeatureCache:
@@ -346,6 +423,120 @@ class TestCLI:
         assert "-- fleet stats" in out
         assert "feature_cache.hits: 1" in out
         assert "routing.requests_routed: 2" in out
+
+    def test_predict_batch_requests_file_routes_devices(
+        self, store, kernel_file, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "# a comment and a blank line are skipped\n"
+            "\n"
+            f'{{"device": "titan-x", "kernel": "{kernel_file}"}}\n'
+            f'{{"device": "p100", "source": {json.dumps(SAXPY)}, '
+            f'"name": "saxpy"}}\n'
+        )
+        code = cli_main(
+            ["predict-batch", "--requests", str(requests), "--store", str(store)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("predicted Pareto set for 'saxpy'") == 2
+        assert f"== {kernel_file} @ titan-x" in out
+        assert "== saxpy @ p100" in out
+
+    def test_predict_batch_requests_file_default_device(
+        self, store, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(f'{{"source": {json.dumps(SAXPY)}, "name": "saxpy"}}\n')
+        code = cli_main(
+            [
+                "predict-batch", "--requests", str(requests),
+                "--device", "p100", "--store", str(store),
+            ]
+        )
+        assert code == 0
+        assert "== saxpy @ p100" in capsys.readouterr().out
+
+    def test_predict_batch_requests_and_paths_conflict(
+        self, store, kernel_file, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(f'{{"kernel": "{kernel_file}"}}\n')
+        code = cli_main(
+            [
+                "predict-batch", str(kernel_file),
+                "--requests", str(requests), "--store", str(store),
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "line, diagnostic",
+        [
+            ("{not json", "not valid JSON"),
+            ('["a", "list"]', "must be a JSON object"),
+            ('{"device": "titan-x"}', "exactly one of"),
+            ('{"source": "x", "kernel": "y"}', "exactly one of"),
+            ('{"kernel": "/nowhere/missing.cl"}', "kernel file not found"),
+        ],
+    )
+    def test_predict_batch_requests_file_diagnostics(
+        self, store, tmp_path, capsys, line, diagnostic
+    ):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("# header comment\n" + line + "\n")
+        code = cli_main(
+            ["predict-batch", "--requests", str(requests), "--store", str(store)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert diagnostic in err
+        assert f"{requests}:2" in err  # path:lineno points at the bad line
+
+    def test_predict_batch_requests_file_empty(self, store, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("# only comments\n\n")
+        code = cli_main(
+            ["predict-batch", "--requests", str(requests), "--store", str(store)]
+        )
+        assert code == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_predict_batch_requests_missing_file(self, store, capsys):
+        code = cli_main(
+            [
+                "predict-batch", "--requests", "/nowhere/reqs.jsonl",
+                "--store", str(store),
+            ]
+        )
+        assert code == 2
+        assert "file not found" in capsys.readouterr().err
+
+    def test_predict_batch_requests_devices_need_a_store(
+        self, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(f'{{"device": "titan-x", "source": {json.dumps(SAXPY)}}}\n')
+        code = cli_main(
+            ["predict-batch", "--requests", str(requests), "--quick"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no fleet to route them" in err
+        assert "add --store" in err
+
+    def test_predict_batch_requests_service_path(self, tmp_path, capsys):
+        # Without --store the request file feeds the single in-process
+        # service, as long as no line tries to route by device.
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(f'{{"source": {json.dumps(SAXPY)}, "name": "saxpy"}}\n')
+        code = cli_main(["predict-batch", "--requests", str(requests), "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== saxpy" in out
+        assert "predicted Pareto set for 'saxpy'" in out
 
     def test_cli_matches_library_routing(self, store, fleet, kernel_file, capsys):
         assert (
