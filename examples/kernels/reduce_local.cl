@@ -1,0 +1,24 @@
+/* Work-group tree reduction through local memory.  Statically bounded
+ * loop plus barriers: exercises the loop-structure and memory-mix
+ * analysis passes without tripping any lint error. */
+__kernel void reduce_local(__global const float* in,
+                           __global float* out,
+                           __local float* scratch) {
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    scratch[lid] = in[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    /* Counted loop (8 halving steps of a 256-wide group) so the trip
+     * count stays statically known. */
+    int stride = 256;
+    for (int step = 0; step < 8; step++) {
+        stride = stride / 2;
+        if (lid < stride) {
+            scratch[lid] = scratch[lid] + scratch[lid + stride];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        out[get_group_id(0)] = scratch[0];
+    }
+}

@@ -1,0 +1,12 @@
+/* Single-precision a*x + y: the canonical bandwidth-bound kernel.
+ * Lint-clean by construction: the only control flow is a bounds guard,
+ * which lint reports at info severity (assumed branch probability). */
+__kernel void saxpy(__global float* y,
+                    __global const float* x,
+                    float a,
+                    int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}

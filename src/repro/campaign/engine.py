@@ -298,7 +298,13 @@ def _execute(
             else:
                 trainings[leg.device.name] = pool.apply_async(
                     train_leg_task,
-                    (leg.dataset, leg.settings, plan.interactions, leg.device.name),
+                    (
+                        leg.dataset,
+                        leg.settings,
+                        plan.interactions,
+                        leg.device.name,
+                        plan.features,
+                    ),
                 )
 
     try:

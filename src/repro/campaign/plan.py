@@ -50,6 +50,9 @@ class CampaignPlan:
     trainer: str = "exact"
     #: Mini-batch row cap for the streaming trainer (peak resident rows).
     batch_rows: int = 4096
+    #: Static feature recipe the campaign trains with
+    #: (:mod:`repro.analysis.recipes`); ``paper10`` is the paper layout.
+    features: str = "paper10"
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -68,6 +71,22 @@ class CampaignPlan:
             )
         if self.batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
+        from ..analysis.recipes import RecipeError, resolve_recipe
+
+        try:
+            resolve_recipe(self.features)
+        except RecipeError as exc:
+            raise ValueError(f"unknown feature recipe: {exc}") from None
+        if self.features != "paper10" and self.trainer == "streaming":
+            raise ValueError(
+                "the streaming trainer supports only the default 'paper10' "
+                f"feature recipe, got {self.features!r}"
+            )
+        if self.features != "paper10" and not self.interactions:
+            raise ValueError(
+                "the concat (no-interactions) ablation is only defined for "
+                "the default 'paper10' feature recipe"
+            )
         seen: dict[str, str] = {}
         for name in self.devices:
             # Fail fast on typos, before any sweep runs — and on two
@@ -128,14 +147,32 @@ class CampaignPlan:
                 spec=spec,
                 settings=settings,
                 final=p == self.repeats - 1,
+                # Workers extract with the default recipe only; non-default
+                # plans extract parent-side with the plan's config instead.
+                extract_features=self.features == "paper10",
             )
             for p in range(self.repeats)
             for k, spec in enumerate(specs)
         ]
 
     def model_key(self, device: DeviceSpec) -> ModelKey:
-        features = "interactions" if self.interactions else "concat"
+        if self.features != "paper10":
+            # Recipe-named keys always train with interactions (validated
+            # in __post_init__ by way of the streaming restriction); the
+            # legacy spellings cover the paper10 ablation pair.
+            features = self.features
+        else:
+            features = "interactions" if self.interactions else "concat"
         return ModelKey(device=device.name, recipe=self.recipe, features=features)
+
+    def extractor_config(self):
+        """The :class:`~repro.features.extractor.ExtractorConfig` for this
+        plan's feature recipe, or ``None`` for the default (``paper10``)."""
+        if self.features == "paper10":
+            return None
+        from ..features.extractor import ExtractorConfig
+
+        return ExtractorConfig(recipe=self.features)
 
     def describe(self) -> str:
         stride, budget = CAMPAIGN_RECIPES[self.recipe]

@@ -60,6 +60,7 @@ from ..workloads import KernelSpec
 from .progress import CampaignProgress, ProgressCallback, _metric_device_slug
 
 if TYPE_CHECKING:
+    from ..features.extractor import ExtractorConfig
     from .plan import CampaignPlan
 
 
@@ -77,10 +78,20 @@ class SweepTask:
     spec: KernelSpec
     settings: tuple[tuple[float, float], ...]
     final: bool
+    #: Whether the pool worker should extract static features alongside the
+    #: final pass.  Workers extract with the *default* recipe, so legs
+    #: training a non-default feature recipe turn this off and extract
+    #: parent-side with the right extractor config instead.
+    extract_features: bool = True
 
     def payload(self) -> DeviceSweepTask:
         """The picklable form a :class:`DevicePool` worker executes."""
-        return (self.device, self.spec, list(self.settings), self.final)
+        return (
+            self.device,
+            self.spec,
+            list(self.settings),
+            self.final and self.extract_features,
+        )
 
 
 def interleave(per_leg: Sequence[Sequence[SweepTask]]) -> list[SweepTask]:
@@ -124,6 +135,9 @@ class LegRun:
     #: the engine when the leg trains out-of-core; merged into bundle meta.
     train_meta: dict | None = None
     n_samples: int = 0
+    #: Non-None when the plan trains a non-default feature recipe: the
+    #: extractor config every parent-side feature extraction must use.
+    extractor_config: "ExtractorConfig | None" = None
 
     @property
     def swept(self) -> bool:
@@ -136,7 +150,7 @@ class LegRun:
         self.measured += 1
         if task.final and self.collect_dataset:
             if static is None:
-                static = task.spec.static_features()
+                static = task.spec.static_features(self.extractor_config)
             self.assembler.add(task.spec, static, measurements)
 
     def finish_sweeps(self) -> None:
@@ -239,6 +253,7 @@ def prepare_leg(
         reused=reused,
         resumed_from=resumed_from,
         collect_dataset=collect_dataset,
+        extractor_config=plan.extractor_config(),
     )
 
     # Final-pass records recovered from the trace feed the dataset exactly
@@ -254,7 +269,11 @@ def prepare_leg(
             measurements = replay_measurements(
                 task.spec, state.records[i].kernel, leg.settings
             )
-            leg.assembler.add(task.spec, task.spec.static_features(), measurements)
+            leg.assembler.add(
+                task.spec,
+                task.spec.static_features(leg.extractor_config),
+                measurements,
+            )
     return leg
 
 
@@ -271,8 +290,14 @@ def train_leg_task(
     """
     dataset, settings, interactions = payload[:3]
     device = payload[3] if len(payload) > 3 else None
+    feature_recipe = payload[4] if len(payload) > 4 else "paper10"
     start = time.perf_counter()
-    models = train_models(dataset, settings=settings, interactions=interactions)
+    models = train_models(
+        dataset,
+        settings=settings,
+        interactions=interactions,
+        feature_recipe=feature_recipe,
+    )
     if device is not None:
         observe_training(_metric_device_slug(device), time.perf_counter() - start)
     return models

@@ -3,6 +3,11 @@
 Subcommands:
 
 * ``features <kernel.cl>`` — extract and print the ten static features;
+* ``lint [kernel.cl ... | --store DIR]`` — run the diagnostics analysis
+  pass over kernel sources (or a campaign store's measured corpus) and
+  print ``path:line: severity: message`` findings; exits nonzero when any
+  error-severity finding (unknown trip count, no feature ops, frontend
+  failure) is present;
 * ``train --save <models.json>`` — fit the paper's models and persist them
   as a versioned artifact for later ``predict --model`` runs;
 * ``predict <kernel.cl>`` — print the predicted Pareto set of frequency
@@ -151,10 +156,32 @@ def _context_for(args):
 
     device, backend, recorder = _resolve_setup(args)
     recipe = "quick" if getattr(args, "quick", False) else "paper"
-    if recorder is None and isinstance(backend, SimulatorBackend):
+    features = _feature_recipe(args)
+    if (
+        recorder is None
+        and isinstance(backend, SimulatorBackend)
+        and features == "paper10"
+    ):
         maker = quick_context if recipe == "quick" else paper_context
         return maker(device=device.name), None
-    return build_context(device=device, recipe=recipe, backend=backend), recorder
+    return (
+        build_context(
+            device=device, recipe=recipe, backend=backend, feature_recipe=features
+        ),
+        recorder,
+    )
+
+
+def _feature_recipe(args) -> str:
+    """Validate and return --features (default recipe when absent)."""
+    name = getattr(args, "features", None) or "paper10"
+    from .analysis.recipes import RecipeError, resolve_recipe
+
+    try:
+        resolve_recipe(name)
+    except RecipeError as exc:
+        raise CLIUsageError(str(exc)) from None
+    return name
 
 
 def _save_recorded(recorder, args) -> None:
@@ -175,6 +202,30 @@ def _cmd_features(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_paths, lint_store
+
+    if args.store and args.sources:
+        raise CLIUsageError(
+            "pass kernel source paths or --store DIR, not both"
+        )
+    if args.store:
+        try:
+            report = lint_store(_store_root(args))
+        except FileNotFoundError as exc:
+            raise CLIUsageError(str(exc)) from None
+    elif args.sources:
+        report = lint_paths(args.sources)
+    else:
+        raise CLIUsageError("pass kernel source paths or --store DIR")
+    for line in report.render_lines(args.min_severity):
+        print(line)
+    for name in report.unresolved:
+        print(f"warning: cannot resolve kernel source: {name}", file=sys.stderr)
+    print(report.summary())
+    return 1 if report.has_errors else 0
+
+
 def _print_front(result) -> None:
     from .harness.report import format_front
 
@@ -184,13 +235,21 @@ def _print_front(result) -> None:
 def _cmd_train(args: argparse.Namespace) -> int:
     from .serve.artifacts import save_models
 
+    features = _feature_recipe(args)
     if getattr(args, "trainer", "exact") == "streaming":
+        if features != "paper10":
+            raise CLIUsageError(
+                "--trainer streaming supports only the default 'paper10' "
+                "feature recipe"
+            )
         return _cmd_train_streaming(args)
     ctx, recorder = _context_for(args)
     meta = {
         "device": ctx.device.name,
         "recipe": "quick" if args.quick else "paper",
-        "features": "interactions",
+        # The default recipe keeps the pre-recipe meta spelling so its
+        # artifacts stay byte-identical; named recipes record their name.
+        "features": "interactions" if features == "paper10" else features,
         "backend": ctx.backend.capabilities.kind,
     }
     path = save_models(args.save, ctx.models, meta=meta)
@@ -766,6 +825,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             trainer=getattr(args, "trainer", "exact"),
             batch_rows=getattr(args, "batch_rows", 4096),
+            features=_feature_recipe(args),
         )
     except ValueError as exc:
         raise CLIUsageError(exc.args[0]) from None
@@ -882,6 +942,16 @@ def _add_device_flags(parser: argparse.ArgumentParser, record: bool = False) -> 
         )
 
 
+def _add_features_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--features", metavar="RECIPE", default="paper10",
+        help="static feature recipe: paper10 (the default; the paper's "
+             "exact ten-share layout), paper10-raw (unnormalized counts), "
+             "or an extension like paper10+loops, paper10+memmix, "
+             "paper10+divergence (blocks compose: paper10+loops+memmix)",
+    )
+
+
 def _add_trainer_flags(parser: argparse.ArgumentParser) -> None:
     """Training-mode flags shared by `train` and `campaign`."""
     parser.add_argument(
@@ -913,6 +983,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_feat.add_argument("--name", help="kernel function name (if several)")
     p_feat.set_defaults(func=_cmd_features)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="diagnose kernel sources with the analysis passes: unknown "
+             "loop trip counts, zero-weight regions, assumed branch "
+             "probabilities; exits nonzero on error-severity findings",
+    )
+    p_lint.add_argument(
+        "sources", nargs="*", metavar="KERNEL.cl",
+        help="OpenCL source files to lint (one translation unit each)",
+    )
+    p_lint.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="lint the kernel corpus behind a campaign store's traces "
+             "instead of source files (kernels resolve by recorded name)",
+    )
+    p_lint.add_argument(
+        "--min-severity", choices=("info", "warning", "error"),
+        default="info", dest="min_severity",
+        help="hide findings below this severity (default: info; the exit "
+             "code always reflects error findings, shown or not)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_train = sub.add_parser(
         "train", help="train the paper's models and save them to disk"
     )
@@ -924,6 +1017,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="use the reduced training setup (faster, less accurate)",
     )
+    _add_features_flag(p_train)
     _add_trainer_flags(p_train)
     _add_device_flags(p_train, record=True)
     p_train.set_defaults(func=_cmd_train)
@@ -1154,6 +1248,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_false", dest="progress",
         help="never render live progress",
     )
+    _add_features_flag(p_camp)
     _add_trainer_flags(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 

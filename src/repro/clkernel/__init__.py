@@ -27,7 +27,16 @@ from .errors import (
     CLParseError,
     CLTypeError,
 )
-from .ir import ALL_OPS, AUX_OPS, FEATURE_OPS, IROp, IRRegion, KernelIR
+from .ir import (
+    ALL_OPS,
+    AUX_OPS,
+    FEATURE_OPS,
+    IROp,
+    IRRegion,
+    KernelIR,
+    RegionVisitor,
+    WalkFrame,
+)
 from .lexer import Lexer, Token, TokKind, tokenize
 from .lowering import (
     DEFAULT_BRANCH_PROBABILITY,
@@ -57,10 +66,12 @@ __all__ = [
     "Lexer",
     "Lowerer",
     "Parser",
+    "RegionVisitor",
     "ScalarKind",
     "TokKind",
     "Token",
     "TranslationUnit",
+    "WalkFrame",
     "lower_source",
     "parse",
     "parse_kernel",

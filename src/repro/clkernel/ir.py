@@ -70,6 +70,53 @@ class IROp:
             raise ValueError("op count must be non-negative")
 
 
+@dataclass(frozen=True)
+class WalkFrame:
+    """Weighted position of one visit during a region-tree walk.
+
+    ``weight`` is the product of every enclosing loop's trip count (the
+    default standing in for unknown bounds) and every enclosing branch's
+    probability — exactly the multiplier :meth:`IRRegion.weighted_counts`
+    applies to leaf ops at this position, so a visitor that sums
+    ``frame.weight * op.count`` reproduces the fold bit-for-bit.
+    """
+
+    weight: float = 1.0
+    loop_depth: int = 0
+    branch_depth: int = 0
+    #: Enclosing loops whose trip count was *not* statically known (and
+    #: therefore weighted with the caller-supplied default).
+    defaulted_trips: int = 0
+
+    @property
+    def in_loop(self) -> bool:
+        return self.loop_depth > 0
+
+    @property
+    def in_branch(self) -> bool:
+        return self.branch_depth > 0
+
+
+class RegionVisitor:
+    """Hook interface for :meth:`IRRegion.walk` / :meth:`KernelIR.accept`.
+
+    Subclass and override any of the three hooks; the walk is depth-first
+    in child order (the order :meth:`IRRegion.weighted_counts` folds in).
+    ``enter_region``/``visit_op`` receive the frame *inside* the region —
+    its weight already includes the region's own trip-count/probability
+    multiplier, and its depths count the region itself.
+    """
+
+    def enter_region(self, region: "IRRegion", frame: WalkFrame) -> None:
+        """Called before a region's children are visited."""
+
+    def leave_region(self, region: "IRRegion", frame: WalkFrame) -> None:
+        """Called after a region's children were visited."""
+
+    def visit_op(self, op: IROp, frame: WalkFrame) -> None:
+        """Called for every leaf op, with its effective weight frame."""
+
+
 @dataclass
 class IRRegion:
     """A region of the kernel body.
@@ -150,6 +197,48 @@ class IRRegion:
             else:
                 child._accumulate(totals, weight, default_tc)
 
+    def inner_frame(self, frame: WalkFrame, default_trip_count: int = 16) -> WalkFrame:
+        """The frame this region's children execute under.
+
+        Applies the same multiplier :meth:`_accumulate` does — in the same
+        order (``weight * trips``) — so walk-based analyses agree with the
+        canonical fold to the last bit.
+        """
+        if self.kind == "loop":
+            trips = self.trip_count if self.trip_count is not None else default_trip_count
+            return WalkFrame(
+                weight=frame.weight * trips,
+                loop_depth=frame.loop_depth + 1,
+                branch_depth=frame.branch_depth,
+                defaulted_trips=frame.defaulted_trips
+                + (1 if self.trip_count is None else 0),
+            )
+        if self.kind == "branch":
+            return WalkFrame(
+                weight=frame.weight * self.probability,
+                loop_depth=frame.loop_depth,
+                branch_depth=frame.branch_depth + 1,
+                defaulted_trips=frame.defaulted_trips,
+            )
+        return frame
+
+    def walk(
+        self,
+        visitor: RegionVisitor,
+        default_trip_count: int = 16,
+        frame: WalkFrame | None = None,
+    ) -> None:
+        """Depth-first weighted walk, firing the visitor's hooks."""
+        outer = frame if frame is not None else WalkFrame()
+        inner = self.inner_frame(outer, default_trip_count)
+        visitor.enter_region(self, inner)
+        for child in self.children:
+            if isinstance(child, IROp):
+                visitor.visit_op(child, inner)
+            else:
+                child.walk(visitor, default_trip_count, inner)
+        visitor.leave_region(self, inner)
+
     def static_size(self) -> int:
         """Total number of leaf ops (unweighted static instruction count)."""
         return sum(op.count for op in self.iter_ops())
@@ -205,6 +294,10 @@ class KernelIR:
     def total_instructions(self, default_trip_count: int = 16) -> float:
         """Weighted total over feature ops (the paper's normalizer)."""
         return sum(self.feature_counts(default_trip_count).values())
+
+    def accept(self, visitor: RegionVisitor, default_trip_count: int = 16) -> None:
+        """Walk the whole region tree with ``visitor`` (see :class:`RegionVisitor`)."""
+        self.root.walk(visitor, default_trip_count)
 
     def pretty(self) -> str:
         return f"kernel {self.name}:\n{self.root.pretty(1)}"

@@ -209,6 +209,7 @@ def iter_kernel_measurements(
     backend,
     specs: "Iterable[KernelSpec]",
     settings: list[tuple[float, float]],
+    extractor_config=None,
 ) -> "Iterator[tuple[KernelSpec, StaticFeatures, KernelMeasurements]]":
     """Stream ``(spec, static features, measurements)`` per kernel.
 
@@ -219,6 +220,12 @@ def iter_kernel_measurements(
     or :class:`~repro.measure.replay.RecordingBackend` wrapping one) run
     the sweeps process-parallel and extract features in the workers;
     plain backends are driven serially, with identical results.
+
+    ``extractor_config`` (an :class:`~repro.features.extractor.ExtractorConfig`)
+    selects a non-default feature recipe/knob set.  Worker-side extraction
+    only knows the default config, so when one is given the features are
+    extracted parent-side instead (lowering is memoized; the extra cost is
+    one counting walk per kernel, not a re-parse).
     """
     from ..measure.backend import as_backend
 
@@ -226,15 +233,22 @@ def iter_kernel_measurements(
     specs = list(specs)
     imap = getattr(backend, "imap_measure", None)
     if imap is not None:
+        with_features = extractor_config is None
         for spec, (measurements, static) in zip(
-            specs, imap(specs, settings, with_features=True)
+            specs, imap(specs, settings, with_features=with_features)
         ):
-            if static is None:
+            if extractor_config is not None:
+                static = spec.static_features(extractor_config)
+            elif static is None:
                 static = spec.static_features()
             yield spec, static, measurements
         return
     for spec in specs:
-        yield spec, spec.static_features(), backend.measure(spec, settings)
+        yield (
+            spec,
+            spec.static_features(extractor_config),
+            backend.measure(spec, settings),
+        )
 
 
 @dataclass(frozen=True)
@@ -448,6 +462,7 @@ def build_training_dataset(
     specs: list[KernelSpec],
     settings: list[tuple[float, float]],
     interactions: bool = True,
+    extractor_config=None,
 ) -> TrainingDataset:
     """Measure every spec at every setting and assemble the matrices.
 
@@ -464,7 +479,9 @@ def build_training_dataset(
     if not settings:
         raise ValueError("need at least one frequency setting")
     return assemble_training_dataset(
-        iter_kernel_measurements(backend, specs, settings),
+        iter_kernel_measurements(
+            backend, specs, settings, extractor_config=extractor_config
+        ),
         settings,
         interactions=interactions,
     )

@@ -42,6 +42,10 @@ class TrainedModels:
     #: Whether the design matrix includes the multiplicative combination
     #: columns (see :mod:`repro.features.vector`); must match training.
     interactions: bool = True
+    #: Named feature recipe the static vectors were extracted with
+    #: (:mod:`repro.analysis.recipes`); prediction must extract with the
+    #: same recipe or the design-matrix widths (and meanings) diverge.
+    feature_recipe: str = "paper10"
 
     def predict_speedup(self, x: np.ndarray) -> np.ndarray:
         return self.speedup_model.predict(self.scaler.transform(x))
@@ -96,8 +100,14 @@ class TrainedModels:
     # -- persistence ------------------------------------------------------------
 
     def to_state(self) -> dict:
-        """JSON-safe snapshot of the full trained bundle."""
-        return {
+        """JSON-safe snapshot of the full trained bundle.
+
+        ``feature_recipe`` is serialized **only when non-default**: every
+        pre-recipe artifact was (implicitly) trained with ``paper10``, and
+        omitting the default keeps default-recipe artifacts byte-identical
+        to those — the serve/replay layers' standing guarantee.
+        """
+        state = {
             "kind": "trained_models",
             "scaler": self.scaler.to_state(),
             "speedup_model": self.speedup_model.to_state(),
@@ -106,6 +116,9 @@ class TrainedModels:
             "n_training_samples": self.n_training_samples,
             "interactions": self.interactions,
         }
+        if self.feature_recipe != "paper10":
+            state["feature_recipe"] = self.feature_recipe
+        return state
 
     @classmethod
     def from_state(cls, state: dict) -> "TrainedModels":
@@ -116,6 +129,7 @@ class TrainedModels:
             settings=[tuple(s) for s in state["settings"]],
             n_training_samples=int(state["n_training_samples"]),
             interactions=bool(state["interactions"]),
+            feature_recipe=str(state.get("feature_recipe", "paper10")),
         )
 
 
@@ -125,8 +139,15 @@ def train_models(
     make_energy: Callable[[], Regressor] | None = None,
     settings: list[tuple[float, float]] | None = None,
     interactions: bool = True,
+    feature_recipe: str = "paper10",
 ) -> TrainedModels:
-    """Fit both models on an assembled dataset (Fig. 2 steps 5–6)."""
+    """Fit both models on an assembled dataset (Fig. 2 steps 5–6).
+
+    Width-agnostic: the models and scaler fit whatever column count the
+    dataset carries, so any feature recipe trains through here —
+    ``feature_recipe`` only records which one, for prediction-time
+    validation.
+    """
     scaler = StandardScaler().fit(dataset.x)
     x_scaled = scaler.transform(dataset.x)
 
@@ -142,6 +163,7 @@ def train_models(
         settings=settings or [],
         n_training_samples=dataset.n_samples,
         interactions=interactions,
+        feature_recipe=feature_recipe,
     )
 
 
@@ -152,6 +174,7 @@ def train_from_specs(
     make_speedup: Callable[[], Regressor] | None = None,
     make_energy: Callable[[], Regressor] | None = None,
     interactions: bool = True,
+    feature_recipe: str = "paper10",
 ) -> tuple[TrainedModels, TrainingDataset]:
     """End-to-end training phase: measure, assemble, fit.
 
@@ -159,6 +182,9 @@ def train_from_specs(
     a bare :class:`GPUSimulator`, wrapped on the fly).  With paper-default
     arguments this is: 106 micro-benchmarks × 40 sampled settings = 4240
     training samples, linear-SVR speedup model and RBF-SVR energy model.
+    A non-default ``feature_recipe`` re-extracts static vectors with that
+    recipe's extractor config (the default path is left untouched so its
+    artifacts stay byte-identical).
     """
     from ..measure.backend import as_backend
 
@@ -166,12 +192,24 @@ def train_from_specs(
     chosen = (
         settings if settings is not None else sample_training_settings(backend.device)
     )
-    dataset = build_training_dataset(backend, specs, chosen, interactions=interactions)
+    extractor_config = None
+    if feature_recipe != "paper10":
+        from ..features.extractor import ExtractorConfig
+
+        extractor_config = ExtractorConfig(recipe=feature_recipe)
+    dataset = build_training_dataset(
+        backend,
+        specs,
+        chosen,
+        interactions=interactions,
+        extractor_config=extractor_config,
+    )
     models = train_models(
         dataset,
         make_speedup=make_speedup,
         make_energy=make_energy,
         settings=chosen,
         interactions=interactions,
+        feature_recipe=feature_recipe,
     )
     return models, dataset

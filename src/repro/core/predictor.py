@@ -18,7 +18,7 @@ from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
 
-from ..features.extractor import FeatureExtractor
+from ..features.extractor import ExtractorConfig, FeatureExtractor
 from ..features.vector import StaticFeatures
 from ..gpusim.device import DeviceSpec
 from ..pareto.algorithms import pareto_front_masks, pareto_set_simple
@@ -153,7 +153,11 @@ class ParetoPredictor:
         self.device = device
         self.use_mem_l_heuristic = use_mem_l_heuristic
         self.candidates = candidates or prediction_candidates(device)
-        self._extractor = FeatureExtractor()
+        # The extractor must follow the models' feature recipe or the
+        # design-matrix widths (and column meanings) diverge at predict time.
+        self._extractor = FeatureExtractor(
+            ExtractorConfig(recipe=models.feature_recipe)
+        )
         # Device-constant; resolved once so the serving hot path never
         # re-walks the frequency menus per request.
         self._heuristic_config = mem_l_heuristic_config(device)
@@ -167,7 +171,9 @@ class ParetoPredictor:
         return self.predict_from_features(static)
 
     def predict_for_spec(self, spec: KernelSpec) -> PredictedParetoSet:
-        return self.predict_from_features(spec.static_features())
+        return self.predict_from_features(
+            spec.static_features(self._extractor.config)
+        )
 
     # -- the prediction phase ---------------------------------------------------
 

@@ -3,11 +3,21 @@
 This is the user-facing wrapper around the clkernel frontend.  It mirrors
 step (2) of the paper's training and prediction phases (Fig. 2 / Fig. 3):
 "Extract code features".
+
+Since the analysis-pass rebase the extractor is a thin binding of a
+**feature recipe** (:mod:`repro.analysis.recipes`) to a
+:class:`~repro.analysis.passes.PassManager`: lowering still happens here,
+but the counting/composition runs through the registered passes.  The
+default config reproduces the paper's ten-share vector bit-for-bit;
+``normalize=False`` resolves to the ``paper10-raw`` recipe variant instead
+of a hand-rolled rebuild.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..clkernel.ir import KernelIR
 from ..clkernel.lowering import (
@@ -16,6 +26,10 @@ from ..clkernel.lowering import (
     lower_source,
 )
 from .vector import StaticFeatures
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..analysis.passes import AnalysisConfig, PassManager
+    from ..analysis.recipes import FeatureRecipe
 
 
 @dataclass(frozen=True)
@@ -30,32 +44,88 @@ class ExtractorConfig:
         Static probability assigned to conditionally executed regions.
     normalize:
         If False, raw weighted counts are used instead of shares (ablation
-        of the paper's §3.2 normalization step).
+        of the paper's §3.2 normalization step).  Equivalent to choosing
+        the ``paper10-raw`` recipe base.
+    recipe:
+        Named feature recipe (see :mod:`repro.analysis.recipes`) deciding
+        the static column set.  The default ``paper10`` is the paper's
+        exact ten-share layout.
     """
 
     default_trip_count: int = DEFAULT_UNKNOWN_TRIP_COUNT
     branch_probability: float = DEFAULT_BRANCH_PROBABILITY
     normalize: bool = True
+    recipe: str = "paper10"
+
+    def effective_recipe(self) -> str:
+        """The recipe name after folding in ``normalize=False``.
+
+        ``normalize`` predates recipes; it maps onto the raw base so the
+        two spellings can never disagree: ``normalize=False`` with the
+        default base resolves to ``paper10-raw`` (extension blocks are
+        kept).  An explicitly raw base wins regardless of ``normalize``.
+        """
+        parts = self.recipe.split("+")
+        if not self.normalize and parts[0] == "paper10":
+            parts[0] = "paper10-raw"
+        return "+".join(parts)
+
+    def resolved_recipe(self) -> "FeatureRecipe":
+        """Resolve (and validate) the effective recipe."""
+        from ..analysis.recipes import resolve_recipe
+
+        return resolve_recipe(self.effective_recipe())
+
+    def analysis_config(self) -> "AnalysisConfig":
+        from ..analysis.passes import AnalysisConfig
+
+        return AnalysisConfig(
+            default_trip_count=self.default_trip_count,
+            branch_probability=self.branch_probability,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable identity of everything that shapes extracted features.
+
+        Covers every config field (via the dataclass ``repr``, so a knob
+        added later is automatically included) *plus* the resolved
+        recipe's layout fingerprint — renaming or recomposing a recipe
+        changes the key even if the config repr happens to collide.
+        Feature-cache keys hash this, so two recipes on the same source
+        can never share a cache entry.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(repr(self).encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(self.resolved_recipe().fingerprint().encode("utf-8"))
+        return hasher.hexdigest()
 
 
 class FeatureExtractor:
-    """Extracts the paper's ten static features from kernel source text."""
+    """Extracts a recipe's static feature vector from kernel source text."""
 
     def __init__(self, config: ExtractorConfig | None = None) -> None:
         self.config = config or ExtractorConfig()
+        self._recipe: "FeatureRecipe | None" = None
+        self._manager: "PassManager | None" = None
+
+    def _bind(self) -> "tuple[FeatureRecipe, PassManager]":
+        """Resolve the recipe and pass manager once, on first extraction."""
+        if self._recipe is None or self._manager is None:
+            from ..analysis.passes import PassManager
+
+            self._recipe = self.config.resolved_recipe()
+            self._manager = PassManager(self.config.analysis_config())
+        return self._recipe, self._manager
+
+    @property
+    def recipe(self) -> "FeatureRecipe":
+        """The resolved feature recipe this extractor produces."""
+        return self._bind()[0]
 
     def extract_from_ir(self, ir: KernelIR) -> StaticFeatures:
-        counts = ir.feature_counts(self.config.default_trip_count)
-        feats = StaticFeatures.from_counts(counts, kernel_name=ir.name)
-        if self.config.normalize:
-            return feats
-        # Raw-count ablation: keep absolute counts as the vector values.
-        return StaticFeatures(
-            values=feats.raw_counts,
-            kernel_name=ir.name,
-            total_instructions=feats.total_instructions,
-            raw_counts=feats.raw_counts,
-        )
+        recipe, manager = self._bind()
+        return recipe.extract(ir, manager)
 
     def extract(self, source: str, kernel_name: str | None = None) -> StaticFeatures:
         """Parse + lower ``source`` and count features of its kernel."""

@@ -55,17 +55,25 @@ MEM_FREQ_INTERVAL: tuple[float, float] = (405.0, 3505.0)
 
 @dataclass(frozen=True)
 class StaticFeatures:
-    """The ten normalized static code features of one kernel."""
+    """The static code features of one kernel.
+
+    By default this is the paper's ten-component layout
+    (:data:`STATIC_FEATURE_NAMES`); feature recipes
+    (:mod:`repro.analysis.recipes`) may append extra columns, in which
+    case ``names`` carries the widened layout.  ``values`` and ``names``
+    always agree in length.
+    """
 
     values: tuple[float, ...]
     kernel_name: str = ""
     total_instructions: float = 0.0
     raw_counts: tuple[float, ...] = field(default=(), compare=False)
+    names: tuple[str, ...] = STATIC_FEATURE_NAMES
 
     def __post_init__(self) -> None:
-        if len(self.values) != len(STATIC_FEATURE_NAMES):
+        if len(self.values) != len(self.names):
             raise ValueError(
-                f"expected {len(STATIC_FEATURE_NAMES)} features, got {len(self.values)}"
+                f"expected {len(self.names)} features, got {len(self.values)}"
             )
 
     @classmethod
@@ -94,11 +102,11 @@ class StaticFeatures:
         return np.asarray(self.values, dtype=np.float64)
 
     def as_dict(self) -> dict[str, float]:
-        return dict(zip(STATIC_FEATURE_NAMES, self.values))
+        return dict(zip(self.names, self.values))
 
     def __getitem__(self, name: str) -> float:
         try:
-            idx = STATIC_FEATURE_NAMES.index(name)
+            idx = self.names.index(name)
         except ValueError:
             raise KeyError(name) from None
         return self.values[idx]
@@ -114,7 +122,7 @@ class StaticFeatures:
         return 1.0 - self.memory_share if self.total_instructions else 0.0
 
     def describe(self) -> str:
-        parts = [f"{n}={v:.3f}" for n, v in zip(STATIC_FEATURE_NAMES, self.values)]
+        parts = [f"{n}={v:.3f}" for n, v in zip(self.names, self.values)]
         name = self.kernel_name or "<kernel>"
         return f"{name}: " + ", ".join(parts)
 
@@ -205,8 +213,20 @@ def build_batch_design_matrix(
     """
     n_kernels = len(statics)
     n_settings = len(settings)
-    d_static = len(STATIC_FEATURE_NAMES)
-    width = len(FULL_FEATURE_NAMES) if interactions else len(CONCAT_FEATURE_NAMES)
+    # Width follows the statics' layout: the default recipe gives the
+    # paper's 10 (→ 32/12 combined); extended recipes widen uniformly.
+    if statics:
+        d_static = len(statics[0].values)
+        for s in statics[1:]:
+            if len(s.values) != d_static:
+                raise ValueError(
+                    "statics mix feature widths "
+                    f"({d_static} vs {len(s.values)}); one design matrix "
+                    "needs one feature recipe"
+                )
+    else:
+        d_static = len(STATIC_FEATURE_NAMES)
+    width = 3 * d_static + 2 if interactions else d_static + 2
 
     core_lo, core_hi = core_interval
     mem_lo, mem_hi = mem_interval

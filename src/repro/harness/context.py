@@ -64,12 +64,15 @@ def build_context(
     device: DeviceSpec | str | None = None,
     recipe: str = "paper",
     backend: MeasurementBackend | None = None,
+    feature_recipe: str = "paper10",
 ) -> PaperContext:
     """Train the full setup for one device/backend/recipe (uncached).
 
     ``device`` is a spec, full name or alias; it defaults to the backend's
     device, or Titan X when neither is given.  ``backend`` defaults to the
-    vectorized simulator for the chosen device.
+    vectorized simulator for the chosen device.  ``feature_recipe`` selects
+    the static feature layout (:mod:`repro.analysis.recipes`); the default
+    is the paper's ten-share vector.
     """
     try:
         stride, budget = CONTEXT_RECIPES[recipe]
@@ -97,7 +100,9 @@ def build_context(
     sim = backend.sim if isinstance(backend, SimulatorBackend) else GPUSimulator(spec)
     micro = generate_micro_benchmarks()[::stride]
     settings = sample_training_settings(spec, total=budget)
-    models, dataset = train_from_specs(backend, micro, settings)
+    models, dataset = train_from_specs(
+        backend, micro, settings, feature_recipe=feature_recipe
+    )
     predictor = ParetoPredictor(
         models, spec, candidates=_modeled_subset(spec, settings)
     )

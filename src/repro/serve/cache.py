@@ -36,14 +36,15 @@ def source_fingerprint(
 ) -> str:
     """SHA-256 over everything that determines the extracted features.
 
-    The config enters via its dataclass ``repr``, which covers every
-    field — a knob added to :class:`ExtractorConfig` later is
-    automatically part of the key, so two configs can never share an
-    entry.
+    The config enters via :meth:`ExtractorConfig.fingerprint`, which
+    covers every config field (through the dataclass ``repr``) *and* the
+    resolved feature recipe's layout fingerprint — so two recipes (or any
+    two knob settings) can never share an entry, even for identical
+    source text.
     """
     cfg = config or ExtractorConfig()
     hasher = hashlib.sha256()
-    for part in (kernel_name or "", repr(cfg), source):
+    for part in (kernel_name or "", cfg.fingerprint(), source):
         hasher.update(part.encode("utf-8"))
         hasher.update(b"\x00")
     return hasher.hexdigest()

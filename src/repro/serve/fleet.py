@@ -222,6 +222,11 @@ class FleetService:
         declare_serve_metrics(self.metrics)
         declare_cache_metrics(self.metrics)
         self.feature_cache.bind_metrics(self.metrics)
+        #: Extra shared caches, one per non-default feature recipe: vectors
+        #: from different recipes have different widths/meanings, so each
+        #: recipe's routes share a cache among themselves only.  The
+        #: default `feature_cache` keeps serving every paper10 route.
+        self._recipe_caches: dict[str, KernelFeatureCache] = {}
         self.stats = FleetStats(registry=self.metrics)
         self._keys: dict[str, ModelKey] = {}
         for key in keys:
@@ -323,6 +328,21 @@ class FleetService:
     # Backwards-compatible private spelling (pre-daemon callers).
     _slug_for = slug_for
 
+    def _cache_for(self, feature_recipe: str) -> KernelFeatureCache:
+        """The fleet-shared feature cache for one feature recipe."""
+        if feature_recipe == "paper10":
+            return self.feature_cache
+        cache = self._recipe_caches.get(feature_recipe)
+        if cache is None:
+            from ..features.extractor import ExtractorConfig, FeatureExtractor
+
+            cache = KernelFeatureCache(
+                FeatureExtractor(ExtractorConfig(recipe=feature_recipe))
+            )
+            cache.bind_metrics(self.metrics)
+            self._recipe_caches[feature_recipe] = cache
+        return cache
+
     def _service_for_slug(self, slug: str) -> PredictionService:
         service = self._services.get(slug)
         if service is not None:
@@ -334,7 +354,7 @@ class FleetService:
         service = PredictionService(
             models=models,
             device=key.device_spec(),
-            cache=self.feature_cache,
+            cache=self._cache_for(models.feature_recipe),
             clock=self.clock,
             stats=self._device_stats.setdefault(
                 slug, ServiceStats(registry=self.metrics, device=slug)

@@ -39,17 +39,37 @@ class ModelKey:
 
     device: str = "NVIDIA GTX Titan X"
     recipe: str = "paper"
-    features: str = "interactions"  # or "concat" (no-interactions ablation)
+    #: "interactions" / "concat" (legacy design-matrix spellings, implying
+    #: the paper10 feature recipe), or any registered feature-recipe name
+    #: from :mod:`repro.analysis.recipes` (always with interactions).
+    features: str = "interactions"
 
     def __post_init__(self) -> None:
-        if self.features not in ("interactions", "concat"):
+        if self.features in ("interactions", "concat"):
+            return
+        from ..analysis.recipes import is_recipe
+
+        if not is_recipe(self.features):
             raise ValueError(
-                f"features must be 'interactions' or 'concat', got {self.features!r}"
+                "features must be 'interactions', 'concat', or a registered "
+                f"feature recipe, got {self.features!r}"
             )
 
     @property
     def interactions(self) -> bool:
-        return self.features == "interactions"
+        """Whether the design matrix carries interaction columns.
+
+        Only the legacy ``concat`` spelling turns them off; recipe-named
+        keys always train with interactions (the paper's default).
+        """
+        return self.features != "concat"
+
+    @property
+    def feature_recipe(self) -> str:
+        """The static feature recipe this key trains/predicts with."""
+        if self.features in ("interactions", "concat"):
+            return "paper10"
+        return self.features
 
     @property
     def slug(self) -> str:
@@ -86,7 +106,11 @@ def train_for_key(key: ModelKey) -> TrainedModels:
     device, micro, settings = _recipe_workload(key)
     backend = SimulatorBackend(device)
     models, _dataset = train_from_specs(
-        backend, micro, settings, interactions=key.interactions
+        backend,
+        micro,
+        settings,
+        interactions=key.interactions,
+        feature_recipe=key.feature_recipe,
     )
     return models
 
@@ -97,8 +121,18 @@ def train_streaming_for_key(key: ModelKey, batch_rows: int = 4096) -> TrainedMod
     The sweep happens exactly once (recorded to a scratch JSONL trace);
     the two streaming passes then replay that file in ``batch_rows``-bound
     mini-batches, so the dense design matrix never materializes.
+
+    Only the default ``paper10`` recipe streams: the incremental trainer
+    re-extracts features from trace rows with the legacy extractor and
+    has no recipe plumbing yet.
     """
     import tempfile
+
+    if key.feature_recipe != "paper10":
+        raise ValueError(
+            "streaming training supports only the default 'paper10' feature "
+            f"recipe, got {key.feature_recipe!r}; use the exact trainer"
+        )
 
     from ..core.dataset import iter_kernel_measurements
     from ..core.incremental import train_streaming_from_trace

@@ -171,13 +171,31 @@ class PredictionService:
 
     models: TrainedModels
     device: DeviceSpec
-    cache: KernelFeatureCache = field(default_factory=KernelFeatureCache)
+    #: When None, a cache matching the models' feature recipe is built.
+    #: A supplied cache must extract with that same recipe — mismatched
+    #: widths would poison every downstream design matrix.
+    cache: KernelFeatureCache | None = None
     use_mem_l_heuristic: bool = True
     candidates: list[tuple[float, float]] | None = None
     clock: Callable[[], float] = time.perf_counter
     stats: ServiceStats = field(default_factory=ServiceStats)
 
     def __post_init__(self) -> None:
+        recipe = self.models.feature_recipe
+        if self.cache is None:
+            extractor = None
+            if recipe != "paper10":
+                from ..features.extractor import ExtractorConfig, FeatureExtractor
+
+                extractor = FeatureExtractor(ExtractorConfig(recipe=recipe))
+            self.cache = KernelFeatureCache(extractor=extractor)
+        else:
+            cached = self.cache.extractor.config.effective_recipe()
+            if cached != recipe:
+                raise ServiceError(
+                    f"feature cache extracts recipe {cached!r} but the model "
+                    f"bundle was trained with {recipe!r}"
+                )
         # One telemetry object: the cache's counters ride along in every
         # ServiceStats.as_dict() (see `repro predict-batch --stats`).
         self.stats.feature_cache = self.cache.stats
@@ -235,6 +253,19 @@ class PredictionService:
                     f"artifact {path} names no known device "
                     f"(meta device: {name!r}; known: {known}); "
                     f"pass device= explicitly"
+                )
+        meta_features = meta.get("features")
+        if meta_features is not None:
+            meta_recipe = (
+                "paper10"
+                if meta_features in ("interactions", "concat")
+                else meta_features
+            )
+            if meta_recipe != models.feature_recipe:
+                raise ServiceError(
+                    f"artifact {path} meta declares feature recipe "
+                    f"{meta_recipe!r} but the payload was trained with "
+                    f"{models.feature_recipe!r}"
                 )
         return cls(models=models, device=device, **kwargs)
 

@@ -53,6 +53,7 @@ class KernelSpec:
             kernel_name=self.name,
             total_instructions=feats.total_instructions,
             raw_counts=feats.raw_counts,
+            names=feats.names,
         )
 
     def profile(self) -> WorkloadProfile:
